@@ -1,0 +1,32 @@
+"""Shared configuration for the paper-experiment benchmarks.
+
+Every benchmark is deterministic; the ``REPRO_BENCH_SCALE`` environment
+variable scales fuzzing iterations and crafted-input sizes (1 = quick mode,
+the default; larger values approach the paper's 24-hour campaigns the same
+way the artifact's Appendix B.7.3 "three-hour approximation" does).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: scale factor applied to fuzz iterations and perf-input sizes.
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+#: crafted-input size for the run-time experiments (Figures 1 and 7).
+PERF_INPUT_SIZE = 160 * SCALE
+
+#: fuzzing iterations per campaign for the detection experiments.
+FUZZ_ITERATIONS = 30 * SCALE
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The active scale factor (exposed for reporting)."""
+    return SCALE

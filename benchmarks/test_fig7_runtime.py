@@ -1,0 +1,37 @@
+"""Figure 7 — run-time performance of Teapot vs SpecTaint vs SpecFuzz.
+
+Paper: with nested speculation and heuristics disabled for all tools,
+Teapot outperforms SpecTaint by 22.4x (jsmn) and 27.6x (libyaml), and sits
+within 0.5x-2.0x of SpecFuzz on every program despite implementing a
+richer detection policy.  The reproduction checks those relationships.
+"""
+
+import pytest
+
+from benchmarks.conftest import PERF_INPUT_SIZE
+from repro.analysis.experiments import run_figure7
+
+
+@pytest.mark.paper
+def test_figure7_normalized_runtime(benchmark):
+    rows = benchmark.pedantic(
+        run_figure7, kwargs={"input_size": PERF_INPUT_SIZE}, iterations=1, rounds=1
+    )
+    print("\nFigure 7 — normalized run time (native = 1x):")
+    for row in rows:
+        print(f"  {row.program:10s} "
+              f"SpecTaint {row.normalized('spectaint'):9.1f}x   "
+              f"SpecFuzz {row.normalized('specfuzz'):8.1f}x   "
+              f"Teapot {row.normalized('teapot'):8.1f}x")
+    for row in rows:
+        teapot = row.normalized("teapot")
+        specfuzz = row.normalized("specfuzz")
+        spectaint = row.normalized("spectaint")
+        # Teapot is far faster than the only other binary-level tool
+        # (paper: >20x; the emulation-multiplier calibration gives >5x).
+        assert spectaint / teapot > 5, row.program
+        # Teapot is comparable to the compiler-based SpecFuzz
+        # (paper: 0.5x-2.0x of SpecFuzz).
+        assert 0.3 <= teapot / specfuzz <= 3.0, row.program
+        # Everything is still much slower than native (speculation simulation).
+        assert teapot > 20, row.program

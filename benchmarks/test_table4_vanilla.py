@@ -1,0 +1,42 @@
+"""Table 4 — gadgets found in unmodified real-world binaries.
+
+Paper: on the vanilla binaries Teapot reports gadgets broken down by
+attacker class and side channel (User/Massage x MDS/Cache/Port), including
+exploitation routes no other detector models (User-Port and Massage-*),
+while SpecFuzz reports large totals dominated by false positives.  Absolute
+counts are workload-dependent; the reproduction checks the qualitative
+findings.
+"""
+
+import pytest
+
+from benchmarks.conftest import FUZZ_ITERATIONS
+from repro.analysis.experiments import run_table4
+
+
+@pytest.mark.paper
+def test_table4_vanilla_binaries(benchmark):
+    rows = benchmark.pedantic(
+        run_table4, kwargs={"fuzz_iterations": FUZZ_ITERATIONS}, iterations=1, rounds=1
+    )
+    print("\nTable 4 — gadgets found in vanilla binaries (unique sites):")
+    for row in rows:
+        print(f"  {row.program:8s} spectaint={row.spectaint_total:4d} "
+              f"specfuzz={row.specfuzz_total:4d} teapot={row.teapot_total:4d} "
+              f"{row.teapot_by_category}")
+
+    by_program = {row.program: row for row in rows}
+    # The larger parsing/decompression workloads contain naturally occurring
+    # gadget patterns that Teapot classifies.
+    assert any(row.teapot_total > 0 for row in rows)
+    assert by_program["brotli"].teapot_total >= by_program["jsmn"].teapot_total
+    # Teapot's policy classifies gadgets into the paper's categories and
+    # detects exploitation routes beyond plain User-Cache when present.
+    categories = set()
+    for row in rows:
+        categories.update(row.teapot_by_category)
+    assert any(cat.startswith("User-") for cat in categories)
+    # jsmn is the quietest target in the paper (0 gadgets reported).
+    assert by_program["jsmn"].teapot_total <= min(
+        row.teapot_total for row in rows
+    ) + 1

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fuzz one of the paper's workload programs end to end.
+
+Reproduces the Figure 3 workflow on a real workload: compile the libhtp
+stand-in (an HTTP request parser), hand only the binary to Teapot, then run
+a short coverage-guided fuzzing campaign and summarise the gadgets found by
+attacker class and side channel (the Table 4 breakdown).
+
+Usage:  python examples/fuzz_workload.py [target] [iterations]
+        target defaults to "libhtp"; iterations defaults to 60.
+"""
+
+import sys
+
+from repro import Fuzzer, FuzzTarget, TeapotRewriter, TeapotRuntime, compile_vanilla, get_target
+from repro.baselines import SpecFuzzRewriter, SpecFuzzRuntime
+
+
+def main() -> None:
+    target_name = sys.argv[1] if len(sys.argv) > 1 else "libhtp"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    target = get_target(target_name)
+
+    print(f"target: {target_name} — {target.description}")
+    binary = compile_vanilla(target)
+    print(f"compiled COTS binary: {binary.text.size} bytes of code, "
+          f"{len(binary.symbols)} symbols")
+
+    print("\n--- Teapot ---")
+    teapot_runtime = TeapotRuntime(TeapotRewriter().instrument(binary))
+    fuzzer = Fuzzer(FuzzTarget(teapot_runtime), seeds=list(target.seeds), seed=2024)
+    campaign = fuzzer.run_campaign(iterations)
+    print(f"executions={campaign.executions}  corpus={campaign.corpus_size}  "
+          f"normal coverage={campaign.normal_coverage}  "
+          f"speculative coverage={campaign.speculative_coverage}")
+    print(f"unique gadget sites: {campaign.gadget_count()}")
+    for category, count in sorted(campaign.count_by_category().items()):
+        print(f"  {category:16s} {count}")
+
+    print("\n--- SpecFuzz baseline (ASan-only policy) ---")
+    specfuzz_runtime = SpecFuzzRuntime(SpecFuzzRewriter().instrument(binary))
+    sf_fuzzer = Fuzzer(FuzzTarget(specfuzz_runtime), seeds=list(target.seeds), seed=2024)
+    sf_campaign = sf_fuzzer.run_campaign(iterations)
+    print(f"unique gadget sites (all speculative OOB): {sf_campaign.gadget_count()}")
+    print("\nNote how Teapot attributes each gadget to an attacker class and "
+          "side channel, while SpecFuzz cannot tell attacker-controlled "
+          "leaks from benign out-of-bounds noise.")
+
+
+if __name__ == "__main__":
+    main()

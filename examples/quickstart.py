@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: detect the canonical Spectre-V1 gadget in a COTS binary.
+
+Compiles a small victim program (Listing 1 of the paper) with the mini-C
+toolchain, throws away the source, rewrites the binary with Teapot
+(Speculation Shadows) and runs it over an out-of-bounds input to see the
+gadget reports the Kasper policy produces.
+"""
+
+from repro import TeapotRewriter, TeapotRuntime, compile_source
+
+VICTIM_SOURCE = r"""
+int limit = 16;
+
+int victim(byte *arr1, byte *arr2, int index) {
+    int value = 0;
+    if (index < limit) {                 // B1: the mispredicted bounds check
+        value = arr2[arr1[index] * 2];   // L1 + L2: load secret, transmit it
+    }
+    return value;
+}
+
+int main() {
+    byte buf[16];
+    int n = read_input(buf, 16);
+    if (n < 4) {
+        return 0;
+    }
+    int index = buf[0] + buf[1] * 256 + buf[2] * 65536 + buf[3] * 16777216;
+    byte *arr1 = malloc(16);
+    byte *arr2 = malloc(512);
+    int result = victim(arr1, arr2, index);
+    free(arr1);
+    free(arr2);
+    return result;
+}
+"""
+
+
+def main() -> None:
+    print("[1/4] compiling the victim with the mini-C toolchain ...")
+    binary = compile_source(VICTIM_SOURCE)
+    print(f"      {binary.summary()}")
+
+    print("[2/4] rewriting the binary with Teapot (Speculation Shadows) ...")
+    rewriter = TeapotRewriter()
+    instrumented = rewriter.instrument(binary)
+    for pass_name, stats in rewriter.last_stats.items():
+        print(f"      {pass_name:26s} {stats}")
+
+    print("[3/4] running an out-of-bounds attacker input ...")
+    runtime = TeapotRuntime(instrumented)
+    attacker_index = (1 << 20).to_bytes(4, "little") + bytes(12)
+    result = runtime.run(attacker_index)
+    print(f"      program exited with status {result.exit_status}; "
+          f"{result.spec_stats['simulations_started']} speculation episodes simulated")
+
+    print("[4/4] gadget reports:")
+    if not result.reports:
+        print("      (none)")
+    for report in result.reports:
+        print(f"      {report.category:14s} transmit pc={report.pc:#x} "
+              f"depth={report.depth}  {report.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Teapot reproduction: Spectre-V1 gadget detection for COTS binaries.
+
+This package reproduces *"Teapot: Efficiently Uncovering Spectre Gadgets in
+COTS Binaries"* (CGO 2025) as a self-contained Python library: the TVM
+binary substrate, a mini-C toolchain for building workloads, the
+Teapot rewriter (Speculation Shadows), the SpecFuzz and SpecTaint
+baselines, a coverage-guided fuzzer and the experiment harness that
+regenerates every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import compile_source, TeapotRewriter, TeapotRuntime
+
+    binary = compile_source(MINI_C_SOURCE)          # the "COTS binary"
+    instrumented = TeapotRewriter().instrument(binary)
+    runtime = TeapotRuntime(instrumented)
+    result = runtime.run(b"attacker controlled input")
+    for report in result.reports:
+        print(report.category, hex(report.pc))
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+paper-experiment harness.
+"""
+
+from repro.minic.compiler import compile_source
+from repro.minic.codegen import CompilerOptions, SwitchLowering
+from repro.loader import TelfBinary, load_binary, loads_binary, save_binary, dumps_binary
+from repro.disasm import disassemble
+from repro.core import TeapotConfig, TeapotRewriter
+from repro.core.teapot import TeapotRuntime
+from repro.baselines import (
+    SpecFuzzConfig,
+    SpecFuzzRewriter,
+    SpecFuzzRuntime,
+    SpecTaintAnalyzer,
+    SpecTaintConfig,
+)
+from repro.runtime import Emulator, ExecutionResult
+from repro.fuzzing import Fuzzer, FuzzTarget
+from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
+from repro.targets import get_target, inject_gadgets, compile_vanilla
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "compile_source",
+    "CompilerOptions",
+    "SwitchLowering",
+    "TelfBinary",
+    "load_binary",
+    "loads_binary",
+    "save_binary",
+    "dumps_binary",
+    "disassemble",
+    "TeapotConfig",
+    "TeapotRewriter",
+    "TeapotRuntime",
+    "SpecFuzzConfig",
+    "SpecFuzzRewriter",
+    "SpecFuzzRuntime",
+    "SpecTaintAnalyzer",
+    "SpecTaintConfig",
+    "Emulator",
+    "ExecutionResult",
+    "Fuzzer",
+    "FuzzTarget",
+    "AttackerClass",
+    "Channel",
+    "GadgetReport",
+    "get_target",
+    "inject_gadgets",
+    "compile_vanilla",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment harness and result aggregation for the paper's evaluation."""
+
+from repro.analysis.metrics import (
+    DetectionScore,
+    classify_reports,
+    precision_recall,
+)
+from repro.analysis.experiments import (
+    RuntimeRow,
+    InjectionRow,
+    VanillaRow,
+    SwitchLoweringResult,
+    run_figure1,
+    run_figure2,
+    run_figure7,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "DetectionScore",
+    "classify_reports",
+    "precision_recall",
+    "RuntimeRow",
+    "InjectionRow",
+    "VanillaRow",
+    "SwitchLoweringResult",
+    "run_figure1",
+    "run_figure2",
+    "run_figure7",
+    "run_table3",
+    "run_table4",
+]

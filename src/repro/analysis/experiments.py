@@ -1,0 +1,305 @@
+"""The experiment harness: one function per paper figure/table.
+
+Every function here is deterministic (seeded fuzzing, cycle-count cost
+model) and parameterised by a scale knob (input size / fuzzing iterations)
+so the benchmarks can run in "quick" mode — the same idea as the paper
+artifact's three-hour approximation of the 24-hour campaigns
+(Appendix B.7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
+from repro.baselines.spectaint import SpecTaintAnalyzer, SpecTaintConfig
+from repro.core.config import TeapotConfig
+from repro.core.teapot import TeapotRewriter, TeapotRuntime
+from repro.fuzzing.fuzzer import CampaignResult, Fuzzer, FuzzTarget
+from repro.minic.codegen import CompilerOptions, SwitchLowering
+from repro.minic.compiler import compile_source
+from repro.runtime.emulator import Emulator
+from repro.analysis.metrics import DetectionScore, classify_reports
+from repro.targets import get_target
+from repro.targets.injection import InjectedTarget, compile_vanilla, inject_gadgets
+
+#: SpecTaint's Table 3 numbers as reported in the SpecTaint paper (the
+#: artifact could not be re-run; see paper §7.2 and Appendix B.8.2).
+SPECTAINT_REPORTED_TABLE3: Dict[str, Dict[str, int]] = {
+    "jsmn": {"GT": 3, "TP": 3, "FP": 0, "FN": 0},
+    "libyaml": {"GT": 10, "TP": 7, "FP": 0, "FN": 3},
+    "libhtp": {"GT": 7, "TP": 7, "FP": 0, "FN": 0},
+    "brotli": {"GT": 13, "TP": 12, "FP": 0, "FN": 1},
+}
+
+
+# ---------------------------------------------------------------------------
+# Run-time performance (Figures 1 and 7)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RuntimeRow:
+    """One program's normalized run times (a group of bars in Figure 7)."""
+
+    program: str
+    native_cycles: int
+    tool_cycles: Dict[str, int] = field(default_factory=dict)
+
+    def normalized(self, tool: str) -> float:
+        """Normalized run time of a tool (instrumented / native)."""
+        return self.tool_cycles[tool] / self.native_cycles
+
+    def as_dict(self) -> Dict[str, float]:
+        """Row as {tool: normalized run time}."""
+        return {tool: round(self.normalized(tool), 1) for tool in self.tool_cycles}
+
+
+def _measure_native(binary, perf_input: bytes) -> int:
+    emulator = Emulator(binary)
+    result = emulator.run(perf_input)
+    if not result.ok:
+        raise RuntimeError(f"native run failed: {result.status} {result.crash_reason}")
+    return result.cycles
+
+
+def run_figure7(
+    programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli", "openssl"),
+    input_size: int = 200,
+    tools: Sequence[str] = ("spectaint", "specfuzz", "teapot"),
+) -> List[RuntimeRow]:
+    """Figure 7: normalized run time of each tool on each program.
+
+    Nested speculation and all heuristics are disabled for every tool, as in
+    the paper's §7.1 setup.
+    """
+    rows: List[RuntimeRow] = []
+    for name in programs:
+        target = get_target(name)
+        binary = compile_vanilla(target)
+        perf_input = target.perf_input(input_size)
+        row = RuntimeRow(program=name, native_cycles=_measure_native(binary, perf_input))
+
+        if "teapot" in tools:
+            config = TeapotConfig().without_nesting()
+            instrumented = TeapotRewriter(config).instrument(binary)
+            runtime = TeapotRuntime(instrumented, config=config)
+            result = runtime.run(perf_input)
+            row.tool_cycles["teapot"] = result.cycles
+        if "specfuzz" in tools:
+            sf_config = SpecFuzzConfig().without_nesting()
+            sf_binary = SpecFuzzRewriter(sf_config).instrument(binary)
+            sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
+            result = sf_runtime.run(perf_input)
+            row.tool_cycles["specfuzz"] = result.cycles
+        if "spectaint" in tools:
+            st_config = SpecTaintConfig().without_nesting()
+            analyzer = SpecTaintAnalyzer(binary, config=st_config)
+            result = analyzer.run(perf_input)
+            row.tool_cycles["spectaint"] = result.cycles
+        rows.append(row)
+    return rows
+
+
+def run_figure1(input_size: int = 200) -> List[RuntimeRow]:
+    """Figure 1 (motivation): SpecTaint vs SpecFuzz on jsmn and libyaml."""
+    return run_figure7(programs=("jsmn", "libyaml"), input_size=input_size,
+                       tools=("spectaint", "specfuzz"))
+
+
+# ---------------------------------------------------------------------------
+# Switch lowering (Figure 2)
+# ---------------------------------------------------------------------------
+
+_SWITCH_SOURCE = r"""
+int handled = 0;
+
+int dispatch(int value) {
+    switch (value) {
+        case 0: { handled = 1; }
+        case 1: { handled = 2; }
+        case 2: { handled = 3; }
+        case 3: { handled = 4; }
+        default: { handled = 0; }
+    }
+    return handled;
+}
+
+int main() {
+    byte buf[8];
+    int n = read_input(buf, 8);
+    if (n < 1) {
+        return 0;
+    }
+    return dispatch(buf[0]);
+}
+"""
+
+
+@dataclass
+class SwitchLoweringResult:
+    """Figure 2: gadget exposure under the two switch lowerings."""
+
+    lowering: str
+    conditional_branches: int
+    speculation_entries: int
+
+    @property
+    def spectre_v1_exposed(self) -> bool:
+        """Whether the lowering creates mispredictable conditional branches."""
+        return self.conditional_branches > 1
+
+
+def run_figure2(fuzz_iterations: int = 0) -> List[SwitchLoweringResult]:
+    """Figure 2: the same switch compiled as a branch chain vs a jump table.
+
+    The branch-chain lowering (GCC-style) produces one conditional branch
+    per case — each a potential Spectre-V1 entry point — whereas the
+    jump-table lowering (Clang-style) produces a single bounds check and an
+    indirect jump, which is not mispredicted in the Spectre-V1 sense.
+    """
+    from repro.disasm import disassemble
+
+    results: List[SwitchLoweringResult] = []
+    for lowering in (SwitchLowering.BRANCH_CHAIN, SwitchLowering.JUMP_TABLE):
+        binary = compile_source(_SWITCH_SOURCE, CompilerOptions(switch_lowering=lowering))
+        module = disassemble(binary)
+        dispatch_fn = module.function("dispatch")
+        branch_count = dispatch_fn.conditional_branch_count()
+
+        config = TeapotConfig()
+        instrumented = TeapotRewriter(config).instrument(binary)
+        runtime = TeapotRuntime(instrumented, config=config)
+        entries = 0
+        for value in range(8):
+            result = runtime.run(bytes([value * 40 % 256]))
+            entries += result.spec_stats.get("simulations_started", 0)
+        results.append(
+            SwitchLoweringResult(
+                lowering=lowering.value,
+                conditional_branches=branch_count,
+                speculation_entries=entries,
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Artificial gadget injection (Table 3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InjectionRow:
+    """One program's Table 3 row: per-tool detection scores."""
+
+    program: str
+    scores: Dict[str, DetectionScore] = field(default_factory=dict)
+    spectaint_reported: Optional[Dict[str, int]] = None
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Row as {tool: score-row}."""
+        out = {tool: score.as_row() for tool, score in self.scores.items()}
+        if self.spectaint_reported is not None:
+            out["spectaint_reported"] = dict(self.spectaint_reported)
+        return out
+
+
+def run_table3(
+    programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli"),
+    fuzz_iterations: int = 40,
+    seed: int = 1234,
+) -> List[InjectionRow]:
+    """Table 3: detection of artificially injected gadgets.
+
+    Following the paper: the ordinary taint sources are disabled and only
+    the artificial gadgets' input (``attack_input()``) is attacker-direct;
+    the Massage policy is disabled to avoid attacker-indirect noise.
+    """
+    rows: List[InjectionRow] = []
+    for name in programs:
+        target = get_target(name)
+        injected = inject_gadgets(target)
+        row = InjectionRow(program=name,
+                           spectaint_reported=SPECTAINT_REPORTED_TABLE3.get(name))
+
+        # Teapot.
+        teapot_config = TeapotConfig(massage_enabled=False,
+                                     taint_sources_enabled=False)
+        teapot_binary = TeapotRewriter(teapot_config).instrument(injected.binary)
+        teapot_runtime = TeapotRuntime(teapot_binary, config=teapot_config)
+        fuzzer = Fuzzer(FuzzTarget(teapot_runtime), seeds=list(target.seeds), seed=seed)
+        campaign = fuzzer.run_campaign(fuzz_iterations)
+        row.scores["teapot"] = classify_reports(
+            injected, campaign.reports, teapot_binary, require_user_attacker=True
+        )
+
+        # SpecFuzz.
+        sf_config = SpecFuzzConfig()
+        sf_binary = SpecFuzzRewriter(sf_config).instrument(injected.binary)
+        sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
+        sf_fuzzer = Fuzzer(FuzzTarget(sf_runtime), seeds=list(target.seeds), seed=seed)
+        sf_campaign = sf_fuzzer.run_campaign(fuzz_iterations)
+        row.scores["specfuzz"] = classify_reports(
+            injected, sf_campaign.reports, sf_binary, require_user_attacker=False
+        )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Vanilla binaries (Table 4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VanillaRow:
+    """One program's Table 4 row."""
+
+    program: str
+    teapot_by_category: Dict[str, int] = field(default_factory=dict)
+    teapot_total: int = 0
+    specfuzz_total: int = 0
+    spectaint_total: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row as a flat dictionary."""
+        return {
+            "program": self.program,
+            "spectaint": self.spectaint_total,
+            "specfuzz": self.specfuzz_total,
+            "teapot_total": self.teapot_total,
+            **{f"teapot_{k}": v for k, v in sorted(self.teapot_by_category.items())},
+        }
+
+
+def run_table4(
+    programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli", "openssl"),
+    fuzz_iterations: int = 40,
+    seed: int = 99,
+) -> List[VanillaRow]:
+    """Table 4: gadgets found in the unmodified binaries."""
+    rows: List[VanillaRow] = []
+    for name in programs:
+        target = get_target(name)
+        binary = compile_vanilla(target)
+        row = VanillaRow(program=name)
+
+        teapot_config = TeapotConfig()
+        teapot_binary = TeapotRewriter(teapot_config).instrument(binary)
+        teapot_runtime = TeapotRuntime(teapot_binary, config=teapot_config)
+        fuzzer = Fuzzer(FuzzTarget(teapot_runtime), seeds=list(target.seeds), seed=seed)
+        campaign = fuzzer.run_campaign(fuzz_iterations)
+        row.teapot_by_category = campaign.count_by_category()
+        row.teapot_total = campaign.gadget_count()
+
+        sf_config = SpecFuzzConfig()
+        sf_binary = SpecFuzzRewriter(sf_config).instrument(binary)
+        sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
+        sf_fuzzer = Fuzzer(FuzzTarget(sf_runtime), seeds=list(target.seeds), seed=seed)
+        row.specfuzz_total = sf_fuzzer.run_campaign(fuzz_iterations).gadget_count()
+
+        st_config = SpecTaintConfig()
+        analyzer = SpecTaintAnalyzer(binary, config=st_config)
+        st_fuzzer = Fuzzer(FuzzTarget(analyzer), seeds=list(target.seeds), seed=seed)
+        row.spectaint_total = st_fuzzer.run_campaign(fuzz_iterations).gadget_count()
+        rows.append(row)
+    return rows

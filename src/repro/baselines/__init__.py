@@ -1,0 +1,22 @@
+"""Baseline detectors the paper compares against.
+
+* :mod:`repro.baselines.specfuzz` — SpecFuzz (USENIX Security '20), the
+  compiler-based detector: single-copy instrumentation with per-site
+  ``if (in_simulation)`` guards and an ASan-only gadget policy.
+* :mod:`repro.baselines.spectaint` — SpecTaint (NDSS '21), the only prior
+  binary-level detector: built on a full-system emulator (QEMU/DECAF), with
+  whole-system DIFT, no program-level bounds information, and a five-visit
+  cap on per-branch speculation.
+"""
+
+from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
+from repro.baselines.spectaint import SpecTaintAnalyzer, SpecTaintConfig, SpecTaintEmulator
+
+__all__ = [
+    "SpecFuzzConfig",
+    "SpecFuzzRewriter",
+    "SpecFuzzRuntime",
+    "SpecTaintAnalyzer",
+    "SpecTaintConfig",
+    "SpecTaintEmulator",
+]

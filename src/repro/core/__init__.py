@@ -1,0 +1,55 @@
+"""Teapot: the paper's primary contribution.
+
+Teapot statically rewrites a COTS binary so it can be fuzzed for Spectre-V1
+gadgets.  The rewriting is organised around **Speculation Shadows**
+(paper §5): every function is duplicated into a *Real Copy* (normal
+execution, almost no instrumentation) and a *Shadow Copy* (speculation
+simulation, fully instrumented), removing the per-instrumentation
+``if (in_simulation)`` guards that burden single-copy designs.
+
+Pass pipeline (see :class:`repro.core.teapot.TeapotRewriter`):
+
+1. :class:`~repro.core.shadows.ShadowCopyPass` — duplicate functions,
+   retarget direct control flow inside the Shadow Copy.
+2. :class:`~repro.core.instrumentation.CoveragePass` — normal and (lazy)
+   speculative coverage tracing (paper §6.3).
+3. :class:`~repro.core.instrumentation.AccessInstrumentationPass` — Kasper
+   policy checks, ASan checks and memory logging on Shadow-Copy accesses.
+4. :class:`~repro.core.instrumentation.DiftInstrumentationPass` —
+   per-instruction tag propagation in the Shadow Copy, batched per-block
+   propagation in the Real Copy (paper §6.2.2).
+5. :class:`~repro.core.instrumentation.RestorePointPass` — conditional and
+   unconditional restore points (paper §6.1).
+6. :class:`~repro.core.markers.EscapeMarkerPass` — marker nops and
+   redirects on Real-Copy blocks reachable through indirect transfers
+   (paper §5.3, Listing 4).
+7. :class:`~repro.core.trampolines.TrampolinePass` — checkpoints before
+   conditional branches plus misprediction trampolines (paper §5.2).
+"""
+
+from repro.core.config import TeapotConfig
+from repro.core.shadows import ShadowCopyPass, shadow_name, is_shadow_function
+from repro.core.trampolines import TrampolinePass
+from repro.core.markers import EscapeMarkerPass
+from repro.core.instrumentation import (
+    AccessInstrumentationPass,
+    CoveragePass,
+    DiftInstrumentationPass,
+    RestorePointPass,
+)
+from repro.core.teapot import TeapotRewriter, TeapotRuntime
+
+__all__ = [
+    "TeapotConfig",
+    "ShadowCopyPass",
+    "shadow_name",
+    "is_shadow_function",
+    "TrampolinePass",
+    "EscapeMarkerPass",
+    "AccessInstrumentationPass",
+    "CoveragePass",
+    "DiftInstrumentationPass",
+    "RestorePointPass",
+    "TeapotRewriter",
+    "TeapotRuntime",
+]

@@ -1,0 +1,55 @@
+"""Configuration of the Teapot rewriter and runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TeapotConfig:
+    """Tunable knobs of Teapot's instrumentation and runtime.
+
+    Defaults match the paper's settings; the performance experiments
+    (Figures 1 and 7) disable nested speculation, and Table 3 disables the
+    taint sources and the Massage policy.
+    """
+
+    #: reorder-buffer stand-in: instructions simulated per speculation episode.
+    rob_budget: int = 250
+    #: insert nested-speculation checkpoints in the Shadow Copy.
+    nested_speculation: bool = True
+    #: maximum misprediction nesting depth (paper: 6).
+    max_depth: int = 6
+    #: eager nested runs per branch before the SpecFuzz ramp takes over.
+    eager_runs: int = 5
+    #: SpecFuzz encounter ramp (encounters per extra depth level).
+    specfuzz_ramp: int = 16
+    #: place a conditional restore point every N architectural instructions
+    #: inside large blocks (paper: 50).
+    restore_interval: int = 50
+    #: insert coverage tracing instrumentation.
+    coverage: bool = True
+    #: use the lazy speculative-coverage optimisation (paper §6.3); when
+    #: False, the expensive normal coverage call is used inside the Shadow
+    #: Copy as well (the ablation benchmark flips this).
+    lazy_spec_coverage: bool = True
+    #: enable the Massage (attacker-indirect) policies.
+    massage_enabled: bool = True
+    #: enable tagging of program inputs as attacker-controlled.
+    taint_sources_enabled: bool = True
+    #: protect stack frames by poisoning return-address slots.
+    protect_stack: bool = True
+    #: skip ASan/policy checks on sp/fp + constant accesses (paper §6.2.1).
+    allowlist_frame_accesses: bool = True
+    #: maximum emulator steps per execution (hang protection for fuzzing).
+    max_steps: int = 5_000_000
+
+    def without_nesting(self) -> "TeapotConfig":
+        """A copy with nested speculation and heuristics disabled.
+
+        This is the configuration the paper uses for the run-time
+        performance comparison (§7.1).
+        """
+        copy = TeapotConfig(**self.__dict__)
+        copy.nested_speculation = False
+        return copy

@@ -1,0 +1,51 @@
+"""Escape markers: keeping speculation inside the Shadow Copy (paper §5.3).
+
+Indirect control transfers executed in the Shadow Copy (returns, indirect
+calls, indirect jumps) may carry Real-Copy code pointers and would otherwise
+escape the simulation into uninstrumented code — which would never reach a
+restore point (paper Figure 5).  Teapot handles this with two cooperating
+mechanisms:
+
+* every Real-Copy basic block that may be the target of an indirect
+  transfer (return sites, address-taken blocks, address-taken function
+  entries) gets a special **marker nop** followed by a ``spec.redirect``
+  that, when reached in simulation mode, bounces control to the block's
+  Shadow-Copy counterpart (Listing 4, lines 12-14);
+* the runtime's indirect-transfer check (implemented in
+  :meth:`repro.runtime.emulator.Emulator._check_indirect_target`) allows a
+  transfer whose target is in the Shadow Copy or is a marked Real-Copy
+  block, and forces a rollback otherwise (Listing 4, lines 2-8).
+"""
+
+from __future__ import annotations
+
+from repro.core.shadows import is_shadow_function, shadow_name
+from repro.disasm.ir import Module
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Label
+from repro.rewriting.passes import RewritePass
+
+
+class EscapeMarkerPass(RewritePass):
+    """Insert marker nops and redirects on indirect-transfer targets."""
+
+    name = "escape-markers"
+
+    def run(self, module: Module) -> None:
+        for func in module.functions:
+            if is_shadow_function(func.name):
+                continue
+            shadow_func_name = shadow_name(func.name)
+            if not module.has_function(shadow_func_name):
+                continue
+            for block in func.blocks:
+                if not (block.is_return_site or block.address_taken):
+                    continue
+                shadow_label = f"{shadow_func_name}::{shadow_name(block.label)}"
+                block.instructions.insert(
+                    0, Instruction(Opcode.MARKER_NOP, [])
+                )
+                block.instructions.insert(
+                    1, Instruction(Opcode.SPEC_REDIRECT, [Label(shadow_label)])
+                )
+                self.bump("marked_blocks")

@@ -1,0 +1,112 @@
+"""Checkpoints and misprediction trampolines (paper §5.2, Figure 4).
+
+For every conditional branch the pass inserts a ``checkpoint`` pseudo-op
+immediately before the branch and synthesises a two-instruction trampoline
+in the Shadow Copy:
+
+* ``tramp.j<cc>  <shadow label of the fall-through block>`` — the same
+  condition as the original branch, but targeting the *opposite*
+  destination, so the taken/not-taken outcome is inverted;
+* ``jmp  <shadow label of the original branch target>``.
+
+At run time the ``checkpoint`` op asks the speculation controller whether a
+misprediction of this branch should be simulated; if yes, the program state
+is checkpointed and control enters the trampoline, which lands in the
+Shadow Copy on the deliberately wrong path.
+
+Checkpoints are inserted into Real-Copy branches always, and into
+Shadow-Copy branches only when nested speculation is enabled (paper §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import TeapotConfig
+from repro.core.shadows import SHADOW_SUFFIX, is_shadow_function, shadow_name
+from repro.disasm.ir import BasicBlock, IRFunction, Module
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Label
+from repro.rewriting.passes import RewriteError, RewritePass
+
+
+class TrampolinePass(RewritePass):
+    """Insert checkpoints before conditional branches and build trampolines."""
+
+    name = "trampolines"
+
+    def __init__(self, config: Optional[TeapotConfig] = None,
+                 single_copy: bool = False) -> None:
+        super().__init__()
+        self.config = config or TeapotConfig()
+        #: single-copy mode (used by the SpecFuzz baseline): trampolines
+        #: target the same copy instead of the Shadow Copy.
+        self.single_copy = single_copy
+        self._counter = 0
+
+    def run(self, module: Module) -> None:
+        for func in list(module.functions):
+            if self.single_copy:
+                self._process_function(module, func, func, to_shadow=False)
+            elif is_shadow_function(func.name):
+                if self.config.nested_speculation:
+                    self._process_function(module, func, func, to_shadow=False)
+            else:
+                shadow = module.function(shadow_name(func.name))
+                self._process_function(module, func, shadow, to_shadow=True)
+
+    # ------------------------------------------------------------------
+    def _process_function(
+        self,
+        module: Module,
+        func: IRFunction,
+        trampoline_home: IRFunction,
+        to_shadow: bool,
+    ) -> None:
+        new_trampolines: List[BasicBlock] = []
+        for index, block in enumerate(func.blocks):
+            term = block.terminator
+            if term is None or term.opcode is not Opcode.JCC:
+                continue
+            target = term.operands[0]
+            if not isinstance(target, Label):
+                raise RewriteError(f"unsymbolized branch target in {func.name}: {term}")
+            if index + 1 >= len(func.blocks):
+                raise RewriteError(
+                    f"conditional branch at end of function {func.name!r} has no "
+                    "fall-through block"
+                )
+            fallthrough_label = func.blocks[index + 1].label
+
+            taken_label = self._spec_target(func, target.name, to_shadow)
+            not_taken_label = self._spec_target(func, fallthrough_label, to_shadow)
+
+            tramp_label = f".Ltramp{SHADOW_SUFFIX}_{trampoline_home.name}_{self._counter}"
+            self._counter += 1
+            trampoline = BasicBlock(
+                label=tramp_label,
+                instructions=[
+                    Instruction(Opcode.TRAMP_JCC, [Label(not_taken_label)], cc=term.cc),
+                    Instruction(Opcode.JMP, [Label(taken_label)]),
+                ],
+                successors=[],
+            )
+            new_trampolines.append(trampoline)
+
+            checkpoint_target = (
+                tramp_label
+                if trampoline_home is func
+                else f"{trampoline_home.name}::{tramp_label}"
+            )
+            checkpoint = Instruction(Opcode.CHECKPOINT, [Label(checkpoint_target)])
+            block.instructions.insert(len(block.instructions) - 1, checkpoint)
+            self.bump("checkpoints_inserted")
+            self.bump("trampolines_created")
+        trampoline_home.blocks.extend(new_trampolines)
+
+    def _spec_target(self, func: IRFunction, label: str, to_shadow: bool) -> str:
+        """Shadow-copy label corresponding to ``label`` of ``func``."""
+        if not to_shadow:
+            return label
+        shadow_label = shadow_name(label)
+        return f"{shadow_name(func.name)}::{shadow_label}"

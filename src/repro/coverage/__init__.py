@@ -1,0 +1,5 @@
+"""Coverage tracking (the SanitizerCoverage stand-in, paper §6.3)."""
+
+from repro.coverage.sancov import CoverageMap, CoverageRuntime
+
+__all__ = ["CoverageMap", "CoverageRuntime"]

@@ -1,0 +1,30 @@
+"""Disassembly and IR recovery for TELF binaries.
+
+Plays the role of Datalog Disassembly + GTIRB in the paper: it takes an
+opaque :class:`~repro.loader.binary_format.TelfBinary`, decodes the text
+section, recovers functions, basic blocks and a control-flow graph, and
+*symbolizes* the result — absolute addresses embedded in instructions and
+data are turned back into symbolic references so the rewriter can insert
+instrumentation and re-layout the program freely.
+
+The recovered IR (:class:`Module` → :class:`IRFunction` →
+:class:`BasicBlock`) is the representation every rewriting pass in
+:mod:`repro.core`, :mod:`repro.baselines` and :mod:`repro.rewriting`
+operates on.
+"""
+
+from repro.disasm.ir import BasicBlock, IRFunction, Module
+from repro.disasm.disassembler import Disassembler, DisassemblyError, disassemble
+from repro.disasm.printer import format_block, format_function, format_module
+
+__all__ = [
+    "BasicBlock",
+    "IRFunction",
+    "Module",
+    "Disassembler",
+    "DisassemblyError",
+    "disassemble",
+    "format_block",
+    "format_function",
+    "format_module",
+]

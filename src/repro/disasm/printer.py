@@ -1,0 +1,57 @@
+"""Human-readable assembly listings of IR modules.
+
+Used by examples, error messages and debugging; the output format is purely
+informational (the assembler consumes the programmatic IR, not this text).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.disasm.ir import BasicBlock, IRFunction, Module
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    """Format one basic block as an assembly listing."""
+    lines: List[str] = []
+    flags = []
+    if block.address_taken:
+        flags.append("address-taken")
+    if block.is_return_site:
+        flags.append("return-site")
+    suffix = f"  ; {', '.join(flags)}" if flags else ""
+    addr = f" @ {block.address:#x}" if block.address is not None else ""
+    lines.append(f"{block.label}:{addr}{suffix}")
+    for instr in block.instructions:
+        lines.append(f"{indent}{instr}")
+    if block.successors:
+        lines.append(f"{indent}; successors: {', '.join(block.successors)}")
+    return "\n".join(lines)
+
+
+def format_function(func: IRFunction) -> str:
+    """Format a whole function as an assembly listing."""
+    header = f"function {func.name}"
+    if func.address is not None:
+        header += f" @ {func.address:#x}"
+    parts = [header + ":"]
+    parts.extend(format_block(blk) for blk in func.blocks)
+    return "\n".join(parts)
+
+
+def format_module(module: Module) -> str:
+    """Format a whole module (functions followed by data objects)."""
+    parts = [format_function(func) for func in module.functions]
+    if module.data_objects:
+        parts.append("")
+        for obj in module.data_objects:
+            preview = obj.data[:16].hex()
+            ellipsis = "..." if len(obj.data) > 16 else ""
+            parts.append(
+                f"{obj.section} {obj.name}: {obj.size} bytes [{preview}{ellipsis}] "
+                f"pointer_slots={len(obj.pointer_slots)}"
+            )
+    if module.imports:
+        parts.append("")
+        parts.append("imports: " + ", ".join(module.imports))
+    return "\n".join(parts)

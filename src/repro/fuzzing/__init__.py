@@ -1,0 +1,14 @@
+"""Coverage-guided fuzzing (the honggfuzz stand-in of the paper's Figure 3)."""
+
+from repro.fuzzing.corpus import Corpus, CorpusEntry
+from repro.fuzzing.mutators import Mutator
+from repro.fuzzing.fuzzer import CampaignResult, Fuzzer, FuzzTarget
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "Mutator",
+    "CampaignResult",
+    "Fuzzer",
+    "FuzzTarget",
+]

@@ -1,0 +1,56 @@
+"""Fuzzing corpus: interesting inputs kept for further mutation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CorpusEntry:
+    """One saved input and the coverage it achieved when first executed."""
+
+    data: bytes
+    normal_coverage: int = 0
+    speculative_coverage: int = 0
+    executions: int = 0
+
+    @property
+    def coverage_signature(self) -> Tuple[int, int]:
+        """(normal, speculative) coverage sizes when the entry was added."""
+        return (self.normal_coverage, self.speculative_coverage)
+
+
+class Corpus:
+    """A deduplicated pool of interesting inputs."""
+
+    def __init__(self, seeds: Optional[List[bytes]] = None) -> None:
+        self.entries: List[CorpusEntry] = []
+        self._seen = set()
+        for seed in seeds or []:
+            self.add(seed, 0, 0)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, data: bytes, normal_coverage: int, speculative_coverage: int) -> bool:
+        """Add an input if it is not already present; returns ``True`` if added."""
+        if data in self._seen:
+            return False
+        self._seen.add(data)
+        self.entries.append(
+            CorpusEntry(data, normal_coverage, speculative_coverage)
+        )
+        return True
+
+    def select(self, index: int) -> CorpusEntry:
+        """Pick an entry for mutation (round-robin by index)."""
+        if not self.entries:
+            raise IndexError("corpus is empty")
+        entry = self.entries[index % len(self.entries)]
+        entry.executions += 1
+        return entry
+
+    def total_bytes(self) -> int:
+        """Total size of all stored inputs."""
+        return sum(len(e.data) for e in self.entries)

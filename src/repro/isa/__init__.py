@@ -1,0 +1,96 @@
+"""TVM: the synthetic 64-bit instruction set used as the binary substrate.
+
+The paper operates on x86-64 ELF binaries.  This reproduction substitutes a
+compact RISC-ish ISA ("TVM") that preserves every property Teapot's analysis
+depends on:
+
+* conditional branches with x86-like condition codes (mispredictable),
+* loads and stores with ``base + index*scale + disp`` addressing and
+  1/2/4/8-byte access widths,
+* direct and indirect calls/jumps, returns, and a stack/frame ABI,
+* a flat byte-addressed virtual address space,
+* a byte-level encoding so binaries really are byte blobs that must be
+  disassembled before they can be rewritten.
+
+The package is organised as:
+
+``registers``
+    architectural register file and calling convention.
+``operands``
+    operand model (registers, immediates, memory addressing, labels).
+``instructions``
+    the instruction class, mnemonic tables and semantic metadata.
+``encoding``
+    byte encoder/decoder for instructions.
+``assembler``
+    two-pass assembler turning assembly-level functions into a ``TELF``
+    binary (see :mod:`repro.loader`).
+``builder``
+    a programmatic assembly builder used by the mini-C code generator and
+    by hand-written fixtures.
+"""
+
+from repro.isa.registers import (
+    Register,
+    GPR_NAMES,
+    ARG_REGISTERS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    RETURN_REGISTER,
+    STACK_POINTER,
+    FRAME_POINTER,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.instructions import (
+    ConditionCode,
+    Instruction,
+    Opcode,
+    is_branch,
+    is_call,
+    is_conditional_branch,
+    is_control_flow,
+    is_indirect_control_flow,
+    is_load,
+    is_memory_access,
+    is_pseudo,
+    is_serializing,
+    is_store,
+)
+from repro.isa.encoding import decode_instruction, encode_instruction
+from repro.isa.assembler import AsmFunction, AsmProgram, Assembler, AssemblerError
+from repro.isa.builder import FunctionBuilder
+
+__all__ = [
+    "Register",
+    "GPR_NAMES",
+    "ARG_REGISTERS",
+    "CALLEE_SAVED",
+    "CALLER_SAVED",
+    "RETURN_REGISTER",
+    "STACK_POINTER",
+    "FRAME_POINTER",
+    "Imm",
+    "Label",
+    "Mem",
+    "Reg",
+    "ConditionCode",
+    "Instruction",
+    "Opcode",
+    "is_branch",
+    "is_call",
+    "is_conditional_branch",
+    "is_control_flow",
+    "is_indirect_control_flow",
+    "is_load",
+    "is_memory_access",
+    "is_pseudo",
+    "is_serializing",
+    "is_store",
+    "decode_instruction",
+    "encode_instruction",
+    "AsmFunction",
+    "AsmProgram",
+    "Assembler",
+    "AssemblerError",
+    "FunctionBuilder",
+]

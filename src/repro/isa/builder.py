@@ -1,0 +1,249 @@
+"""Programmatic assembly builder.
+
+:class:`FunctionBuilder` offers a fluent interface for emitting TVM
+assembly.  It is used by the mini-C code generator, by the instrumentation
+passes when they synthesise helper code (e.g. trampolines), and by test
+fixtures that need small hand-written functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Union
+
+from repro.isa import instructions as ins
+from repro.isa.assembler import AsmFunction
+from repro.isa.instructions import ConditionCode, Instruction, Opcode
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+
+
+class FunctionBuilder:
+    """Builds an :class:`~repro.isa.assembler.AsmFunction` incrementally."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.items: List[Union[str, Instruction]] = []
+        self._label_counter = itertools.count()
+
+    # -- structural ------------------------------------------------------------
+    def build(self) -> AsmFunction:
+        """Finish and return the assembled function body."""
+        return AsmFunction(self.name, list(self.items))
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append an already-constructed instruction."""
+        self.items.append(instr)
+        return instr
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Place (and return) a local label; a unique name is generated if omitted."""
+        if name is None:
+            name = self.fresh_label()
+        self.items.append(name)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique local label name without placing it."""
+        return f".{hint}{self.name}_{next(self._label_counter)}"
+
+    # -- data movement ---------------------------------------------------------
+    def mov(self, dst, src) -> Instruction:
+        """``mov dst, src``."""
+        return self.emit(ins.mov(_reg(dst), src))
+
+    def load(self, dst, mem: Mem, size: int = 8) -> Instruction:
+        """``load.<size> dst, [mem]``."""
+        return self.emit(ins.load(_reg(dst), mem, size=size))
+
+    def store(self, mem: Mem, src, size: int = 8) -> Instruction:
+        """``store.<size> [mem], src``."""
+        return self.emit(ins.store(mem, src, size=size))
+
+    def lea(self, dst, mem: Mem) -> Instruction:
+        """``lea dst, [mem]``."""
+        return self.emit(ins.lea(_reg(dst), mem))
+
+    def push(self, src) -> Instruction:
+        """``push src``."""
+        return self.emit(ins.push(src))
+
+    def pop(self, dst) -> Instruction:
+        """``pop dst``."""
+        return self.emit(ins.pop(_reg(dst)))
+
+    # -- ALU ----------------------------------------------------------------------
+    def add(self, dst, src) -> Instruction:
+        """``add dst, src``."""
+        return self.emit(ins.alu(Opcode.ADD, _reg(dst), src))
+
+    def sub(self, dst, src) -> Instruction:
+        """``sub dst, src``."""
+        return self.emit(ins.alu(Opcode.SUB, _reg(dst), src))
+
+    def mul(self, dst, src) -> Instruction:
+        """``mul dst, src``."""
+        return self.emit(ins.alu(Opcode.MUL, _reg(dst), src))
+
+    def div(self, dst, src) -> Instruction:
+        """``div dst, src``."""
+        return self.emit(ins.alu(Opcode.DIV, _reg(dst), src))
+
+    def mod(self, dst, src) -> Instruction:
+        """``mod dst, src``."""
+        return self.emit(ins.alu(Opcode.MOD, _reg(dst), src))
+
+    def and_(self, dst, src) -> Instruction:
+        """``and dst, src``."""
+        return self.emit(ins.alu(Opcode.AND, _reg(dst), src))
+
+    def or_(self, dst, src) -> Instruction:
+        """``or dst, src``."""
+        return self.emit(ins.alu(Opcode.OR, _reg(dst), src))
+
+    def xor(self, dst, src) -> Instruction:
+        """``xor dst, src``."""
+        return self.emit(ins.alu(Opcode.XOR, _reg(dst), src))
+
+    def shl(self, dst, src) -> Instruction:
+        """``shl dst, src``."""
+        return self.emit(ins.alu(Opcode.SHL, _reg(dst), src))
+
+    def shr(self, dst, src) -> Instruction:
+        """``shr dst, src``."""
+        return self.emit(ins.alu(Opcode.SHR, _reg(dst), src))
+
+    def sar(self, dst, src) -> Instruction:
+        """``sar dst, src``."""
+        return self.emit(ins.alu(Opcode.SAR, _reg(dst), src))
+
+    def neg(self, dst) -> Instruction:
+        """``neg dst``."""
+        return self.emit(ins.alu(Opcode.NEG, _reg(dst), None))
+
+    def not_(self, dst) -> Instruction:
+        """``not dst``."""
+        return self.emit(ins.alu(Opcode.NOT, _reg(dst), None))
+
+    # -- compares and branches -------------------------------------------------------
+    def cmp(self, a, b) -> Instruction:
+        """``cmp a, b``."""
+        return self.emit(ins.cmp(_operand(a), b))
+
+    def test(self, a, b) -> Instruction:
+        """``test a, b``."""
+        return self.emit(ins.test(_operand(a), b))
+
+    def jmp(self, target) -> Instruction:
+        """``jmp target``."""
+        return self.emit(ins.jmp(target))
+
+    def jcc(self, cc: ConditionCode, target) -> Instruction:
+        """``j<cc> target``."""
+        return self.emit(ins.jcc(cc, target))
+
+    def je(self, target) -> Instruction:
+        """``je target``."""
+        return self.jcc(ConditionCode.EQ, target)
+
+    def jne(self, target) -> Instruction:
+        """``jne target``."""
+        return self.jcc(ConditionCode.NE, target)
+
+    def jl(self, target) -> Instruction:
+        """``jl target``."""
+        return self.jcc(ConditionCode.LT, target)
+
+    def jle(self, target) -> Instruction:
+        """``jle target``."""
+        return self.jcc(ConditionCode.LE, target)
+
+    def jg(self, target) -> Instruction:
+        """``jg target``."""
+        return self.jcc(ConditionCode.GT, target)
+
+    def jge(self, target) -> Instruction:
+        """``jge target``."""
+        return self.jcc(ConditionCode.GE, target)
+
+    def jb(self, target) -> Instruction:
+        """``jb target`` (unsigned below)."""
+        return self.jcc(ConditionCode.B, target)
+
+    def jae(self, target) -> Instruction:
+        """``jae target`` (unsigned at-or-above)."""
+        return self.jcc(ConditionCode.AE, target)
+
+    def ja(self, target) -> Instruction:
+        """``ja target`` (unsigned above)."""
+        return self.jcc(ConditionCode.A, target)
+
+    def jbe(self, target) -> Instruction:
+        """``jbe target`` (unsigned below-or-equal)."""
+        return self.jcc(ConditionCode.BE, target)
+
+    # -- calls ---------------------------------------------------------------------------
+    def call(self, target) -> Instruction:
+        """``call target`` (direct call to a defined function)."""
+        return self.emit(ins.call(target))
+
+    def icall(self, target) -> Instruction:
+        """``icall reg`` (indirect call)."""
+        return self.emit(ins.icall(_reg(target)))
+
+    def ijmp(self, target) -> Instruction:
+        """``ijmp reg|[mem]`` (indirect jump)."""
+        return self.emit(ins.ijmp(target if isinstance(target, Mem) else _reg(target)))
+
+    def ret(self) -> Instruction:
+        """``ret``."""
+        return self.emit(ins.ret())
+
+    def ecall(self, name: str) -> Instruction:
+        """``ecall name`` (call an external runtime function)."""
+        return self.emit(ins.ecall(name))
+
+    # -- misc ----------------------------------------------------------------------------
+    def nop(self) -> Instruction:
+        """``nop``."""
+        return self.emit(ins.nop())
+
+    def lfence(self) -> Instruction:
+        """``lfence``."""
+        return self.emit(ins.lfence())
+
+    def halt(self) -> Instruction:
+        """``halt``."""
+        return self.emit(ins.halt())
+
+    # -- common idioms ----------------------------------------------------------------------
+    def prologue(self, frame_size: int = 0) -> None:
+        """Emit a standard prologue: save fp, set up the frame, reserve space."""
+        self.push(Reg(Register.FP))
+        self.mov(Reg(Register.FP), Reg(Register.SP))
+        if frame_size:
+            self.sub(Reg(Register.SP), Imm(frame_size))
+
+    def epilogue(self) -> None:
+        """Emit a standard epilogue: tear down the frame and return."""
+        self.mov(Reg(Register.SP), Reg(Register.FP))
+        self.pop(Reg(Register.FP))
+        self.ret()
+
+
+def _reg(value) -> Reg:
+    if isinstance(value, Reg):
+        return value
+    if isinstance(value, Register):
+        return Reg(value)
+    raise TypeError(f"expected a register, got {value!r}")
+
+
+def _operand(value):
+    if isinstance(value, (Reg, Imm, Mem, Label)):
+        return value
+    if isinstance(value, Register):
+        return Reg(value)
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Imm(value)
+    raise TypeError(f"cannot convert {value!r} to an operand")

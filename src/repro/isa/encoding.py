@@ -1,0 +1,194 @@
+"""Byte-level encoding and decoding of TVM instructions.
+
+The encoding is a simple self-describing variable-length format:
+
+``[opcode:1] [info:1] [noperands:1] (operand)*``
+
+where ``info`` packs the access-size (2 bits, log2 of 1/2/4/8) and the
+condition code (4 bits; ``0xF`` means "no condition code"), and each operand
+is a one-byte tag followed by a fixed payload:
+
+* ``0x01`` register — 1 byte register number.
+* ``0x02`` immediate — 8 bytes signed little-endian.
+* ``0x03`` memory — 1 flag byte (bit0: has base, bit1: has index,
+  bits 2-3: log2(scale)), optional base byte, optional index byte,
+  8-byte signed displacement.
+
+Symbolic :class:`~repro.isa.operands.Label` operands cannot be encoded; the
+assembler resolves them to immediates (and records relocations in the binary
+so the disassembler's symbolization pass can recover them).  Attempting to
+encode an unresolved label raises :class:`EncodingError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.isa.instructions import ConditionCode, Instruction, Opcode
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+#: Stable opcode numbering used by the byte encoding.
+_OPCODE_LIST = list(Opcode)
+_OPCODE_TO_ID = {op: i for i, op in enumerate(_OPCODE_LIST)}
+_ID_TO_OPCODE = {i: op for i, op in enumerate(_OPCODE_LIST)}
+
+_CC_LIST = list(ConditionCode)
+_CC_TO_ID = {cc: i for i, cc in enumerate(_CC_LIST)}
+_ID_TO_CC = {i: cc for i, cc in enumerate(_CC_LIST)}
+_NO_CC = 0xF
+
+_TAG_REG = 0x01
+_TAG_IMM = 0x02
+_TAG_MEM = 0x03
+
+_SIZE_TO_BITS = {1: 0, 2: 1, 4: 2, 8: 3}
+_BITS_TO_SIZE = {v: k for k, v in _SIZE_TO_BITS.items()}
+
+#: Two's-complement mask for 64-bit values.
+MASK64 = (1 << 64) - 1
+
+
+def _to_signed64(value: int) -> int:
+    value &= MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode a single instruction to bytes.
+
+    Raises:
+        EncodingError: if the instruction still contains symbolic labels.
+    """
+    out = bytearray()
+    out.append(_OPCODE_TO_ID[instr.opcode])
+    cc_bits = _CC_TO_ID[instr.cc] if instr.cc is not None else _NO_CC
+    info = _SIZE_TO_BITS[instr.size] | (cc_bits << 2)
+    out.append(info)
+    out.append(len(instr.operands))
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            out.append(_TAG_REG)
+            out.append(int(op.reg))
+        elif isinstance(op, Imm):
+            out.append(_TAG_IMM)
+            out += struct.pack("<q", _to_signed64(op.value))
+        elif isinstance(op, Mem):
+            if isinstance(op.disp, Label):
+                raise EncodingError(
+                    f"cannot encode unresolved label {op.disp} in {instr}"
+                )
+            out.append(_TAG_MEM)
+            flags = 0
+            if op.base is not None:
+                flags |= 0x01
+            if op.index is not None:
+                flags |= 0x02
+            flags |= _SIZE_TO_BITS[op.scale] << 2
+            out.append(flags)
+            if op.base is not None:
+                out.append(int(op.base))
+            if op.index is not None:
+                out.append(int(op.index))
+            out += struct.pack("<q", _to_signed64(op.disp))
+        elif isinstance(op, Label):
+            raise EncodingError(f"cannot encode unresolved label {op} in {instr}")
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"unsupported operand {op!r}")
+    return bytes(out)
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction from ``data`` starting at ``offset``.
+
+    Returns:
+        ``(instruction, length)`` where ``length`` is the number of bytes
+        consumed.  The returned instruction's ``length`` field is populated.
+
+    Raises:
+        EncodingError: on truncated or malformed input.
+    """
+    start = offset
+    try:
+        opcode_id = data[offset]
+        info = data[offset + 1]
+        noperands = data[offset + 2]
+    except IndexError as exc:
+        raise EncodingError(f"truncated instruction at offset {start}") from exc
+    if opcode_id not in _ID_TO_OPCODE:
+        raise EncodingError(f"unknown opcode id {opcode_id} at offset {start}")
+    opcode = _ID_TO_OPCODE[opcode_id]
+    size = _BITS_TO_SIZE[info & 0x3]
+    cc_bits = (info >> 2) & 0xF
+    cc = None if cc_bits == _NO_CC else _ID_TO_CC.get(cc_bits)
+    offset += 3
+
+    operands = []
+    for _ in range(noperands):
+        if offset >= len(data):
+            raise EncodingError(f"truncated operand list at offset {start}")
+        tag = data[offset]
+        offset += 1
+        try:
+            if tag == _TAG_REG:
+                operands.append(Reg(Register(data[offset])))
+                offset += 1
+            elif tag == _TAG_IMM:
+                (value,) = struct.unpack_from("<q", data, offset)
+                operands.append(Imm(value))
+                offset += 8
+            elif tag == _TAG_MEM:
+                flags = data[offset]
+                offset += 1
+                base = None
+                index = None
+                if flags & 0x01:
+                    base = Register(data[offset])
+                    offset += 1
+                if flags & 0x02:
+                    index = Register(data[offset])
+                    offset += 1
+                scale = _BITS_TO_SIZE[(flags >> 2) & 0x3]
+                (disp,) = struct.unpack_from("<q", data, offset)
+                offset += 8
+                operands.append(Mem(base=base, index=index, scale=scale, disp=disp))
+            else:
+                raise EncodingError(f"unknown operand tag {tag:#x} at offset {start}")
+        except (IndexError, struct.error) as exc:
+            raise EncodingError(f"truncated operand at offset {start}") from exc
+
+    length = offset - start
+    instr = Instruction(opcode, operands, size=size, cc=cc, length=length)
+    return instr, length
+
+
+def encoded_length(instr: Instruction) -> int:
+    """Length in bytes ``instr`` will occupy once encoded.
+
+    Symbolic labels are assumed to resolve to 8-byte immediates (which they
+    always do), so this is usable for layout before label resolution.
+    """
+    length = 3
+    for op in instr.operands:
+        if isinstance(op, Reg):
+            length += 2
+        elif isinstance(op, (Imm, Label)):
+            length += 9
+        elif isinstance(op, Mem):
+            length += 2  # tag + flags
+            if op.base is not None:
+                length += 1
+            if op.index is not None:
+                length += 1
+            length += 8
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"unsupported operand {op!r}")
+    return length

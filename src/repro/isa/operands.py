@@ -1,0 +1,158 @@
+"""Operand model of the TVM ISA.
+
+Instructions reference four kinds of operands:
+
+:class:`Reg`
+    a general-purpose register.
+:class:`Imm`
+    a 64-bit signed immediate constant.
+:class:`Mem`
+    a memory reference with the x86-style effective address
+    ``base + index * scale + disp``.
+:class:`Label`
+    a symbolic code or data reference.  Labels exist at the assembly level;
+    the assembler resolves them to absolute addresses before encoding, and
+    the disassembler re-introduces them during symbolization so the rewriter
+    can re-layout code freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    reg: Register
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.reg, Register):
+            object.__setattr__(self, "reg", Register(self.reg))
+
+    def __str__(self) -> str:
+        return self.reg.asm_name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 64-bit signed immediate operand.
+
+    Values are stored as Python ints and wrapped to 64-bit two's complement
+    by the encoder and by the emulator's arithmetic.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise TypeError(f"immediate must be an int, got {type(self.value).__name__}")
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic reference to a code or data location.
+
+    ``name`` is the symbol name; an optional ``addend`` produces references
+    of the form ``symbol + constant`` (used for field accesses into global
+    objects and for jump-table entries).
+    """
+
+    name: str
+    addend: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("label name must be non-empty")
+
+    def with_addend(self, delta: int) -> "Label":
+        """Return a copy of this label with ``delta`` added to the addend."""
+        return Label(self.name, self.addend + delta)
+
+    def __str__(self) -> str:
+        if self.addend:
+            sign = "+" if self.addend >= 0 else "-"
+            return f"{self.name}{sign}{abs(self.addend)}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]``.
+
+    Any of the components may be omitted.  ``disp`` may alternatively be a
+    :class:`Label`, in which case the assembler resolves it to the symbol's
+    absolute address (this is how globals are addressed).
+    """
+
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale: int = 1
+    disp: Union[int, Label] = 0
+
+    def __post_init__(self) -> None:
+        if self.base is not None and not isinstance(self.base, Register):
+            object.__setattr__(self, "base", Register(self.base))
+        if self.index is not None and not isinstance(self.index, Register):
+            object.__setattr__(self, "index", Register(self.index))
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"scale must be 1, 2, 4 or 8, got {self.scale}")
+        if not isinstance(self.disp, (int, Label)) or isinstance(self.disp, bool):
+            raise TypeError("disp must be an int or a Label")
+
+    @property
+    def is_frame_relative_constant(self) -> bool:
+        """Whether this is an ``sp``/``fp`` + constant access with no index.
+
+        These accesses are allowlisted from ASan checks (paper §6.2.1).
+        """
+        return (
+            self.base is not None
+            and self.base.is_frame_relative
+            and self.index is None
+            and isinstance(self.disp, int)
+        )
+
+    @property
+    def has_symbolic_disp(self) -> bool:
+        """Whether the displacement is a symbolic label."""
+        return isinstance(self.disp, Label)
+
+    def registers(self) -> tuple:
+        """All registers participating in the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+    def with_disp(self, disp: Union[int, Label]) -> "Mem":
+        """Return a copy of this operand with a different displacement."""
+        return Mem(self.base, self.index, self.scale, disp)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.asm_name)
+        if self.index is not None:
+            if self.scale != 1:
+                parts.append(f"{self.index.asm_name}*{self.scale}")
+            else:
+                parts.append(self.index.asm_name)
+        if isinstance(self.disp, Label):
+            parts.append(str(self.disp))
+        elif self.disp or not parts:
+            parts.append(str(self.disp))
+        return "[" + " + ".join(parts) + "]"
+
+
+#: Union type of everything that can appear as an instruction operand.
+Operand = Union[Reg, Imm, Mem, Label]

@@ -1,0 +1,54 @@
+"""TELF: the binary container format for TVM programs.
+
+Plays the role of x86-64 Linux ELF in the paper.  A :class:`TelfBinary`
+carries:
+
+* raw section bytes (``.text``, ``.rodata``, ``.data``) placed at fixed
+  virtual addresses (see :mod:`repro.loader.layout`),
+* a symbol table (function and data-object symbols with sizes),
+* an import table naming the external runtime functions the program calls
+  (``malloc``, ``fread`` ... — the stand-ins for uninstrumented libc),
+* a relocation table recording where code/data pointers are materialised,
+  which the disassembler's symbolization pass consumes,
+* the entry symbol.
+
+Binaries can be serialised to and parsed from a compact binary file format
+(magic ``TELF``), so the full pipeline — compile, write to disk, load the
+"COTS" artefact, disassemble, rewrite, re-serialise — is exercised end to
+end.
+"""
+
+from repro.loader.layout import MemoryLayout, DEFAULT_LAYOUT
+from repro.loader.binary_format import (
+    DataObject,
+    Relocation,
+    RelocationKind,
+    Section,
+    Symbol,
+    SymbolKind,
+    TelfBinary,
+)
+from repro.loader.serialize import (
+    TelfFormatError,
+    load_binary,
+    loads_binary,
+    save_binary,
+    dumps_binary,
+)
+
+__all__ = [
+    "MemoryLayout",
+    "DEFAULT_LAYOUT",
+    "DataObject",
+    "Relocation",
+    "RelocationKind",
+    "Section",
+    "Symbol",
+    "SymbolKind",
+    "TelfBinary",
+    "TelfFormatError",
+    "load_binary",
+    "loads_binary",
+    "save_binary",
+    "dumps_binary",
+]

@@ -1,0 +1,49 @@
+"""mini-C: a small C-like language compiled to TVM binaries.
+
+The paper's workloads are real C libraries compiled with clang; Teapot never
+sees their source.  This package plays the role of that C toolchain: the
+five workload programs (:mod:`repro.targets`) are written in mini-C,
+compiled to TELF binaries by this compiler, and only the resulting *binary*
+is handed to Teapot and the baselines.
+
+The language is deliberately small but expressive enough for parsers and
+decompressors:
+
+* 64-bit integers, byte pointers and fixed-size global/local byte and word
+  arrays;
+* functions with parameters and locals, ``if``/``else``, ``while``,
+  ``for``, ``break``/``continue``, ``return``, ``switch``;
+* the usual expression operators, array indexing and calls (to other
+  mini-C functions or to the runtime externals such as ``read_input``,
+  ``malloc`` and ``memcpy``);
+* function pointers through ``&name`` and indirect calls, enough to
+  exercise Teapot's control-flow-escape handling.
+
+``switch`` statements can be lowered either as a **compare-and-branch
+chain** (what GCC tends to emit, Spectre-V1 vulnerable) or as a **jump
+table** (what Clang tends to emit, not vulnerable) — reproducing the
+paper's Figure 2 argument about compiler-dependent gadget existence.
+"""
+
+from repro.minic.lexer import Lexer, LexerError, Token, TokenKind
+from repro.minic import astnodes as nodes
+from repro.minic.parser import ParseError, Parser, parse_source
+from repro.minic.codegen import CodegenError, CodeGenerator, CompilerOptions, SwitchLowering
+from repro.minic.compiler import compile_source, compile_to_module
+
+__all__ = [
+    "Lexer",
+    "LexerError",
+    "Token",
+    "TokenKind",
+    "nodes",
+    "ParseError",
+    "Parser",
+    "parse_source",
+    "CodegenError",
+    "CodeGenerator",
+    "CompilerOptions",
+    "SwitchLowering",
+    "compile_source",
+    "compile_to_module",
+]

@@ -1,0 +1,34 @@
+"""Compiler driver: mini-C source to a TELF binary."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.assembler import AsmProgram, Assembler
+from repro.loader.binary_format import TelfBinary
+from repro.loader.layout import MemoryLayout
+from repro.minic.codegen import CodeGenerator, CompilerOptions
+from repro.minic.parser import parse_source
+
+
+def compile_to_module(source: str,
+                      options: Optional[CompilerOptions] = None) -> AsmProgram:
+    """Compile mini-C source to an assembly-level program (pre-layout)."""
+    program = parse_source(source)
+    generator = CodeGenerator(program, options)
+    return generator.generate()
+
+
+def compile_source(
+    source: str,
+    options: Optional[CompilerOptions] = None,
+    layout: Optional[MemoryLayout] = None,
+) -> TelfBinary:
+    """Compile mini-C source all the way to a TELF binary image.
+
+    This is the analogue of running the paper's clang toolchain: the result
+    is the "COTS binary" the rest of the pipeline works with — Teapot and
+    the baselines never see the source.
+    """
+    asm_program = compile_to_module(source, options)
+    return Assembler(layout).assemble(asm_program)

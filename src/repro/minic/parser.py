@@ -1,0 +1,482 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.minic import astnodes as ast
+from repro.minic.lexer import Lexer, Token, TokenKind
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid mini-C source."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (line {token.line}, near {token.text!r})")
+        self.token = token
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse mini-C source text into an AST."""
+    return Parser(Lexer(source).tokenize()).parse_program()
+
+
+class Parser:
+    """Token-stream parser producing :mod:`repro.minic.astnodes` trees."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}", token)
+        return self._advance()
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(text):
+            raise ParseError(f"expected keyword {text!r}", token)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError("expected identifier", token)
+        return self._advance()
+
+    # -- grammar: top level ------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        """Parse a whole translation unit."""
+        program = ast.Program()
+        while self._peek().kind is not TokenKind.EOF:
+            self._accept_keyword("global")
+            ctype, name, line = self._parse_declarator()
+            if self._peek().is_punct("("):
+                program.functions.append(self._parse_function(ctype, name, line))
+            else:
+                program.globals.append(self._parse_global(ctype, name, line))
+        return program
+
+    def _parse_type(self) -> ast.CType:
+        token = self._peek()
+        if token.is_keyword("int"):
+            base = "int"
+        elif token.is_keyword("byte"):
+            base = "byte"
+        elif token.is_keyword("void"):
+            base = "void"
+        else:
+            raise ParseError("expected a type", token)
+        self._advance()
+        pointer = self._accept_punct("*")
+        return ast.CType(base, pointer=pointer)
+
+    def _parse_declarator(self):
+        """Parse ``type [*] name`` and an optional array suffix."""
+        ctype = self._parse_type()
+        name_token = self._expect_ident()
+        if self._accept_punct("["):
+            size_token = self._peek()
+            if size_token.kind is not TokenKind.NUMBER:
+                raise ParseError("expected array size", size_token)
+            self._advance()
+            self._expect_punct("]")
+            ctype = ast.CType(ctype.base, pointer=ctype.pointer,
+                              array_size=size_token.value)
+        return ctype, name_token.text, name_token.line
+
+    def _parse_function(self, return_type: ast.CType, name: str, line: int) -> ast.FunctionDecl:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+                    self._advance()
+                    break
+                ptype = self._parse_type()
+                pname = self._expect_ident().text
+                params.append(ast.Param(ptype, pname))
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FunctionDecl(name=name, return_type=return_type,
+                                params=params, body=body, line=line)
+
+    def _parse_global(self, ctype: ast.CType, name: str, line: int) -> ast.GlobalDecl:
+        init: Union[None, int, List[int], bytes] = None
+        if self._accept_punct("="):
+            token = self._peek()
+            if token.is_punct("{"):
+                init = self._parse_initializer_list()
+            elif token.kind is TokenKind.STRING:
+                self._advance()
+                init = token.text.encode("latin-1")
+            else:
+                expr = self._parse_expression()
+                init = self._fold_constant(expr)
+        self._expect_punct(";")
+        return ast.GlobalDecl(ctype=ctype, name=name, init=init, line=line)
+
+    def _parse_initializer_list(self) -> List[int]:
+        self._expect_punct("{")
+        values: List[int] = []
+        if not self._peek().is_punct("}"):
+            while True:
+                expr = self._parse_expression()
+                values.append(self._fold_constant(expr))
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct("}")
+        return values
+
+    def _fold_constant(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Number):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._fold_constant(expr.operand)
+        if isinstance(expr, ast.Binary):
+            left = self._fold_constant(expr.left)
+            right = self._fold_constant(expr.right)
+            return _fold_binop(expr.op, left, right)
+        raise ParseError("global initialisers must be constant expressions",
+                         self._peek())
+
+    # -- grammar: statements --------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", open_token)
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements=statements, line=open_token.line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expression()
+            self._expect_punct(";")
+            return ast.Return(value=value, line=token.line)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue(line=token.line)
+        if token.kind is TokenKind.KEYWORD and token.text in ("int", "byte"):
+            return self._parse_var_decl()
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        line = self._peek().line
+        ctype, name, _ = self._parse_declarator()
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_expression()
+        self._expect_punct(";")
+        return ast.VarDecl(ctype=ctype, name=name, init=init, line=line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self._parse_statement()
+        return ast.If(cond=cond, then=then, otherwise=otherwise, line=token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(cond=cond, body=body, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            if self._peek().kind is TokenKind.KEYWORD and self._peek().text in ("int", "byte"):
+                init = self._parse_var_decl()
+            else:
+                expr = self._parse_expression()
+                self._expect_punct(";")
+                init = ast.ExprStmt(expr=expr, line=token.line)
+        else:
+            self._expect_punct(";")
+        cond = None
+        if not self._peek().is_punct(";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        step = None
+        if not self._peek().is_punct(")"):
+            step = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=token.line)
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._expect_keyword("switch")
+        self._expect_punct("(")
+        expr = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        default: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._accept_keyword("case"):
+                value_token = self._peek()
+                value = self._fold_constant(self._parse_expression())
+                self._expect_punct(":")
+                body = self._parse_case_body()
+                cases.append(ast.SwitchCase(value=value, body=body))
+            elif self._accept_keyword("default"):
+                self._expect_punct(":")
+                default = self._parse_case_body()
+            else:
+                raise ParseError("expected 'case' or 'default'", self._peek())
+        self._expect_punct("}")
+        return ast.Switch(expr=expr, cases=cases, default=default, line=token.line)
+
+    def _parse_case_body(self) -> List[ast.Stmt]:
+        statements: List[ast.Stmt] = []
+        while True:
+            token = self._peek()
+            if (token.is_keyword("case") or token.is_keyword("default")
+                    or token.is_punct("}")):
+                return statements
+            if token.is_keyword("break"):
+                self._advance()
+                self._expect_punct(";")
+                return statements
+            statements.append(self._parse_statement())
+
+    # -- grammar: expressions (precedence climbing) ------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_logical_or()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in self._ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(target=left, value=value, op=token.text, line=token.line)
+        return left
+
+    def _parse_logical_or(self) -> ast.Expr:
+        left = self._parse_logical_and()
+        while self._peek().is_punct("||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            left = ast.Binary(op="||", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_logical_and(self) -> ast.Expr:
+        left = self._parse_bitor()
+        while self._peek().is_punct("&&"):
+            token = self._advance()
+            right = self._parse_bitor()
+            left = ast.Binary(op="&&", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_bitor(self) -> ast.Expr:
+        left = self._parse_bitxor()
+        while self._peek().is_punct("|") and not self._peek().is_punct("||"):
+            token = self._advance()
+            right = self._parse_bitxor()
+            left = ast.Binary(op="|", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_bitxor(self) -> ast.Expr:
+        left = self._parse_bitand()
+        while self._peek().is_punct("^"):
+            token = self._advance()
+            right = self._parse_bitand()
+            left = ast.Binary(op="^", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_bitand(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._peek().is_punct("&") and not self._peek().is_punct("&&"):
+            token = self._advance()
+            right = self._parse_equality()
+            left = ast.Binary(op="&", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._peek().text in ("==", "!=") and self._peek().kind is TokenKind.PUNCT:
+            token = self._advance()
+            right = self._parse_relational()
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_shift()
+        while (self._peek().kind is TokenKind.PUNCT
+               and self._peek().text in ("<", ">", "<=", ">=")):
+            token = self._advance()
+            right = self._parse_shift()
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_shift(self) -> ast.Expr:
+        left = self._parse_additive()
+        while (self._peek().kind is TokenKind.PUNCT
+               and self._peek().text in ("<<", ">>")):
+            token = self._advance()
+            right = self._parse_additive()
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while (self._peek().kind is TokenKind.PUNCT
+               and self._peek().text in ("+", "-")):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while (self._peek().kind is TokenKind.PUNCT
+               and self._peek().text in ("*", "/", "%")):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                expr = ast.Call(callee=expr, args=args, line=token.line)
+            elif token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(base=expr, index=index, line=token.line)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._advance()
+                expr = ast.Unary(op=token.text, operand=expr, postfix=True,
+                                 line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Number(value=token.value, line=token.line)
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.Number(value=token.value, line=token.line)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.StringLit(value=token.text.encode("latin-1"), line=token.line)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Ident(name=token.text, line=token.line)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def _fold_binop(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return int(left / right)
+    if op == "%":
+        return left - int(left / right) * right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    raise ValueError(f"unsupported constant operator {op!r}")

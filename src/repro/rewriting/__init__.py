@@ -1,0 +1,24 @@
+"""Generic static binary rewriting framework.
+
+Provides the pass infrastructure shared by Teapot (:mod:`repro.core`) and
+the baselines (:mod:`repro.baselines`):
+
+* :class:`RewritePass` / :class:`PassManager` — ordered IR-to-IR passes with
+  per-pass statistics,
+* :mod:`repro.rewriting.reassemble` — turning a (rewritten) IR module back
+  into an :class:`~repro.isa.assembler.AsmProgram` and a fresh TELF binary,
+  completing the reassembleable-disassembly loop,
+* small helper utilities for inserting instructions relative to existing
+  ones without invalidating block structure.
+"""
+
+from repro.rewriting.passes import PassManager, RewritePass, RewriteError
+from repro.rewriting.reassemble import module_to_asm_program, reassemble
+
+__all__ = [
+    "PassManager",
+    "RewritePass",
+    "RewriteError",
+    "module_to_asm_program",
+    "reassemble",
+]

@@ -1,0 +1,61 @@
+"""Pass infrastructure for IR-level binary rewriting.
+
+Both Teapot and the baseline rewriters are organised as ordered lists of
+:class:`RewritePass` objects run by a :class:`PassManager`.  A pass mutates
+the :class:`~repro.disasm.ir.Module` in place and may record statistics
+(instrumentation counts are reported by the examples and checked in tests).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.disasm.ir import Module
+
+
+class RewriteError(RuntimeError):
+    """Raised when a rewriting pass cannot be applied to a module."""
+
+
+class RewritePass(abc.ABC):
+    """Base class for IR rewriting passes."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+        #: Free-form counters filled in by :meth:`run`.
+        self.stats: Dict[str, int] = {}
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named statistic."""
+        self.stats[counter] = self.stats.get(counter, 0) + amount
+
+    @abc.abstractmethod
+    def run(self, module: Module) -> None:
+        """Apply the pass to ``module`` in place."""
+
+
+@dataclass
+class PassManager:
+    """Runs a fixed sequence of rewriting passes over a module."""
+
+    passes: List[RewritePass] = field(default_factory=list)
+
+    def add(self, rewrite_pass: RewritePass) -> "PassManager":
+        """Append a pass to the pipeline (fluent)."""
+        self.passes.append(rewrite_pass)
+        return self
+
+    def run(self, module: Module) -> Dict[str, Dict[str, int]]:
+        """Run every pass in order and return per-pass statistics."""
+        all_stats: Dict[str, Dict[str, int]] = {}
+        for rewrite_pass in self.passes:
+            rewrite_pass.stats = {}
+            rewrite_pass.run(module)
+            all_stats[rewrite_pass.name] = dict(rewrite_pass.stats)
+        return all_stats

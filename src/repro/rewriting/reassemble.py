@@ -1,0 +1,47 @@
+"""Reassembly: turning a (rewritten) IR module back into a TELF binary.
+
+This closes the reassembleable-disassembly loop (paper §5.2): the rewriter
+can freely insert instrumentation, duplicate functions and re-order blocks,
+because every code/data reference in the IR is symbolic; the reassembler
+re-lays everything out and produces a fresh binary image.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.disasm.ir import Module
+from repro.isa.assembler import AsmFunction, AsmProgram, Assembler
+from repro.loader.binary_format import TelfBinary
+from repro.loader.layout import MemoryLayout
+
+
+def module_to_asm_program(module: Module) -> AsmProgram:
+    """Lower an IR module to an assembly-level program.
+
+    Block labels become local labels placed at the start of each block, and
+    blocks are emitted in layout order so fall-through edges keep working.
+    The imports list is carried over verbatim (preserving import indices),
+    as are data objects (including their pointer slots) and the entry.
+    """
+    program = AsmProgram(
+        entry=module.entry,
+        extra_imports=list(module.imports),
+        metadata=dict(module.metadata),
+    )
+    for func in module.functions:
+        asm_func = AsmFunction(func.name)
+        for block in func.blocks:
+            asm_func.append(block.label)
+            for instr in block.instructions:
+                asm_func.append(instr)
+        program.add_function(asm_func)
+    for obj in module.data_objects:
+        program.add_data(obj)
+    return program
+
+
+def reassemble(module: Module, layout: Optional[MemoryLayout] = None) -> TelfBinary:
+    """Reassemble an IR module into a fresh TELF binary."""
+    assembler = Assembler(layout or module.layout)
+    return assembler.assemble(module_to_asm_program(module))

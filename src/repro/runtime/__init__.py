@@ -1,0 +1,64 @@
+"""TVM runtime: machine state, emulator, heap, externals and speculation.
+
+This package plays two roles from the paper at once:
+
+* the **CPU / OS substrate** that executes TVM binaries (register file,
+  flags, sparse virtual memory, stack, heap, "libc" externals), and
+* the **runtime support library** that Teapot's instrumentation calls into:
+  program-state checkpoints, the memory log, rollback, conditional and
+  unconditional restore points, the nested-speculation heuristics and the
+  signal-handler-equivalent exception handling (paper §6.1).
+
+Instrumentation pseudo-ops inserted by the rewriters are executed here; each
+carries a documented cycle cost (:mod:`repro.runtime.costs`) equal to the
+length of the assembly snippet the paper's runtime library would emit, so
+run-time comparisons between Teapot, SpecFuzz and SpecTaint reflect the same
+structural overheads the paper measures.
+"""
+
+from repro.runtime.errors import (
+    EmulationError,
+    MemoryFault,
+    ProgramCrash,
+    ProgramExit,
+)
+from repro.runtime.costs import CostModel, DEFAULT_COSTS
+from repro.runtime.machine import Flags, MachineState, Memory
+from repro.runtime.heap import Heap, HeapError
+from repro.runtime.externals import ExternalCall, ExternalRegistry, default_externals
+from repro.runtime.speculation import (
+    Checkpoint,
+    DisabledNestingPolicy,
+    NestedSpeculationPolicy,
+    SpecFuzzNestingPolicy,
+    SpecTaintNestingPolicy,
+    SpeculationController,
+    TeapotNestingPolicy,
+)
+from repro.runtime.emulator import Emulator, ExecutionResult
+
+__all__ = [
+    "EmulationError",
+    "MemoryFault",
+    "ProgramCrash",
+    "ProgramExit",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Flags",
+    "MachineState",
+    "Memory",
+    "Heap",
+    "HeapError",
+    "ExternalCall",
+    "ExternalRegistry",
+    "default_externals",
+    "Checkpoint",
+    "DisabledNestingPolicy",
+    "NestedSpeculationPolicy",
+    "SpecFuzzNestingPolicy",
+    "SpecTaintNestingPolicy",
+    "SpeculationController",
+    "TeapotNestingPolicy",
+    "Emulator",
+    "ExecutionResult",
+]

@@ -1,0 +1,57 @@
+"""Exception types raised by the TVM runtime."""
+
+from __future__ import annotations
+
+
+class EmulationError(RuntimeError):
+    """A structural problem with the program being executed.
+
+    Raised for conditions that indicate a bug in the pipeline rather than
+    program behaviour: undecodable instructions, jumps outside the text
+    section, unknown imports, exceeding the global fuel limit.
+    """
+
+
+class MemoryFault(Exception):
+    """An access to unmapped memory (the SIGSEGV equivalent).
+
+    During normal execution a fault crashes the program; during speculation
+    simulation the runtime's signal-handler equivalent converts it into a
+    rollback (paper §6.1, "Exceptions").
+    """
+
+    def __init__(self, address: int, size: int, write: bool) -> None:
+        kind = "write to" if write else "read from"
+        super().__init__(f"memory fault: {kind} unmapped address {address:#x} ({size} bytes)")
+        self.address = address
+        self.size = size
+        self.write = write
+
+
+class ArithmeticFault(Exception):
+    """Division by zero (the SIGFPE equivalent)."""
+
+    def __init__(self, pc: int) -> None:
+        super().__init__(f"division by zero at {pc:#x}")
+        self.pc = pc
+
+
+class ProgramExit(Exception):
+    """The program terminated voluntarily (``halt`` or the ``exit`` external)."""
+
+    def __init__(self, status: int = 0) -> None:
+        super().__init__(f"program exited with status {status}")
+        self.status = status
+
+
+class ProgramCrash(Exception):
+    """The program crashed during *normal* execution.
+
+    Crashes during speculation simulation never surface as this exception —
+    they are rolled back, matching real transient execution.
+    """
+
+    def __init__(self, reason: str, pc: int) -> None:
+        super().__init__(f"program crashed at {pc:#x}: {reason}")
+        self.reason = reason
+        self.pc = pc

@@ -1,0 +1,138 @@
+"""Guest heap: malloc/free with ASan-style redzones.
+
+The paper's binary ASan gets heap protection "for free" by linking against
+the ASan allocator, which places poisoned redzones around every allocation
+(paper §6.2.1).  This module is that allocator: a bump allocator inside the
+LowMem heap arena that surrounds every block with left/right redzones and
+poisons freed blocks, informing an attached ASan sanitizer (if any) so that
+speculative out-of-bounds and use-after-free accesses are detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.loader.layout import MemoryLayout
+from repro.runtime.machine import Memory
+
+
+class HeapError(RuntimeError):
+    """Raised on invalid heap operations (double free, foreign pointer, OOM)."""
+
+
+#: Size of the poisoned guard zones placed on both sides of an allocation.
+REDZONE_SIZE = 32
+#: Allocation alignment.
+ALIGNMENT = 16
+
+
+@dataclass
+class Allocation:
+    """Metadata for one live or freed heap block."""
+
+    address: int
+    size: int
+    freed: bool = False
+
+
+class Heap:
+    """A bump allocator with redzones over the LowMem heap arena."""
+
+    def __init__(self, memory: Memory, layout: MemoryLayout,
+                 arena_size: int = 8 << 20) -> None:
+        self.memory = memory
+        self.layout = layout
+        self.arena_start = layout.heap_base
+        self.arena_size = arena_size
+        if layout.heap_base + arena_size > layout.lowmem_end:
+            raise HeapError("heap arena does not fit in LowMem")
+        self._cursor = self.arena_start
+        self.allocations: Dict[int, Allocation] = {}
+        #: attached ASan sanitizer (optional; duck-typed: poison_region /
+        #: unpoison_region).
+        self.asan = None
+        memory.map_region(self.arena_start, arena_size)
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def bytes_allocated(self) -> int:
+        """Total payload bytes of live allocations."""
+        return sum(a.size for a in self.allocations.values() if not a.freed)
+
+    @property
+    def allocation_count(self) -> int:
+        """Number of live allocations."""
+        return sum(1 for a in self.allocations.values() if not a.freed)
+
+    # -- allocation ------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes and return the payload address.
+
+        Raises:
+            HeapError: if the arena is exhausted or ``size`` is invalid.
+        """
+        if size < 0:
+            raise HeapError(f"malloc of negative size {size}")
+        size = max(size, 1)
+        aligned = (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+        total = REDZONE_SIZE + aligned + REDZONE_SIZE
+        if self._cursor + total > self.arena_start + self.arena_size:
+            raise HeapError("heap arena exhausted")
+        left_redzone = self._cursor
+        payload = left_redzone + REDZONE_SIZE
+        right_redzone = payload + aligned
+        self._cursor = right_redzone + REDZONE_SIZE
+
+        self.allocations[payload] = Allocation(payload, size)
+        if self.asan is not None:
+            self.asan.poison_region(left_redzone, REDZONE_SIZE)
+            self.asan.unpoison_region(payload, size)
+            # Partial-granule poisoning of the slack between size and the
+            # aligned end, plus the right redzone.
+            self.asan.poison_region(payload + size, aligned - size + REDZONE_SIZE)
+        return payload
+
+    def calloc(self, count: int, size: int) -> int:
+        """Allocate and zero ``count * size`` bytes."""
+        total = count * size
+        address = self.malloc(total)
+        self.memory.write_bytes(address, bytes(total if total > 0 else 1))
+        return address
+
+    def realloc(self, ptr: int, size: int) -> int:
+        """Grow/shrink an allocation, copying the old contents."""
+        if ptr == 0:
+            return self.malloc(size)
+        old = self.allocations.get(ptr)
+        if old is None or old.freed:
+            raise HeapError(f"realloc of invalid pointer {ptr:#x}")
+        new_ptr = self.malloc(size)
+        copy_len = min(old.size, size)
+        self.memory.write_bytes(new_ptr, self.memory.read_bytes(ptr, copy_len))
+        self.free(ptr)
+        return new_ptr
+
+    def free(self, ptr: int) -> None:
+        """Free an allocation, poisoning its payload.
+
+        Raises:
+            HeapError: on double free or a pointer not from this heap.
+        """
+        if ptr == 0:
+            return
+        alloc = self.allocations.get(ptr)
+        if alloc is None:
+            raise HeapError(f"free of pointer {ptr:#x} not from this heap")
+        if alloc.freed:
+            raise HeapError(f"double free of {ptr:#x}")
+        alloc.freed = True
+        if self.asan is not None:
+            self.asan.poison_region(alloc.address, alloc.size)
+
+    def allocation_containing(self, addr: int) -> Optional[Allocation]:
+        """The allocation whose payload contains ``addr``, if any."""
+        for alloc in self.allocations.values():
+            if alloc.address <= addr < alloc.address + alloc.size:
+                return alloc
+        return None

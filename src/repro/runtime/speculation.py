@@ -1,0 +1,334 @@
+"""Speculation simulation: checkpoints, memory log, rollback and nesting.
+
+This is the runtime half of Speculation Shadows (paper §5, §6.1).  The
+rewriter inserts ``checkpoint`` pseudo-ops before conditional branches and
+restore points throughout the Shadow Copy; at run time the
+:class:`SpeculationController` decides when to enter a simulation, takes and
+restores program-state checkpoints, maintains the memory log, enforces the
+reorder-buffer instruction budget and implements the nested-speculation
+heuristics of Teapot, SpecFuzz and SpecTaint.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: The reorder-buffer stand-in: maximum instructions simulated per
+#: speculation episode (paper uses 250, following prior studies).
+DEFAULT_ROB_BUDGET = 250
+
+#: Maximum nesting depth (number of simultaneously mispredicted branches);
+#: gadgets guarded by more than six branches are considered unexploitable
+#: (paper §2.3).
+DEFAULT_MAX_DEPTH = 6
+
+
+@dataclass
+class Checkpoint:
+    """A saved program state to which a rollback can return."""
+
+    branch_address: int
+    resume_pc: int
+    registers: Tuple[int, ...]
+    flags: Tuple[bool, bool, bool, bool]
+    memlog_index: int
+    taint_log_index: int
+    register_tags: Optional[Tuple[int, ...]]
+    flags_tag: int
+    instruction_count_at_entry: int
+
+
+class NestedSpeculationPolicy(abc.ABC):
+    """Decides whether to enter a (possibly nested) speculation simulation."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        """Whether to start simulating a misprediction of this branch now.
+
+        Args:
+            branch_address: static address of the conditional branch.
+            depth: current nesting depth (0 = normal execution).
+        """
+
+    def reset(self) -> None:
+        """Forget per-campaign state (called between fuzzing campaigns)."""
+
+
+class DisabledNestingPolicy(NestedSpeculationPolicy):
+    """Only top-level speculation, never nested.
+
+    Used for the run-time performance comparison (paper §7.1 disables nested
+    speculation and heuristics in all tools for fairness).
+    """
+
+    name = "disabled"
+
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        return depth == 0
+
+
+class SpecFuzzNestingPolicy(NestedSpeculationPolicy):
+    """SpecFuzz's heuristic: depth grows with per-branch encounter count.
+
+    SpecFuzz "keeps track of the number of encounters per branch and
+    gradually increases the depth of simulation as its encounter (count
+    grows), up to the sixth order" (paper §6.1).  The growth schedule is a
+    calibration parameter (``ramp``): permitted depth is
+    ``1 + encounters // ramp``, capped at ``max_depth``.
+    """
+
+    name = "specfuzz"
+
+    def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH, ramp: int = 16) -> None:
+        self.max_depth = max_depth
+        self.ramp = ramp
+        self._encounters: Dict[int, int] = {}
+
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        count = self._encounters.get(branch_address, 0)
+        self._encounters[branch_address] = count + 1
+        allowed_depth = min(self.max_depth, 1 + count // self.ramp)
+        return depth < allowed_depth
+
+    def reset(self) -> None:
+        self._encounters.clear()
+
+
+class SpecTaintNestingPolicy(NestedSpeculationPolicy):
+    """SpecTaint's heuristic: depth-first, at most five entries per branch.
+
+    SpecTaint "performs depth-first speculation for nested branches, however,
+    enters speculation simulation for each branch only up to five times"
+    (paper §6.1).  The five-entry cap is the source of the false negatives
+    discussed in §7.3.
+    """
+
+    name = "spectaint"
+
+    def __init__(self, max_visits: int = 5, max_depth: int = DEFAULT_MAX_DEPTH) -> None:
+        self.max_visits = max_visits
+        self.max_depth = max_depth
+        self._entries: Dict[int, int] = {}
+
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        if depth >= self.max_depth:
+            return False
+        entries = self._entries.get(branch_address, 0)
+        if entries >= self.max_visits:
+            return False
+        self._entries[branch_address] = entries + 1
+        return True
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+
+class TeapotNestingPolicy(NestedSpeculationPolicy):
+    """Teapot's mixed heuristic (paper §6.1).
+
+    For the first ``eager_runs`` entries of a branch, nesting is always
+    allowed up to depth ``max_depth`` (the comprehensive-but-heavy phase
+    that SpecTaint cannot afford); afterwards the SpecFuzz encounter-based
+    ramp takes over.
+    """
+
+    name = "teapot"
+
+    def __init__(
+        self,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        eager_runs: int = 5,
+        ramp: int = 16,
+    ) -> None:
+        self.max_depth = max_depth
+        self.eager_runs = eager_runs
+        self.ramp = ramp
+        self._encounters: Dict[int, int] = {}
+
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        if depth >= self.max_depth:
+            return False
+        count = self._encounters.get(branch_address, 0)
+        self._encounters[branch_address] = count + 1
+        if count < self.eager_runs:
+            return True
+        allowed_depth = min(self.max_depth, 1 + count // self.ramp)
+        return depth < allowed_depth
+
+    def reset(self) -> None:
+        self._encounters.clear()
+
+
+@dataclass
+class SpeculationStats:
+    """Counters describing a run's speculation activity."""
+
+    simulations_started: int = 0
+    nested_simulations: int = 0
+    rollbacks: int = 0
+    forced_rollbacks: int = 0
+    exception_rollbacks: int = 0
+    budget_rollbacks: int = 0
+    max_depth_reached: int = 0
+    simulated_instructions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary."""
+        return {
+            "simulations_started": self.simulations_started,
+            "nested_simulations": self.nested_simulations,
+            "rollbacks": self.rollbacks,
+            "forced_rollbacks": self.forced_rollbacks,
+            "exception_rollbacks": self.exception_rollbacks,
+            "budget_rollbacks": self.budget_rollbacks,
+            "max_depth_reached": self.max_depth_reached,
+            "simulated_instructions": self.simulated_instructions,
+        }
+
+
+class SpeculationController:
+    """Runtime state machine for speculation simulation."""
+
+    def __init__(
+        self,
+        policy: Optional[NestedSpeculationPolicy] = None,
+        rob_budget: int = DEFAULT_ROB_BUDGET,
+    ) -> None:
+        self.policy = policy or TeapotNestingPolicy()
+        self.rob_budget = rob_budget
+        self.checkpoints: List[Checkpoint] = []
+        #: memory log: (address, old bytes) in write order.
+        self.memlog: List[Tuple[int, bytes]] = []
+        #: DIFT tag log: (shadow address, old tag byte) in write order.
+        self.taint_log: List[Tuple[int, int]] = []
+        self.spec_instruction_count = 0
+        self.stats = SpeculationStats()
+
+    # -- state queries ---------------------------------------------------------
+    @property
+    def in_simulation(self) -> bool:
+        """Whether any speculation simulation is active."""
+        return bool(self.checkpoints)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth."""
+        return len(self.checkpoints)
+
+    @property
+    def branch_addresses(self) -> Tuple[int, ...]:
+        """Addresses of the mispredicted branches currently being simulated
+        (outermost first)."""
+        return tuple(cp.branch_address for cp in self.checkpoints)
+
+    def budget_exceeded(self) -> bool:
+        """Whether the ROB instruction budget has been exhausted."""
+        return self.spec_instruction_count >= self.rob_budget
+
+    # -- entry -------------------------------------------------------------------
+    def maybe_enter(self, machine, branch_address: int, resume_pc: int,
+                    dift=None) -> bool:
+        """Decide whether to enter simulation for a conditional branch.
+
+        If the nesting policy approves, a checkpoint of the current program
+        state is pushed and ``True`` is returned — the caller (the emulator's
+        ``checkpoint`` handler) then redirects control to the trampoline.
+        """
+        if not self.policy.should_enter(branch_address, self.depth):
+            return False
+        if self.depth == 0:
+            self.spec_instruction_count = 0
+            self.stats.simulations_started += 1
+        else:
+            self.stats.nested_simulations += 1
+        register_tags = None
+        flags_tag = 0
+        if dift is not None:
+            register_tags = dift.snapshot_register_tags()
+            flags_tag = dift.flags_tag
+        self.checkpoints.append(
+            Checkpoint(
+                branch_address=branch_address,
+                resume_pc=resume_pc,
+                registers=machine.snapshot_registers(),
+                flags=machine.flags.snapshot(),
+                memlog_index=len(self.memlog),
+                taint_log_index=len(self.taint_log),
+                register_tags=register_tags,
+                flags_tag=flags_tag,
+                instruction_count_at_entry=self.spec_instruction_count,
+            )
+        )
+        self.stats.max_depth_reached = max(self.stats.max_depth_reached, self.depth)
+        return True
+
+    # -- logging -----------------------------------------------------------------
+    def log_memory_write(self, address: int, old_bytes: bytes) -> None:
+        """Record the previous contents of a store executed in simulation."""
+        self.memlog.append((address, old_bytes))
+
+    def log_taint_write(self, shadow_address: int, old_tag: int) -> None:
+        """Record the previous value of a tag-shadow byte written in simulation."""
+        self.taint_log.append((shadow_address, old_tag))
+
+    def count_instruction(self) -> None:
+        """Account one architectural instruction executed in simulation."""
+        self.spec_instruction_count += 1
+        self.stats.simulated_instructions += 1
+
+    # -- rollback ---------------------------------------------------------------------
+    def rollback(self, machine, dift=None, reason: str = "restore") -> int:
+        """Roll back to the innermost checkpoint.
+
+        Undoes logged memory and taint writes performed since that
+        checkpoint, restores registers/flags (and register tags), rewinds
+        the program counter to the instruction after the ``checkpoint``
+        pseudo-op (the original conditional branch) and returns the number
+        of memory-log entries undone (for cost accounting).
+
+        Raises:
+            RuntimeError: if no simulation is active.
+        """
+        if not self.checkpoints:
+            raise RuntimeError("rollback requested outside speculation simulation")
+        checkpoint = self.checkpoints.pop()
+
+        undone = 0
+        while len(self.memlog) > checkpoint.memlog_index:
+            address, old = self.memlog.pop()
+            machine.memory.write_bytes(address, old)
+            undone += 1
+        while len(self.taint_log) > checkpoint.taint_log_index:
+            shadow_address, old_tag = self.taint_log.pop()
+            machine.memory.write_shadow_byte(shadow_address, old_tag)
+
+        machine.restore_registers(checkpoint.registers)
+        machine.flags.restore(checkpoint.flags)
+        machine.pc = checkpoint.resume_pc
+        if dift is not None and checkpoint.register_tags is not None:
+            dift.restore_register_tags(checkpoint.register_tags)
+            dift.flags_tag = checkpoint.flags_tag
+
+        self.stats.rollbacks += 1
+        if reason == "budget":
+            self.stats.budget_rollbacks += 1
+        elif reason == "forced":
+            self.stats.forced_rollbacks += 1
+        elif reason == "exception":
+            self.stats.exception_rollbacks += 1
+        if not self.checkpoints:
+            self.spec_instruction_count = 0
+        return undone
+
+    def reset(self) -> None:
+        """Clear all run state (checkpoints, logs, counters) and policy state."""
+        self.checkpoints.clear()
+        self.memlog.clear()
+        self.taint_log.clear()
+        self.spec_instruction_count = 0
+        self.stats = SpeculationStats()
+        self.policy.reset()

@@ -1,0 +1,44 @@
+"""Binary sanitizers and gadget detection policies.
+
+Implements the detection building blocks of paper §6.2:
+
+* :mod:`repro.sanitizers.asan` — binary AddressSanitizer: shadow memory,
+  heap redzones (via the allocator hooks in :mod:`repro.runtime.heap`),
+  stack return-address poisoning, and the global-object limitation the
+  paper documents.
+* :mod:`repro.sanitizers.dift` — binary dynamic information-flow tracking
+  with a byte-granular tag shadow (bit-45 flip mapping, paper Table 2) and
+  DFSan-style propagation.
+* :mod:`repro.sanitizers.policy` — pluggable gadget detection policies:
+  the Kasper policy used by Teapot (paper Fig. 6), SpecFuzz's ASan-only
+  policy and SpecTaint's taint-only policy for the baselines.
+* :mod:`repro.sanitizers.reports` — the :class:`GadgetReport` records the
+  fuzzer collects and the experiment harness aggregates.
+"""
+
+from repro.sanitizers.reports import Channel, AttackerClass, GadgetReport, ReportCollection
+from repro.sanitizers.asan import BinaryAsan
+from repro.sanitizers.dift import BinaryDift, TAG_USER, TAG_MASSAGE, TAG_SECRET_USER, TAG_SECRET_MASSAGE
+from repro.sanitizers.policy import (
+    DetectionPolicy,
+    KasperPolicy,
+    SpecFuzzPolicy,
+    SpecTaintPolicy,
+)
+
+__all__ = [
+    "Channel",
+    "AttackerClass",
+    "GadgetReport",
+    "ReportCollection",
+    "BinaryAsan",
+    "BinaryDift",
+    "TAG_USER",
+    "TAG_MASSAGE",
+    "TAG_SECRET_USER",
+    "TAG_SECRET_MASSAGE",
+    "DetectionPolicy",
+    "KasperPolicy",
+    "SpecFuzzPolicy",
+    "SpecTaintPolicy",
+]

@@ -1,0 +1,138 @@
+"""Binary AddressSanitizer: shadow memory and poisoning (paper §6.2.1).
+
+The shadow encodes the addressability of each 8-byte granule of user memory
+in one shadow byte, using the classic ASan scheme:
+
+* ``0x00`` — all eight bytes addressable,
+* ``1..7`` — only the first *k* bytes addressable (partial granule),
+* ``0xFF`` — the whole granule poisoned (redzone / freed memory).
+
+Poisoning sources, mirroring the paper:
+
+* heap redzones and freed blocks — installed by the allocator hooks in
+  :class:`repro.runtime.heap.Heap`;
+* stack frames — protected at *stack-frame granularity* by poisoning the
+  shadow of each return-address slot while the frame is live (the paper
+  cannot insert per-object stack redzones without source-level layout
+  information);
+* global objects — **not protected**, a documented limitation of binary
+  rewriting (§6.2.1, §8) that causes Teapot to miss gadgets leaking through
+  global-array overflows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.loader.layout import DEFAULT_LAYOUT, MemoryLayout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime ↔ sanitizers)
+    from repro.runtime.machine import Memory
+
+#: Shadow byte value for a fully poisoned granule.
+POISONED = 0xFF
+#: Granule size (bytes of user memory per shadow byte).
+GRANULE = 8
+
+
+class BinaryAsan:
+    """ASan shadow-memory manager for a TVM process."""
+
+    def __init__(self, memory: "Memory", layout: MemoryLayout = DEFAULT_LAYOUT,
+                 protect_stack: bool = True) -> None:
+        self.memory = memory
+        self.layout = layout
+        #: whether return-address slots are poisoned while frames are live.
+        self.protect_stack = protect_stack
+        #: statistics: number of failed checks observed.
+        self.violations = 0
+
+    # -- shadow addressing -------------------------------------------------------
+    def shadow_address(self, addr: int) -> int:
+        """Shadow byte address covering user address ``addr``."""
+        return self.layout.asan_shadow_address(addr)
+
+    # -- poisoning ------------------------------------------------------------------
+    def poison_region(self, addr: int, size: int) -> None:
+        """Poison ``[addr, addr+size)``.
+
+        Whole granules are marked ``0xFF``; a leading partial granule keeps
+        its first bytes addressable.
+        """
+        if size <= 0:
+            return
+        end = addr + size
+        cursor = addr
+        # Leading partial granule: restrict addressability to the prefix.
+        if cursor % GRANULE:
+            granule_start = cursor - (cursor % GRANULE)
+            addressable = cursor - granule_start
+            self.memory.write_shadow_byte(self.shadow_address(granule_start),
+                                          addressable)
+            cursor = granule_start + GRANULE
+        while cursor < end:
+            self.memory.write_shadow_byte(self.shadow_address(cursor), POISONED)
+            cursor += GRANULE
+
+    def unpoison_region(self, addr: int, size: int) -> None:
+        """Make ``[addr, addr+size)`` addressable again."""
+        if size <= 0:
+            return
+        end = addr + size
+        cursor = addr - (addr % GRANULE)
+        while cursor < end:
+            remaining = end - cursor
+            if remaining >= GRANULE:
+                value = 0x00
+            else:
+                value = remaining  # partial granule: first `remaining` bytes valid
+            self.memory.write_shadow_byte(self.shadow_address(cursor), value)
+            cursor += GRANULE
+
+    # -- checking -----------------------------------------------------------------------
+    def is_poisoned(self, addr: int, size: int) -> bool:
+        """Whether any byte of ``[addr, addr+size)`` is poisoned."""
+        if size <= 0:
+            return False
+        for offset in range(size):
+            byte_addr = addr + offset
+            shadow = self.memory.read_shadow_byte(
+                self.shadow_address(byte_addr - (byte_addr % GRANULE))
+            )
+            if shadow == 0:
+                continue
+            if shadow == POISONED:
+                return True
+            # Partial granule: only the first `shadow` bytes are addressable.
+            if (byte_addr % GRANULE) >= shadow:
+                return True
+        return False
+
+    def check_access(self, addr: int, size: int) -> bool:
+        """Full access check: mapped user memory and not poisoned.
+
+        Returns ``True`` when the access is valid.  Unmapped addresses count
+        as violations (the speculative window can reach wild addresses that
+        would fault architecturally).
+        """
+        if not self.layout.in_user_memory(addr):
+            self.violations += 1
+            return False
+        if not self.memory.is_mapped(addr, size):
+            self.violations += 1
+            return False
+        if self.is_poisoned(addr, size):
+            self.violations += 1
+            return False
+        return True
+
+    # -- stack frame protection ------------------------------------------------------------
+    def poison_return_slot(self, addr: int) -> None:
+        """Poison the 8-byte return-address slot at ``addr`` (on call)."""
+        if self.protect_stack:
+            self.poison_region(addr, 8)
+
+    def unpoison_return_slot(self, addr: int) -> None:
+        """Unpoison the return-address slot at ``addr`` (on return)."""
+        if self.protect_stack:
+            self.unpoison_region(addr, 8)

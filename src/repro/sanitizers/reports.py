@@ -1,0 +1,110 @@
+"""Gadget report records and aggregation helpers.
+
+A :class:`GadgetReport` is what the detection policies hand to the fuzzer
+when an integrity check fires during speculation simulation (paper §6.2.3).
+Reports are deduplicated by *gadget site* — the program counter of the
+transmitting instruction together with the channel and attacker class —
+because fuzzing revisits the same gadget many times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Channel(enum.Enum):
+    """Side channel through which a gadget leaks (paper Fig. 6)."""
+
+    MDS = "mds"
+    CACHE = "cache"
+    PORT = "port"
+
+
+class AttackerClass(enum.Enum):
+    """How the attacker controls the leaking access (paper §7.3 naming)."""
+
+    USER = "user"        # attacker-directly controlled (User-*)
+    MASSAGE = "massage"  # attacker-indirectly controlled (Massage-*)
+    UNKNOWN = "unknown"  # baselines that cannot classify control
+
+
+@dataclass(frozen=True)
+class GadgetReport:
+    """One detected Spectre gadget occurrence."""
+
+    tool: str
+    channel: Channel
+    attacker: AttackerClass
+    pc: int
+    branch_addresses: Tuple[int, ...]
+    depth: int
+    description: str = ""
+
+    @property
+    def site(self) -> Tuple[str, str, int]:
+        """Deduplication key: (channel, attacker, transmitting pc)."""
+        return (self.channel.value, self.attacker.value, self.pc)
+
+    @property
+    def category(self) -> str:
+        """Category label in the paper's Table 4 style, e.g. ``User-Cache``."""
+        return f"{self.attacker.value.capitalize()}-{self.channel.value.upper() if self.channel is Channel.MDS else self.channel.value.capitalize()}"
+
+
+class ReportCollection:
+    """A deduplicated set of gadget reports with category accounting."""
+
+    def __init__(self) -> None:
+        self._by_site: Dict[Tuple[str, str, int], GadgetReport] = {}
+        self.total_raw = 0
+
+    def add(self, report: GadgetReport) -> bool:
+        """Add a report; returns ``True`` if its site was new."""
+        self.total_raw += 1
+        if report.site in self._by_site:
+            return False
+        self._by_site[report.site] = report
+        return True
+
+    def extend(self, reports: Iterable[GadgetReport]) -> None:
+        """Add many reports."""
+        for report in reports:
+            self.add(report)
+
+    def __len__(self) -> int:
+        return len(self._by_site)
+
+    def __iter__(self) -> Iterator[GadgetReport]:
+        return iter(self._by_site.values())
+
+    def reports(self) -> List[GadgetReport]:
+        """All unique reports."""
+        return list(self._by_site.values())
+
+    def unique_pcs(self) -> List[int]:
+        """Program counters of all unique gadget sites."""
+        return sorted({r.pc for r in self._by_site.values()})
+
+    def count_by_category(self) -> Dict[str, int]:
+        """Unique gadget counts per ``Attacker-Channel`` category."""
+        counts: Dict[str, int] = {}
+        for report in self._by_site.values():
+            counts[report.category] = counts.get(report.category, 0) + 1
+        return counts
+
+    def count(
+        self,
+        channel: Optional[Channel] = None,
+        attacker: Optional[AttackerClass] = None,
+    ) -> int:
+        """Count unique reports matching the given channel/attacker filters."""
+        total = 0
+        for report in self._by_site.values():
+            if channel is not None and report.channel is not channel:
+                continue
+            if attacker is not None and report.attacker is not attacker:
+                continue
+            total += 1
+        return total

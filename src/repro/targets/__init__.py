@@ -1,0 +1,46 @@
+"""Workload programs of the paper's evaluation (paper §7, experimental setup).
+
+Each module defines one target as mini-C source plus fuzzing seeds, a
+crafted large-input generator for the run-time performance experiments and
+the attack points used by the Table 3 injection methodology.  Importing this
+package registers every target in :data:`repro.targets.base.REGISTRY`.
+"""
+
+from repro.targets.base import AttackPoint, TargetProgram, TargetRegistry, REGISTRY
+from repro.targets import jsmn, libyaml, libhtp, brotli, openssl_server  # noqa: F401
+from repro.targets.case_studies import LZMA_CASE_STUDY, MASSAGE_CASE_STUDY
+from repro.targets.injection import (
+    InjectedGadget,
+    InjectedTarget,
+    compile_vanilla,
+    inject_gadgets,
+    strip_markers,
+)
+
+#: The programs of Table 3 (openssl is excluded there, as in the paper).
+TABLE3_TARGETS = ("jsmn", "libyaml", "libhtp", "brotli")
+#: The programs of Figure 7 and Table 4.
+ALL_TARGETS = ("jsmn", "libyaml", "libhtp", "brotli", "openssl")
+
+
+def get_target(name: str) -> TargetProgram:
+    """Look up a registered workload by name."""
+    return REGISTRY.get(name)
+
+
+__all__ = [
+    "AttackPoint",
+    "TargetProgram",
+    "TargetRegistry",
+    "REGISTRY",
+    "LZMA_CASE_STUDY",
+    "MASSAGE_CASE_STUDY",
+    "InjectedGadget",
+    "InjectedTarget",
+    "compile_vanilla",
+    "inject_gadgets",
+    "strip_markers",
+    "TABLE3_TARGETS",
+    "ALL_TARGETS",
+    "get_target",
+]

@@ -1,0 +1,90 @@
+"""Target-program infrastructure: definitions, registry, perf inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.loader.binary_format import TelfBinary
+from repro.minic.codegen import CompilerOptions, SwitchLowering
+from repro.minic.compiler import compile_source
+
+
+@dataclass
+class AttackPoint:
+    """A location where an artificial Spectre gadget can be injected.
+
+    ``marker`` is the textual marker embedded in the mini-C source
+    (``/*@ATTACK_POINT:<id>@*/``); ``function`` is the function containing
+    it (used to map gadget reports back to ground truth); ``reachable``
+    records whether the fuzzing driver can reach the function at all — the
+    paper's libyaml experiment has two injected gadgets in modules the
+    driver never exercises, which become the two "expected" false negatives.
+    """
+
+    marker_id: int
+    function: str
+    reachable: bool = True
+
+
+@dataclass
+class TargetProgram:
+    """A workload program of the evaluation (paper §7, "experimental setup")."""
+
+    name: str
+    source: str
+    seeds: List[bytes]
+    attack_points: List[AttackPoint] = field(default_factory=list)
+    perf_input_builder: Optional[Callable[[int], bytes]] = None
+    description: str = ""
+
+    def compile(self, options: Optional[CompilerOptions] = None) -> TelfBinary:
+        """Compile the target's mini-C source to a COTS binary."""
+        return compile_source(self.source, options or CompilerOptions())
+
+    def perf_input(self, size: int = 256) -> bytes:
+        """A large crafted input for the run-time performance experiments."""
+        if self.perf_input_builder is not None:
+            return self.perf_input_builder(size)
+        # Fall back to repeating the largest seed up to the requested size.
+        seed = max(self.seeds, key=len) if self.seeds else b"A"
+        repeated = (seed * (size // max(len(seed), 1) + 1))[:size]
+        return repeated
+
+    def marker_text(self, marker_id: int) -> str:
+        """The literal marker string for an attack point."""
+        return f"/*@ATTACK_POINT:{marker_id}@*/"
+
+
+class TargetRegistry:
+    """Registry of the evaluation's workload programs."""
+
+    def __init__(self) -> None:
+        self._targets: Dict[str, TargetProgram] = {}
+
+    def register(self, target: TargetProgram) -> TargetProgram:
+        """Register a target (used by the per-target modules at import time)."""
+        if target.name in self._targets:
+            raise ValueError(f"target {target.name!r} already registered")
+        self._targets[target.name] = target
+        return target
+
+    def get(self, name: str) -> TargetProgram:
+        """Look up a target by name.
+
+        Raises:
+            KeyError: if no target has that name.
+        """
+        if name not in self._targets:
+            raise KeyError(
+                f"unknown target {name!r}; available: {', '.join(self.names())}"
+            )
+        return self._targets[name]
+
+    def names(self) -> List[str]:
+        """Registered target names, sorted."""
+        return sorted(self._targets)
+
+
+#: The global registry populated by importing :mod:`repro.targets`.
+REGISTRY = TargetRegistry()

@@ -1,0 +1,231 @@
+"""``brotli`` workload: an LZ77-style decompressor.
+
+Mirrors the decoder structure of brotli (and of the LZMA code in the
+paper's Appendix A case study): a command stream of literal runs and
+back-references, a sliding window on the heap, distance/length code tables
+and a static dictionary fallback.  Back-reference distances derived from
+the input are the classic speculative read-offset-manipulation habitat.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import AttackPoint, TargetProgram, REGISTRY
+
+SOURCE = r"""
+byte length_table[16] = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32, 48, 64};
+byte distance_table[16] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 255};
+byte dictionary[64] = {104, 101, 108, 108, 111, 32, 119, 111, 114, 108, 100, 32,
+                       99, 111, 109, 112, 114, 101, 115, 115, 105, 111, 110, 32,
+                       100, 97, 116, 97, 32, 116, 101, 115, 116, 32, 98, 114,
+                       111, 116, 108, 105, 32, 115, 116, 114, 101, 97, 109, 32,
+                       112, 97, 99, 107, 101, 116, 32, 98, 117, 102, 102, 101,
+                       114, 32, 101, 110};
+int window_size = 1024;
+
+int read_varint(byte *src, int len, int pos, int *value_out) {
+    int value = 0;
+    int shift = 0;
+    while (pos < len && shift < 32) {
+        int b = src[pos];
+        value = value | ((b & 127) << shift);
+        pos = pos + 1;
+        if (b < 128) {
+            break;
+        }
+        shift = shift + 7;
+    }
+    value_out[0] = value;
+    return pos;
+}
+
+int decode_length(int code) {
+    /*@ATTACK_POINT:1@*/
+    if (code < 16) {
+        return length_table[code];
+    }
+    return 4;
+}
+
+int decode_distance(int code, int extra) {
+    int base = 1;
+    /*@ATTACK_POINT:2@*/
+    if (code < 16) {
+        base = distance_table[code];
+    }
+    return base + extra;
+}
+
+int copy_literals(byte *src, int len, int pos, byte *window, int wpos, int count) {
+    int i = 0;
+    while (i < count && pos + i < len) {
+        /*@ATTACK_POINT:3@*/
+        if (wpos + i < window_size) {
+            window[wpos + i] = src[pos + i];
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+int copy_match(byte *window, int wpos, int distance, int length) {
+    int i = 0;
+    while (i < length) {
+        int src_index = wpos + i - distance;
+        /*@ATTACK_POINT:4@*/
+        if (src_index >= 0) {
+            /*@ATTACK_POINT:5@*/
+            if (wpos + i < window_size) {
+                window[wpos + i] = window[src_index];
+            }
+        }
+        i = i + 1;
+    }
+    return length;
+}
+
+int copy_dictionary(byte *window, int wpos, int word, int length) {
+    int i = 0;
+    while (i < length) {
+        /*@ATTACK_POINT:6@*/
+        if (word + i < 64) {
+            /*@ATTACK_POINT:7@*/
+            if (wpos + i < window_size) {
+                window[wpos + i] = dictionary[word + i];
+            }
+        }
+        i = i + 1;
+    }
+    return length;
+}
+
+int checksum(byte *window, int wpos) {
+    int sum = 0;
+    int i = 0;
+    while (i < wpos) {
+        /*@ATTACK_POINT:8@*/
+        if (i < window_size) {
+            sum = sum + window[i];
+        }
+        i = i + 1;
+    }
+    return sum & 65535;
+}
+
+int decompress(byte *src, int len) {
+    byte *window = malloc(window_size);
+    int *varint_out = malloc(8);
+    int wpos = 0;
+    int pos = 0;
+    int commands = 0;
+    while (pos < len) {
+        int op = src[pos];
+        pos = pos + 1;
+        if (op < 64) {
+            // Literal run: op = count.
+            int copied = copy_literals(src, len, pos, window, wpos, op);
+            pos = pos + copied;
+            wpos = wpos + copied;
+        } else {
+            if (op < 128) {
+                // Back-reference: 4-bit length code, distance varint.
+                int length_code = op & 15;
+                int length = decode_length(length_code);
+                pos = read_varint(src, len, pos, varint_out);
+                int distance_code = varint_out[0] & 15;
+                int extra = varint_out[0] >> 4;
+                int distance = decode_distance(distance_code, extra);
+                /*@ATTACK_POINT:9@*/
+                if (distance <= wpos) {
+                    copy_match(window, wpos, distance, length);
+                } else {
+                    // Underflowing references fall back to the dictionary
+                    // (the LZMA-style offset manipulation of Appendix A.1).
+                    /*@ATTACK_POINT:10@*/
+                    copy_dictionary(window, wpos, distance - wpos, length);
+                }
+                wpos = wpos + length;
+            } else {
+                if (op < 192) {
+                    // Dictionary word reference.
+                    int word = (op & 63) % 64;
+                    pos = read_varint(src, len, pos, varint_out);
+                    int dict_length = varint_out[0] & 63;
+                    /*@ATTACK_POINT:11@*/
+                    copy_dictionary(window, wpos, word, dict_length);
+                    wpos = wpos + dict_length;
+                } else {
+                    // Metadata block: skip bytes.
+                    int skip = op & 63;
+                    /*@ATTACK_POINT:12@*/
+                    pos = pos + skip;
+                }
+            }
+        }
+        if (wpos >= window_size) {
+            wpos = 0;
+        }
+        commands = commands + 1;
+        if (commands > 4096) {
+            break;
+        }
+    }
+    /*@ATTACK_POINT:13@*/
+    int sum = checksum(window, wpos);
+    free(window);
+    free(varint_out);
+    return sum;
+}
+
+int main() {
+    byte buf[1024];
+    int n = read_input(buf, 1024);
+    if (n <= 0) {
+        return 0;
+    }
+    return decompress(buf, n);
+}
+"""
+
+SEEDS = [
+    bytes([5]) + b"hello" + bytes([0x41, 0x03]) + bytes([0x82, 0x05]) + bytes([3]) + b"end",
+    bytes([8]) + b"abcdefgh" + bytes([0x45, 0x12]) + bytes([0xC1, 0x20]),
+    bytes([2]) + b"xy" + bytes([0x90, 0x08]) + bytes([0x50, 0x07]) + bytes([1]) + b"z",
+]
+
+
+def perf_input(size: int = 256) -> bytes:
+    """A command stream with many literal runs and back-references."""
+    out = bytearray()
+    index = 0
+    while len(out) < size:
+        out += bytes([8]) + bytes((65 + (index + i) % 26) for i in range(8))
+        out += bytes([0x40 | (index % 16), (index * 3) % 128])
+        out += bytes([0x80 | (index % 64), index % 64])
+        index += 1
+    return bytes(out[:size])
+
+
+TARGET = REGISTRY.register(
+    TargetProgram(
+        name="brotli",
+        source=SOURCE,
+        seeds=SEEDS,
+        attack_points=[
+            AttackPoint(1, "decode_length"),
+            AttackPoint(2, "decode_distance"),
+            AttackPoint(3, "copy_literals"),
+            AttackPoint(4, "copy_match"),
+            AttackPoint(5, "copy_match"),
+            AttackPoint(6, "copy_dictionary"),
+            AttackPoint(7, "copy_dictionary"),
+            AttackPoint(8, "checksum"),
+            AttackPoint(9, "decompress"),
+            AttackPoint(10, "decompress"),
+            AttackPoint(11, "decompress"),
+            AttackPoint(12, "decompress"),
+            AttackPoint(13, "decompress"),
+        ],
+        perf_input_builder=perf_input,
+        description="LZ77-style decompressor (brotli stand-in)",
+    )
+)

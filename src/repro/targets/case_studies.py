@@ -1,0 +1,147 @@
+"""Appendix A case studies as standalone mini-C programs.
+
+* :data:`LZMA_OFFSET_SOURCE` — the speculative read-offset manipulation of
+  Listing 5 (LZMA's ``LzmaDec_TryDummy``): a mispredicted underflow check
+  lets an attacker-shaped ``dicBufSize`` offset a dictionary read out of
+  bounds, and the loaded byte then masks an offset used in a second
+  dereference (a User-Cache gadget).
+* :data:`MASSAGE_PORT_SOURCE` — the speculative memory massage of Listing 6
+  (libhtp's ``htp_conn_destroy``): a mispredicted NULL check turns an error
+  code into a huge loop bound, two more mispredictions bypass the list
+  bounds checks, and the massaged pointer's contents finally influence a
+  branch (a Massage-Port gadget).
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import TargetProgram
+
+LZMA_OFFSET_SOURCE = r"""
+// Listing 5: speculative read offset manipulation (LZMA).
+int dic_pos = 8;
+int rep0 = 4;
+
+int try_dummy(byte *dic, int dic_buf_size, byte *probs) {
+    int x = dic_pos - rep0;
+    // Mispredicted as true when dic_pos >= rep0: x is then offset by the
+    // attacker-carried dictionary size.
+    if (dic_pos < rep0) {
+        x = x + dic_buf_size;
+    }
+    int match_byte = dic[x];
+    int offs = 256;
+    int symbol = 1;
+    int tmp = 0;
+    while (symbol < 256) {
+        int bit = offs;
+        match_byte = match_byte + match_byte;
+        offs = offs & match_byte;
+        tmp = tmp + probs[offs + bit + symbol];
+        symbol = symbol * 2;
+    }
+    return tmp;
+}
+
+int main() {
+    byte header[16];
+    int n = read_input(header, 16);
+    if (n < 8) {
+        return 0;
+    }
+    // The dictionary size is carried in attacker-controlled metadata.
+    int dic_buf_size = header[0] * 65536 + header[1] * 256 + header[2];
+    byte *dic = malloc(64);
+    byte *probs = malloc(1024);
+    int result = try_dummy(dic, dic_buf_size, probs);
+    free(dic);
+    free(probs);
+    return result & 255;
+}
+"""
+
+MASSAGE_PORT_SOURCE = r"""
+// Listing 6: speculative memory massage and indirectly controlled read.
+int list_max = 8;
+
+int list_size(int *list_ptr, int current_size) {
+    // Mispredicted as true even though the caller guarantees non-NULL:
+    // the -1 error code becomes a huge unsigned loop bound.
+    if (list_ptr == 0) {
+        return 0 - 1;
+    }
+    return current_size;
+}
+
+int list_get(int *elements, int current_size, int idx) {
+    if (idx >= current_size) {
+        return 0;
+    }
+    if (idx < list_max) {
+        return elements[idx];
+    }
+    return 0;
+}
+
+int remove_tx(int *elements, int current_size, int tx) {
+    int i = 0;
+    int removed = 0;
+    while (i < current_size) {
+        int tx2 = list_get(elements, current_size, i);
+        // The massaged value influences this branch: a port-contention
+        // transmitter under the Kasper policy.
+        if (tx2 == tx) {
+            removed = removed + 1;
+        }
+        i = i + 1;
+    }
+    return removed;
+}
+
+int conn_destroy(int *elements, int current_size) {
+    int n = list_size(elements, current_size);
+    int i = 0;
+    int total = 0;
+    while (i < n) {
+        int tx = list_get(elements, current_size, i);
+        if (tx != 0) {
+            total = total + remove_tx(elements, current_size, tx);
+        }
+        i = i + 1;
+        if (i > 64) {
+            break;
+        }
+    }
+    return total;
+}
+
+int main() {
+    byte buf[64];
+    int n = read_input(buf, 64);
+    if (n < 4) {
+        return 0;
+    }
+    int *elements = malloc(list_max * 8);
+    int i = 0;
+    while (i < list_max && i < n) {
+        elements[i] = buf[i];
+        i = i + 1;
+    }
+    int result = conn_destroy(elements, i);
+    free(elements);
+    return result;
+}
+"""
+
+LZMA_CASE_STUDY = TargetProgram(
+    name="case_lzma_offset",
+    source=LZMA_OFFSET_SOURCE,
+    seeds=[bytes([0x40, 0x10, 0x20, 0, 0, 0, 0, 1]), bytes(16)],
+    description="Appendix A.1: speculative read offset manipulation",
+)
+
+MASSAGE_CASE_STUDY = TargetProgram(
+    name="case_massage_port",
+    source=MASSAGE_PORT_SOURCE,
+    seeds=[bytes(range(16)), bytes([7] * 8)],
+    description="Appendix A.2: speculative memory massage + port transmitter",
+)

@@ -1,0 +1,106 @@
+"""Artificial Spectre-V1 gadget samples (Kocher's examples, paper §7.2).
+
+The Table 3 methodology injects known-vulnerable code snippets ("the
+Spectre examples") at fixed attack points of each workload, giving a solid
+ground truth.  Each sample below is a mini-C snippet parameterised by an
+instance index ``{n}`` so multiple injections never collide; the snippet's
+input value comes from the ``attack_input()`` external, which is the single
+attacker-direct taint source of this experiment (the regular input taint
+sources are disabled, exactly as in the paper).
+
+All samples share the canonical two-load structure of Listing 1:
+
+* a bounds check on an attacker-controlled index (the mispredicted branch),
+* an out-of-bounds load of a "secret" (L1),
+* a second, secret-dependent access that transmits it (L2).
+
+The victim arrays are heap-allocated inside the snippet so ASan redzones
+surround them — matching the evaluation setups of SpecFuzz/SpecTaint, where
+the sanitizer-visible out-of-bounds access is what makes the injected
+gadget detectable at all.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Globals each gadget instance contributes (appended once per instance).
+GADGET_GLOBALS_TEMPLATE = r"""
+int atk_size_{n} = 16;
+int atk_sink_{n} = 0;
+"""
+
+#: Kocher-style gadget variants.  ``{n}`` is the instance index.
+GADGET_TEMPLATES: List[str] = [
+    # Variant 1: the canonical bounds-check-bypass gadget (Listing 1).
+    r"""
+    {
+        int atk_idx_{n} = attack_input();
+        byte *atk_arr1_{n} = malloc(16);
+        byte *atk_arr2_{n} = malloc(512);
+        if (atk_idx_{n} < atk_size_{n}) {
+            atk_sink_{n} = atk_sink_{n} + atk_arr2_{n}[atk_arr1_{n}[atk_idx_{n}] * 2];
+        }
+        free(atk_arr1_{n});
+        free(atk_arr2_{n});
+    }
+    """,
+    # Variant 2: index masked after the check (Kocher example 10 flavour) —
+    # the mask is too wide to actually protect the access.
+    r"""
+    {
+        int atk_idx_{n} = attack_input();
+        byte *atk_arr1_{n} = malloc(16);
+        byte *atk_arr2_{n} = malloc(512);
+        if (atk_idx_{n} < atk_size_{n}) {
+            int atk_off_{n} = atk_idx_{n} & 1023;
+            atk_sink_{n} = atk_sink_{n} + atk_arr2_{n}[atk_arr1_{n}[atk_off_{n}]];
+        }
+        free(atk_arr1_{n});
+        free(atk_arr2_{n});
+    }
+    """,
+    # Variant 3: the comparison is split across two branches (example 5
+    # flavour), so the gadget needs a deeper misprediction pattern.
+    r"""
+    {
+        int atk_idx_{n} = attack_input();
+        byte *atk_arr1_{n} = malloc(16);
+        byte *atk_arr2_{n} = malloc(512);
+        if (atk_idx_{n} >= 0) {
+            if (atk_idx_{n} < atk_size_{n}) {
+                int atk_secret_{n} = atk_arr1_{n}[atk_idx_{n}];
+                atk_sink_{n} = atk_sink_{n} + atk_arr2_{n}[atk_secret_{n} * 4];
+            }
+        }
+        free(atk_arr1_{n});
+        free(atk_arr2_{n});
+    }
+    """,
+    # Variant 4: the leaked value influences a branch instead of a pointer —
+    # a port-contention transmitter (only Teapot's policy classifies these).
+    r"""
+    {
+        int atk_idx_{n} = attack_input();
+        byte *atk_arr1_{n} = malloc(16);
+        if (atk_idx_{n} < atk_size_{n}) {
+            int atk_secret_{n} = atk_arr1_{n}[atk_idx_{n}];
+            if (atk_secret_{n} > 64) {
+                atk_sink_{n} = atk_sink_{n} + 1;
+            }
+        }
+        free(atk_arr1_{n});
+    }
+    """,
+]
+
+
+def gadget_snippet(instance: int, variant: int = 0) -> str:
+    """The mini-C statement block for gadget ``instance`` of ``variant``."""
+    template = GADGET_TEMPLATES[variant % len(GADGET_TEMPLATES)]
+    return template.replace("{n}", str(instance))
+
+
+def gadget_globals(instance: int) -> str:
+    """The global declarations needed by gadget ``instance``."""
+    return GADGET_GLOBALS_TEMPLATE.replace("{n}", str(instance))

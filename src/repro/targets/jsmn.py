@@ -1,0 +1,199 @@
+"""``jsmn`` workload: a minimal JSON tokenizer (paper's jsmn stand-in).
+
+The original jsmn is a single-file JSON tokenizer; the mini-C version below
+keeps its structure — a character-classification loop that fills a
+heap-allocated token array behind a bounds check, tracks nesting depth and
+validates primitives — which is exactly the kind of input-indexed,
+bounds-checked code where Spectre-V1 gadgets live.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import AttackPoint, TargetProgram, REGISTRY
+
+SOURCE = r"""
+// jsmn-like JSON tokenizer.
+// Token kinds: 1=object, 2=array, 3=string, 4=primitive.
+
+byte type_table[33] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                       0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+int token_limit = 64;
+
+int is_space(int c) {
+    if (c == ' ') { return 1; }
+    if (c == 9) { return 1; }
+    if (c == 10) { return 1; }
+    if (c == 13) { return 1; }
+    return 0;
+}
+
+int is_delim(int c) {
+    if (c == ',') { return 1; }
+    if (c == ':') { return 1; }
+    if (c == '}') { return 1; }
+    if (c == ']') { return 1; }
+    return 0;
+}
+
+int parse_string(byte *js, int len, int pos, int *tokens, int count) {
+    int i = pos + 1;
+    while (i < len) {
+        int c = js[i];
+        if (c == '"') {
+            /*@ATTACK_POINT:1@*/
+            if (count < token_limit) {
+                tokens[count * 2] = pos + 1;
+                tokens[count * 2 + 1] = i;
+            }
+            return i;
+        }
+        if (c == '\\') {
+            i = i + 1;
+            int esc = js[i];
+            if (esc == 'u') {
+                i = i + 4;
+            }
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+int parse_primitive(byte *js, int len, int pos, int *tokens, int count) {
+    int i = pos;
+    while (i < len) {
+        int c = js[i];
+        if (is_space(c) || is_delim(c)) {
+            break;
+        }
+        if (c < 32) {
+            return 0 - 2;
+        }
+        i = i + 1;
+    }
+    /*@ATTACK_POINT:2@*/
+    if (count < token_limit) {
+        tokens[count * 2] = pos;
+        tokens[count * 2 + 1] = i;
+    }
+    return i - 1;
+}
+
+int jsmn_parse(byte *js, int len) {
+    int *tokens = malloc(token_limit * 16);
+    byte *token_kind = malloc(token_limit);
+    int *depth_stack = malloc(64 * 8);
+    int count = 0;
+    int depth = 0;
+    int pos = 0;
+    while (pos < len) {
+        int c = js[pos];
+        if (c == '{' || c == '[') {
+            /*@ATTACK_POINT:3@*/
+            if (count < token_limit) {
+                token_kind[count] = 1;
+                if (c == '[') {
+                    token_kind[count] = 2;
+                }
+                tokens[count * 2] = pos;
+                tokens[count * 2 + 1] = 0 - 1;
+            }
+            if (depth < 64) {
+                depth_stack[depth] = count;
+            }
+            depth = depth + 1;
+            count = count + 1;
+        } else {
+            if (c == '}' || c == ']') {
+                depth = depth - 1;
+                if (depth >= 0) {
+                    if (depth < 64) {
+                        int open_index = depth_stack[depth];
+                        if (open_index < token_limit) {
+                            tokens[open_index * 2 + 1] = pos;
+                        }
+                    }
+                }
+            } else {
+                if (c == '"') {
+                    int end = parse_string(js, len, pos, tokens, count);
+                    if (end < 0) {
+                        free(tokens);
+                        free(token_kind);
+                        free(depth_stack);
+                        return 0 - 1;
+                    }
+                    if (count < token_limit) {
+                        token_kind[count] = 3;
+                    }
+                    count = count + 1;
+                    pos = end;
+                } else {
+                    if (!is_space(c) && !is_delim(c)) {
+                        int pend = parse_primitive(js, len, pos, tokens, count);
+                        if (pend < 0) {
+                            free(tokens);
+                            free(token_kind);
+                            free(depth_stack);
+                            return 0 - 2;
+                        }
+                        if (count < token_limit) {
+                            token_kind[count] = 4;
+                        }
+                        count = count + 1;
+                        pos = pend;
+                    }
+                }
+            }
+        }
+        pos = pos + 1;
+    }
+    free(tokens);
+    free(token_kind);
+    free(depth_stack);
+    return count;
+}
+
+int main() {
+    byte buf[512];
+    int n = read_input(buf, 512);
+    if (n <= 0) {
+        return 0;
+    }
+    return jsmn_parse(buf, n);
+}
+"""
+
+SEEDS = [
+    b'{"key": "value", "n": 123}',
+    b'[1, 2, 3, {"a": true}, "str"]',
+    b'{"nested": {"deep": [null, false, 1.5]}}',
+    b'plainprimitive',
+]
+
+
+def perf_input(size: int = 256) -> bytes:
+    """A large, deeply structured JSON document (the 'crafted large input')."""
+    parts = [b'{"items": [']
+    index = 0
+    while sum(len(p) for p in parts) < size:
+        parts.append(b'{"id": %d, "name": "item%d"}, ' % (index, index))
+        index += 1
+    parts.append(b'0]}')
+    return b"".join(parts)
+
+
+TARGET = REGISTRY.register(
+    TargetProgram(
+        name="jsmn",
+        source=SOURCE,
+        seeds=SEEDS,
+        attack_points=[
+            AttackPoint(1, "parse_string"),
+            AttackPoint(2, "parse_primitive"),
+            AttackPoint(3, "jsmn_parse"),
+        ],
+        perf_input_builder=perf_input,
+        description="minimal JSON tokenizer (jsmn stand-in)",
+    )
+)

@@ -1,0 +1,242 @@
+"""``libhtp`` workload: an HTTP/1.x request parser.
+
+Mirrors libhtp's request-line and header parsing: method lookup against a
+table, URL percent-decoding through a hex table, header-name hashing into a
+bucket array and chunked-length parsing — all bounds-checked, input-indexed
+accesses.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import AttackPoint, TargetProgram, REGISTRY
+
+SOURCE = r"""
+byte method_table[8] = {3, 4, 4, 3, 6, 5, 7, 5};
+int bucket_count = 32;
+
+int hex_digit(int c) {
+    if (c >= '0' && c <= '9') {
+        return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+    }
+    return 0 - 1;
+}
+
+int parse_method(byte *req, int len) {
+    int m = 0;
+    if (len < 3) {
+        return 0 - 1;
+    }
+    if (req[0] == 'G') { m = 1; }
+    if (req[0] == 'P') { m = 2; }
+    if (req[0] == 'D') { m = 3; }
+    if (req[0] == 'H') { m = 4; }
+    /*@ATTACK_POINT:1@*/
+    if (m < 8) {
+        return method_table[m];
+    }
+    return 0;
+}
+
+int decode_url(byte *url, int len, byte *out, int out_cap) {
+    int out_len = 0;
+    int i = 0;
+    while (i < len) {
+        int c = url[i];
+        if (c == '%') {
+            /*@ATTACK_POINT:2@*/
+            if (i + 2 < len) {
+                int hi = hex_digit(url[i + 1]);
+                int lo = hex_digit(url[i + 2]);
+                if (hi >= 0 && lo >= 0) {
+                    c = hi * 16 + lo;
+                    i = i + 2;
+                }
+            }
+        }
+        /*@ATTACK_POINT:3@*/
+        if (out_len < out_cap) {
+            out[out_len] = c;
+        }
+        out_len = out_len + 1;
+        if (c == ' ') {
+            break;
+        }
+        i = i + 1;
+    }
+    return out_len;
+}
+
+int hash_header(byte *name, int len) {
+    int h = 5381;
+    int i = 0;
+    while (i < len) {
+        h = h * 33 + name[i];
+        i = i + 1;
+    }
+    return h & 31;
+}
+
+int parse_headers(byte *req, int len, int start, int *buckets, byte *values) {
+    int pos = start;
+    int header_count = 0;
+    while (pos < len) {
+        int name_start = pos;
+        while (pos < len && req[pos] != ':' && req[pos] != 13) {
+            pos = pos + 1;
+        }
+        if (pos >= len || req[pos] != ':') {
+            break;
+        }
+        int name_len = pos - name_start;
+        int bucket = hash_header(req + name_start, name_len);
+        /*@ATTACK_POINT:4@*/
+        if (bucket < bucket_count) {
+            buckets[bucket] = buckets[bucket] + 1;
+        }
+        pos = pos + 1;
+        int value_start = pos;
+        while (pos < len && req[pos] != 13) {
+            pos = pos + 1;
+        }
+        int value_len = pos - value_start;
+        /*@ATTACK_POINT:5@*/
+        if (value_len < 64) {
+            if (header_count < 16) {
+                memcpy(values + header_count * 64, req + value_start, value_len);
+            }
+        }
+        header_count = header_count + 1;
+        pos = pos + 2;
+    }
+    return header_count;
+}
+
+int parse_chunked(byte *body, int len, byte *out, int out_cap) {
+    int pos = 0;
+    int total = 0;
+    while (pos < len) {
+        int chunk_len = 0;
+        while (pos < len) {
+            int d = hex_digit(body[pos]);
+            if (d < 0) {
+                break;
+            }
+            chunk_len = chunk_len * 16 + d;
+            pos = pos + 1;
+        }
+        pos = pos + 2;
+        if (chunk_len == 0) {
+            break;
+        }
+        /*@ATTACK_POINT:6@*/
+        if (total + chunk_len < out_cap) {
+            int j = 0;
+            while (j < chunk_len && pos + j < len) {
+                out[total + j] = body[pos + j];
+                j = j + 1;
+            }
+        }
+        total = total + chunk_len;
+        pos = pos + chunk_len + 2;
+    }
+    return total;
+}
+
+int parse_request(byte *req, int len) {
+    int *buckets = malloc(bucket_count * 8);
+    byte *values = malloc(16 * 64);
+    byte *decoded = malloc(256);
+    byte *body = malloc(512);
+    memset(buckets, 0, bucket_count * 8);
+    int method = parse_method(req, len);
+    if (method < 0) {
+        return 0 - 1;
+    }
+    int url_start = 0;
+    while (url_start < len && req[url_start] != ' ') {
+        url_start = url_start + 1;
+    }
+    url_start = url_start + 1;
+    int url_len = decode_url(req + url_start, len - url_start, decoded, 256);
+    int header_start = url_start;
+    while (header_start + 1 < len) {
+        if (req[header_start] == 10) {
+            header_start = header_start + 1;
+            break;
+        }
+        header_start = header_start + 1;
+    }
+    int headers = parse_headers(req, len, header_start, buckets, values);
+    int body_start = header_start;
+    while (body_start + 3 < len) {
+        if (req[body_start] == 13 && req[body_start + 2] == 13) {
+            body_start = body_start + 4;
+            break;
+        }
+        body_start = body_start + 1;
+    }
+    int body_len = 0;
+    if (body_start < len) {
+        /*@ATTACK_POINT:7@*/
+        body_len = parse_chunked(req + body_start, len - body_start, body, 512);
+    }
+    free(buckets);
+    free(values);
+    free(decoded);
+    free(body);
+    return method + url_len + headers * 16 + body_len;
+}
+
+int main() {
+    byte buf[1024];
+    int n = read_input(buf, 1024);
+    if (n <= 0) {
+        return 0;
+    }
+    return parse_request(buf, n);
+}
+"""
+
+SEEDS = [
+    b"GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n",
+    b"POST /a%20b?q=1 HTTP/1.1\r\nContent-Type: text/plain\r\n\r\n5\r\nhello\r\n0\r\n",
+    b"HEAD / HTTP/1.0\r\nUser-Agent: fuzz\r\n\r\n",
+]
+
+
+def perf_input(size: int = 256) -> bytes:
+    """A request with many headers and a chunked body."""
+    headers = [b"GET /path/%41%42%43/resource HTTP/1.1\r\n"]
+    index = 0
+    while sum(len(h) for h in headers) < size * 3 // 4:
+        headers.append(b"X-Header-%d: value-%d\r\n" % (index, index))
+        index += 1
+    headers.append(b"\r\n")
+    body = b"a\r\n0123456789\r\n0\r\n"
+    return b"".join(headers) + body
+
+
+TARGET = REGISTRY.register(
+    TargetProgram(
+        name="libhtp",
+        source=SOURCE,
+        seeds=SEEDS,
+        attack_points=[
+            AttackPoint(1, "parse_method"),
+            AttackPoint(2, "decode_url"),
+            AttackPoint(3, "decode_url"),
+            AttackPoint(4, "parse_headers"),
+            AttackPoint(5, "parse_headers"),
+            AttackPoint(6, "parse_chunked"),
+            AttackPoint(7, "parse_request"),
+        ],
+        perf_input_builder=perf_input,
+        description="HTTP/1.x request parser (libhtp stand-in)",
+    )
+)

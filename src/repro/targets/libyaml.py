@@ -1,0 +1,219 @@
+"""``libyaml`` workload: a line-oriented YAML-ish scanner.
+
+Mirrors the structure of libyaml's scanner: indentation tracking with a
+stack, key/value splitting, flow-sequence parsing and escape handling.  The
+flow-sequence module (``scan_flow_mapping``) is deliberately *not* reachable
+from the fuzzing driver — the paper's Table 3 experiment injects two gadgets
+into libyaml modules the driver never covers, and those become the two
+expected false negatives for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import AttackPoint, TargetProgram, REGISTRY
+
+SOURCE = r"""
+int indent_limit = 32;
+int key_limit = 64;
+
+int scan_indent(byte *line, int len) {
+    int i = 0;
+    while (i < len) {
+        if (line[i] != ' ') {
+            break;
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+int scan_escape(byte *line, int len, int pos, byte *out, int out_cap, int out_len) {
+    int c = line[pos];
+    int value = c;
+    if (c == 'n') { value = 10; }
+    if (c == 't') { value = 9; }
+    if (c == 'x') {
+        /*@ATTACK_POINT:1@*/
+        if (pos + 2 < len) {
+            int hi = line[pos + 1];
+            int lo = line[pos + 2];
+            value = (hi - '0') * 16 + (lo - '0');
+        }
+    }
+    /*@ATTACK_POINT:2@*/
+    if (out_len < out_cap) {
+        out[out_len] = value;
+    }
+    return value;
+}
+
+int scan_scalar(byte *line, int len, int start, byte *out, int out_cap) {
+    int out_len = 0;
+    int i = start;
+    while (i < len) {
+        int c = line[i];
+        if (c == '#') {
+            break;
+        }
+        if (c == '\\') {
+            i = i + 1;
+            scan_escape(line, len, i, out, out_cap, out_len);
+            out_len = out_len + 1;
+        } else {
+            /*@ATTACK_POINT:3@*/
+            if (out_len < out_cap) {
+                out[out_len] = c;
+            }
+            out_len = out_len + 1;
+        }
+        i = i + 1;
+    }
+    return out_len;
+}
+
+int scan_key(byte *line, int len, int start, int *key_lens, int key_count) {
+    int i = start;
+    while (i < len) {
+        if (line[i] == ':') {
+            /*@ATTACK_POINT:4@*/
+            if (key_count < key_limit) {
+                key_lens[key_count] = i - start;
+            }
+            return i;
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+
+// Flow mappings ({a: 1, b: 2}) are not exercised by the fuzzing driver;
+// gadgets injected here are unreachable (paper §7.2, the two libyaml FNs).
+int scan_flow_mapping(byte *line, int len, int start, byte *out, int out_cap) {
+    int i = start;
+    int items = 0;
+    while (i < len) {
+        int c = line[i];
+        if (c == '}') {
+            return items;
+        }
+        if (c == ',') {
+            items = items + 1;
+            /*@ATTACK_POINT:5@*/
+            if (items < out_cap) {
+                out[items] = i;
+            }
+        }
+        if (c == '[') {
+            /*@ATTACK_POINT:6@*/
+            if (items < out_cap) {
+                out[items] = c;
+            }
+        }
+        i = i + 1;
+    }
+    return items;
+}
+
+int scan_document(byte *doc, int len) {
+    int *indent_stack = malloc(indent_limit * 8);
+    int *key_lens = malloc(key_limit * 8);
+    byte *scalar_buf = malloc(256);
+    int depth = 0;
+    int keys = 0;
+    int scalars = 0;
+    int pos = 0;
+    while (pos < len) {
+        int line_start = pos;
+        while (pos < len && doc[pos] != 10) {
+            pos = pos + 1;
+        }
+        int line_len = pos - line_start;
+        if (line_len > 0) {
+            int indent = scan_indent(doc + line_start, line_len);
+            /*@ATTACK_POINT:7@*/
+            if (depth < indent_limit) {
+                indent_stack[depth] = indent;
+            }
+            if (depth > 0) {
+                int prev = depth - 1;
+                /*@ATTACK_POINT:8@*/
+                if (prev < indent_limit) {
+                    if (indent > indent_stack[prev]) {
+                        depth = depth + 1;
+                    } else {
+                        depth = depth - 1;
+                    }
+                }
+            } else {
+                depth = depth + 1;
+            }
+            int colon = scan_key(doc + line_start, line_len, indent, key_lens, keys);
+            if (colon >= 0) {
+                keys = keys + 1;
+                /*@ATTACK_POINT:9@*/
+                scalars = scalars + scan_scalar(doc + line_start, line_len,
+                                                colon + 1, scalar_buf, 256);
+            } else {
+                /*@ATTACK_POINT:10@*/
+                scalars = scalars + scan_scalar(doc + line_start, line_len,
+                                                indent, scalar_buf, 256);
+            }
+        }
+        pos = pos + 1;
+    }
+    free(indent_stack);
+    free(key_lens);
+    free(scalar_buf);
+    return keys * 256 + scalars;
+}
+
+int main() {
+    byte buf[768];
+    int n = read_input(buf, 768);
+    if (n <= 0) {
+        return 0;
+    }
+    return scan_document(buf, n);
+}
+"""
+
+SEEDS = [
+    b"key: value\nlist:\n  - a\n  - b\n",
+    b"name: test\nnested:\n  deep:\n    x: 1\n",
+    b"escaped: \"a\\x41b\"\nplain: hello # comment\n",
+]
+
+
+def perf_input(size: int = 256) -> bytes:
+    """A deeply indented YAML document."""
+    lines = []
+    level = 0
+    index = 0
+    while sum(len(l) for l in lines) < size:
+        lines.append(b" " * (level * 2) + b"key%d: value_%d\n" % (index, index))
+        level = (level + 1) % 6
+        index += 1
+    return b"".join(lines)
+
+
+TARGET = REGISTRY.register(
+    TargetProgram(
+        name="libyaml",
+        source=SOURCE,
+        seeds=SEEDS,
+        attack_points=[
+            AttackPoint(1, "scan_escape"),
+            AttackPoint(2, "scan_escape"),
+            AttackPoint(3, "scan_scalar"),
+            AttackPoint(4, "scan_key"),
+            AttackPoint(5, "scan_flow_mapping", reachable=False),
+            AttackPoint(6, "scan_flow_mapping", reachable=False),
+            AttackPoint(7, "scan_document"),
+            AttackPoint(8, "scan_document"),
+            AttackPoint(9, "scan_document"),
+            AttackPoint(10, "scan_document"),
+        ],
+        perf_input_builder=perf_input,
+        description="line-oriented YAML scanner (libyaml stand-in)",
+    )
+)

@@ -1,0 +1,202 @@
+"""``openssl`` workload: a TLS-record server-side parser.
+
+Mirrors the shape of the openssl server fuzzing driver the paper evaluates:
+record-header parsing, handshake-message dispatch (a ``switch`` over message
+types — the Figure 2 lowering question applies directly), cipher-suite
+table lookups and extension parsing with length checks.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import AttackPoint, TargetProgram, REGISTRY
+
+SOURCE = r"""
+byte suite_strength[16] = {0, 1, 1, 2, 2, 3, 3, 3, 2, 1, 0, 2, 3, 1, 2, 3};
+int max_extensions = 16;
+
+int read_u16(byte *buf, int pos) {
+    return buf[pos] * 256 + buf[pos + 1];
+}
+
+int parse_cipher_suites(byte *buf, int len, int pos, int count, int *chosen) {
+    int best = 0 - 1;
+    int best_strength = 0 - 1;
+    int i = 0;
+    while (i < count && pos + 1 < len) {
+        int suite = read_u16(buf, pos);
+        int idx = suite & 15;
+        /*@ATTACK_POINT:1@*/
+        if (idx < 16) {
+            int strength = suite_strength[idx];
+            if (strength > best_strength) {
+                best_strength = strength;
+                best = suite;
+            }
+        }
+        pos = pos + 2;
+        i = i + 1;
+    }
+    chosen[0] = best;
+    return pos;
+}
+
+int parse_extensions(byte *buf, int len, int pos, int *ext_types, int *ext_lens) {
+    int count = 0;
+    while (pos + 3 < len) {
+        int ext_type = read_u16(buf, pos);
+        int ext_len = read_u16(buf, pos + 2);
+        pos = pos + 4;
+        /*@ATTACK_POINT:2@*/
+        if (count < max_extensions) {
+            ext_types[count] = ext_type;
+            ext_lens[count] = ext_len;
+        }
+        count = count + 1;
+        pos = pos + ext_len;
+    }
+    return count;
+}
+
+int parse_client_hello(byte *buf, int len, int pos, byte *session, int *chosen) {
+    if (pos + 34 > len) {
+        return 0 - 1;
+    }
+    pos = pos + 2 + 32;
+    int session_len = buf[pos];
+    pos = pos + 1;
+    /*@ATTACK_POINT:3@*/
+    if (session_len <= 32) {
+        int i = 0;
+        while (i < session_len && pos + i < len) {
+            session[i] = buf[pos + i];
+            i = i + 1;
+        }
+    }
+    pos = pos + session_len;
+    if (pos + 1 >= len) {
+        return 0 - 1;
+    }
+    int suites_len = read_u16(buf, pos);
+    pos = pos + 2;
+    pos = parse_cipher_suites(buf, len, pos, suites_len / 2, chosen);
+    return pos;
+}
+
+int handle_handshake(byte *buf, int len, int pos, byte *session, int *chosen) {
+    if (pos >= len) {
+        return 0 - 1;
+    }
+    int msg_type = buf[pos];
+    int result = 0;
+    pos = pos + 4;
+    switch (msg_type) {
+        case 1: {
+            result = parse_client_hello(buf, len, pos, session, chosen);
+        }
+        case 11: {
+            /*@ATTACK_POINT:4@*/
+            result = pos + 1;
+        }
+        case 16: {
+            result = pos + 2;
+        }
+        default: {
+            result = 0 - 2;
+        }
+    }
+    return result;
+}
+
+int process_records(byte *buf, int len) {
+    byte *session = malloc(64);
+    int *chosen = malloc(8);
+    int *ext_types = malloc(max_extensions * 8);
+    int *ext_lens = malloc(max_extensions * 8);
+    int pos = 0;
+    int records = 0;
+    int status = 0;
+    while (pos + 4 < len) {
+        int record_type = buf[pos];
+        int record_len = read_u16(buf, pos + 3);
+        pos = pos + 5;
+        /*@ATTACK_POINT:5@*/
+        if (record_len > len - pos) {
+            record_len = len - pos;
+        }
+        if (record_type == 22) {
+            status = handle_handshake(buf, len, pos, session, chosen);
+            if (status > 0) {
+                int ext_count = parse_extensions(buf, pos + record_len, status,
+                                                 ext_types, ext_lens);
+                records = records + ext_count;
+            }
+        } else {
+            if (record_type == 23) {
+                // Application data: checksum it.
+                int sum = 0;
+                int i = 0;
+                while (i < record_len && pos + i < len) {
+                    sum = sum + buf[pos + i];
+                    i = i + 1;
+                }
+                records = records + (sum & 15);
+            }
+        }
+        pos = pos + record_len;
+        records = records + 1;
+    }
+    free(session);
+    free(chosen);
+    free(ext_types);
+    free(ext_lens);
+    return records;
+}
+
+int main() {
+    byte buf[1024];
+    int n = read_input(buf, 1024);
+    if (n <= 0) {
+        return 0;
+    }
+    return process_records(buf, n);
+}
+"""
+
+SEEDS = [
+    bytes([22, 3, 3, 0, 50, 1, 0, 0, 46, 3, 3]) + bytes(32) + bytes([4, 1, 2, 3, 4])
+    + bytes([0, 4, 0, 5, 0, 9]) + bytes([0, 10, 0, 2, 0, 1]),
+    bytes([23, 3, 3, 0, 8]) + b"appdata!",
+    bytes([22, 3, 1, 0, 12, 11, 0, 0, 8]) + bytes(8),
+]
+
+
+def perf_input(size: int = 256) -> bytes:
+    """A stream of handshake and application-data records."""
+    out = bytearray()
+    index = 0
+    while len(out) < size:
+        payload = bytes([1, 0, 0, 46, 3, 3]) + bytes(32) + bytes([4, 1, 2, 3, 4]) \
+            + bytes([0, 8]) + bytes([0, index % 16, 0, (index + 5) % 16,
+                                     0, (index + 9) % 16, 0, (index + 3) % 16])
+        out += bytes([22, 3, 3, 0, len(payload)]) + payload
+        out += bytes([23, 3, 3, 0, 6]) + b"%06d" % index
+        index += 1
+    return bytes(out[:size])
+
+
+TARGET = REGISTRY.register(
+    TargetProgram(
+        name="openssl",
+        source=SOURCE,
+        seeds=SEEDS,
+        attack_points=[
+            AttackPoint(1, "parse_cipher_suites"),
+            AttackPoint(2, "parse_extensions"),
+            AttackPoint(3, "parse_client_hello"),
+            AttackPoint(4, "handle_handshake"),
+            AttackPoint(5, "process_records"),
+        ],
+        perf_input_builder=perf_input,
+        description="TLS-record server parser (openssl server driver stand-in)",
+    )
+)

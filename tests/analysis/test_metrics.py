@@ -1,0 +1,73 @@
+"""Tests for detection scoring and the experiment harness plumbing."""
+
+import pytest
+
+from repro.analysis.metrics import DetectionScore, classify_reports, precision_recall
+from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
+from repro.targets import get_target, inject_gadgets
+from repro.core import TeapotRewriter
+
+
+def test_detection_score_derived_metrics():
+    score = DetectionScore(ground_truth=10, true_positives=8, false_positives=2,
+                           false_negatives=2)
+    assert score.precision == pytest.approx(0.8)
+    assert score.recall == pytest.approx(0.8)
+    row = score.as_row()
+    assert row["GT"] == 10 and row["TP"] == 8
+
+
+def test_detection_score_edge_cases():
+    silent = DetectionScore(5, 0, 0, 5)
+    assert silent.precision == 1.0 and silent.recall == 0.0
+    empty_gt = DetectionScore(0, 0, 3, 0)
+    assert empty_gt.recall == 1.0
+    assert precision_recall(3, 1, 4) == (0.75, 0.75)
+
+
+@pytest.fixture(scope="module")
+def injected_jsmn():
+    injected = inject_gadgets(get_target("jsmn"))
+    instrumented = TeapotRewriter().instrument(injected.binary)
+    return injected, instrumented
+
+
+def _report(pc, attacker=AttackerClass.USER):
+    return GadgetReport(tool="teapot", channel=Channel.MDS, attacker=attacker,
+                        pc=pc, branch_addresses=(0,), depth=1)
+
+
+def test_classify_reports_function_attribution(injected_jsmn):
+    injected, instrumented = injected_jsmn
+    # A report inside a gadget-bearing function counts toward its gadgets.
+    gadget_function = injected.gadgets[0].function
+    shadow = instrumented.symbol(gadget_function + "$spec")
+    hit = _report(shadow.address + 5)
+    # A report in a function without gadgets is a false positive.
+    clean_fn = instrumented.symbol("is_space")
+    miss = _report(clean_fn.address + 5)
+    score = classify_reports(injected, [hit, miss], instrumented)
+    assert score.true_positives >= 1
+    assert score.false_positives == 1
+    assert score.ground_truth == injected.ground_truth_count
+
+
+def test_classify_reports_ignores_massage_when_requested(injected_jsmn):
+    injected, instrumented = injected_jsmn
+    gadget_function = injected.gadgets[0].function
+    shadow = instrumented.symbol(gadget_function + "$spec")
+    massage_only = [_report(shadow.address + 5, attacker=AttackerClass.MASSAGE)]
+    score = classify_reports(injected, massage_only, instrumented,
+                             require_user_attacker=True)
+    assert score.true_positives == 0
+    score2 = classify_reports(injected, massage_only, instrumented,
+                              require_user_attacker=False)
+    assert score2.true_positives >= 1
+
+
+def test_classify_reports_empty_is_all_false_negatives(injected_jsmn):
+    injected, instrumented = injected_jsmn
+    score = classify_reports(injected, [], instrumented)
+    assert score.true_positives == 0
+    assert score.false_negatives == injected.ground_truth_count
+    assert score.precision == 1.0

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import AsmProgram, Assembler
+from repro.isa.builder import FunctionBuilder
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.binary_format import DataObject
+from repro.minic.compiler import compile_source
+
+
+@pytest.fixture
+def simple_binary():
+    """A tiny hand-assembled binary: main() calls helper(5) and returns 8."""
+    main = FunctionBuilder("main")
+    main.prologue(16)
+    main.mov(Reg(Register.R1), Imm(5))
+    main.call("helper")
+    main.epilogue()
+    helper = FunctionBuilder("helper")
+    helper.mov(Reg(Register.R0), Reg(Register.R1))
+    helper.add(Reg(Register.R0), Imm(3))
+    helper.ret()
+    program = AsmProgram(functions=[main.build(), helper.build()])
+    return Assembler().assemble(program)
+
+
+#: The canonical Spectre-V1 victim used throughout the integration tests:
+#: a bounds-checked, attacker-indexed double load over heap arrays.
+SPECTRE_VICTIM_SOURCE = r"""
+int limit = 16;
+
+int victim(byte *arr1, byte *arr2, int index) {
+    int value = 0;
+    if (index < limit) {
+        value = arr2[arr1[index] * 2];
+    }
+    return value;
+}
+
+int main() {
+    byte buf[16];
+    int n = read_input(buf, 16);
+    if (n < 8) {
+        return 0;
+    }
+    int index = buf[0] + buf[1] * 256 + buf[2] * 65536 + buf[3] * 16777216;
+    byte *arr1 = malloc(16);
+    byte *arr2 = malloc(512);
+    int result = victim(arr1, arr2, index);
+    free(arr1);
+    free(arr2);
+    return result;
+}
+"""
+
+
+@pytest.fixture
+def spectre_victim_binary():
+    """The canonical Spectre-V1 victim compiled from mini-C."""
+    return compile_source(SPECTRE_VICTIM_SOURCE)
+
+
+@pytest.fixture
+def oob_input():
+    """An input driving the victim's index far out of bounds."""
+    return (1 << 30).to_bytes(4, "little") + bytes(12)
+
+
+@pytest.fixture
+def inbounds_input():
+    """An input keeping the victim's index in bounds."""
+    return bytes([3, 0, 0, 0]) + bytes(12)

@@ -1,0 +1,153 @@
+"""Runtime detection tests: Teapot over Spectre-V1 victims."""
+
+import pytest
+
+from repro.core import TeapotConfig, TeapotRewriter
+from repro.core.teapot import TeapotRuntime
+from repro.runtime import Emulator
+from repro.sanitizers.reports import AttackerClass, Channel
+
+
+@pytest.fixture(scope="module")
+def victim_runtime():
+    from tests.conftest import SPECTRE_VICTIM_SOURCE
+    from repro.minic.compiler import compile_source
+    binary = compile_source(SPECTRE_VICTIM_SOURCE)
+    instrumented = TeapotRewriter().instrument(binary)
+    return TeapotRuntime(instrumented)
+
+
+def test_oob_index_reports_user_gadget(victim_runtime, oob_input):
+    result = victim_runtime.run(oob_input)
+    assert result.ok
+    categories = {r.category for r in result.reports}
+    assert "User-MDS" in categories
+    assert result.spec_stats["simulations_started"] > 0
+
+
+def test_inbounds_index_reports_nothing_harmful(victim_runtime, inbounds_input):
+    result = victim_runtime.run(inbounds_input)
+    assert result.ok
+    user_reports = [r for r in result.reports if r.attacker is AttackerClass.USER]
+    assert user_reports == []
+
+
+def test_reports_carry_branch_context(victim_runtime, oob_input):
+    result = victim_runtime.run(oob_input)
+    report = [r for r in result.reports if r.channel is Channel.MDS][0]
+    assert report.depth >= 1
+    assert len(report.branch_addresses) == report.depth
+    assert report.tool == "teapot"
+
+
+def test_rollback_restores_architectural_results(victim_runtime, oob_input, inbounds_input):
+    # The architectural result must be identical with and without gadget
+    # detection: speculation simulation may not leak into real state.
+    plain = Emulator(victim_runtime.binary).run(inbounds_input)
+    detected = victim_runtime.run(inbounds_input)
+    assert plain.exit_status == detected.exit_status
+
+
+def test_heap_redzone_overflow_detected():
+    """A one-past-the-end speculative overflow into a redzone is caught."""
+    from repro.minic.compiler import compile_source
+    source = r"""
+    int size = 16;
+    int main() {
+        byte buf[16];
+        int n = read_input(buf, 16);
+        byte *arr = malloc(16);
+        byte *probe = malloc(512);
+        int index = buf[0];
+        int value = 0;
+        if (index < size) {
+            value = probe[arr[index]];
+        }
+        free(arr);
+        free(probe);
+        return value;
+    }
+    """
+    binary = compile_source(source)
+    runtime = TeapotRuntime(TeapotRewriter().instrument(binary))
+    # index = 24: in the right redzone of arr (16-byte allocation).
+    result = runtime.run(bytes([24] + [0] * 15))
+    assert any(r.channel is Channel.MDS and r.attacker is AttackerClass.USER
+               for r in result.reports)
+
+
+def test_port_contention_gadget_detected():
+    from repro.minic.compiler import compile_source
+    source = r"""
+    int limit = 8;
+    int main() {
+        byte buf[16];
+        int n = read_input(buf, 16);
+        byte *secrets = malloc(8);
+        int index = buf[0] + buf[1] * 256;
+        int decision = 0;
+        if (index < limit) {
+            int secret = secrets[index];
+            if (secret > 10) {
+                decision = 1;
+            }
+        }
+        free(secrets);
+        return decision;
+    }
+    """
+    binary = compile_source(source)
+    runtime = TeapotRuntime(TeapotRewriter().instrument(binary))
+    # index = 16: lands in the heap redzone right after the 8-byte secrets
+    # allocation, so the speculative load is sanitizer-visible and the loaded
+    # "secret" then decides a branch (the port-contention transmitter).
+    result = runtime.run(bytes([16, 0] + [0] * 14))
+    channels = {r.channel for r in result.reports}
+    assert Channel.PORT in channels
+
+
+def test_massage_policy_produces_indirect_reports():
+    """An untainted speculative OOB result used as a pointer is Massage-*."""
+    from repro.minic.compiler import compile_source
+    source = r"""
+    int count = 2;
+    int main() {
+        byte buf[8];
+        int n = read_input(buf, 8);
+        int *lengths = malloc(32);
+        byte *probe = malloc(256);
+        lengths[0] = 1;
+        int i = 0;
+        int total = 0;
+        while (i < n) {
+            if (i < count) {
+                int wild = lengths[i + 3];
+                total = total + probe[wild];
+            }
+            i = i + 1;
+        }
+        free(lengths);
+        free(probe);
+        return total;
+    }
+    """
+    # lengths holds 4 words; in the mispredicted `i < count` path with i = 2
+    # the access lengths[5] lands in the allocation's redzone, its (untainted)
+    # result becomes attacker-indirect data, and the following dereference
+    # through it is a Massage-* gadget.
+    binary = compile_source(source)
+    config = TeapotConfig(massage_enabled=True)
+    runtime = TeapotRuntime(TeapotRewriter(config).instrument(binary), config=config)
+    result = runtime.run(bytes([1, 2, 3]))
+    attackers = {r.attacker for r in result.reports}
+    assert AttackerClass.MASSAGE in attackers
+
+
+def test_massage_disabled_suppresses_indirect_reports():
+    from repro.minic.compiler import compile_source
+    from tests.conftest import SPECTRE_VICTIM_SOURCE
+    binary = compile_source(SPECTRE_VICTIM_SOURCE)
+    config = TeapotConfig(massage_enabled=False)
+    runtime = TeapotRuntime(TeapotRewriter(config).instrument(binary), config=config)
+    result = runtime.run((1 << 30).to_bytes(4, "little") + bytes(12))
+    assert all(r.attacker is not AttackerClass.MASSAGE for r in result.reports)

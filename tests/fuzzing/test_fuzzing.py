@@ -1,0 +1,165 @@
+"""Tests for the corpus, mutators, coverage maps and fuzzer loop."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TeapotRewriter
+from repro.core.teapot import TeapotRuntime
+from repro.coverage.sancov import CoverageMap, CoverageRuntime
+from repro.fuzzing import Corpus, Fuzzer, FuzzTarget, Mutator
+from repro.minic.compiler import compile_source
+
+
+# -- coverage ------------------------------------------------------------------
+
+def test_coverage_map_dedup():
+    cov = CoverageMap()
+    assert cov.add(1)
+    assert not cov.add(1)
+    assert cov.add_many([1, 2, 3]) == 2
+    assert len(cov) == 3
+    assert 2 in cov
+
+
+def test_coverage_runtime_lazy_speculative_flush():
+    runtime = CoverageRuntime()
+    runtime.trace_normal(1)
+    runtime.note_speculative(10)
+    runtime.note_speculative(11)
+    # Notes are not visible until the flush at rollback time.
+    assert runtime.new_coverage_signature() == (1, 0)
+    assert runtime.flush_speculative() == 2
+    assert runtime.new_coverage_signature() == (1, 2)
+    assert runtime.lazy_flushes == 1
+
+
+def test_coverage_runtime_reset_drops_pending_notes():
+    runtime = CoverageRuntime()
+    runtime.note_speculative(5)
+    runtime.reset_execution_state()
+    assert runtime.flush_speculative() == 0
+
+
+# -- corpus -----------------------------------------------------------------------
+
+def test_corpus_deduplicates_inputs():
+    corpus = Corpus([b"a"])
+    assert not corpus.add(b"a", 1, 1)
+    assert corpus.add(b"b", 2, 2)
+    assert len(corpus) == 2
+    assert corpus.total_bytes() == 2
+
+
+def test_corpus_select_round_robin():
+    corpus = Corpus([b"a", b"b"])
+    assert corpus.select(0).data == b"a"
+    assert corpus.select(1).data == b"b"
+    assert corpus.select(2).data == b"a"
+    with pytest.raises(IndexError):
+        Corpus([]).select(0)
+
+
+# -- mutators --------------------------------------------------------------------
+
+def test_mutator_is_deterministic_for_fixed_seed():
+    a = Mutator(random.Random(7)).mutate(b"hello world")
+    b = Mutator(random.Random(7)).mutate(b"hello world")
+    assert a == b
+
+
+def test_mutator_never_returns_empty_and_respects_max_size():
+    mutator = Mutator(random.Random(3), max_size=32)
+    data = b"x" * 32
+    for _ in range(200):
+        data = mutator.mutate(data)
+        assert 1 <= len(data) <= 32
+
+
+@given(st.binary(min_size=0, max_size=64), st.integers(0, 2 ** 31))
+@settings(max_examples=100, deadline=None)
+def test_mutator_output_properties(data, seed):
+    """Property: mutation always yields a non-empty, bounded bytestring."""
+    mutator = Mutator(random.Random(seed), max_size=128)
+    out = mutator.mutate(data)
+    assert isinstance(out, bytes)
+    assert 1 <= len(out) <= 128
+
+
+# -- fuzzer ------------------------------------------------------------------------
+
+FUZZ_SOURCE = r"""
+int limit = 8;
+int main() {
+    byte buf[32];
+    int n = read_input(buf, 32);
+    byte *arr = malloc(8);
+    byte *probe = malloc(512);
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        if (buf[i] < limit) {
+            total = total + probe[arr[buf[i]]];
+        } else {
+            total = total + 1;
+        }
+    }
+    free(arr);
+    free(probe);
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fuzz_runtime():
+    binary = compile_source(FUZZ_SOURCE)
+    instrumented = TeapotRewriter().instrument(binary)
+    return TeapotRuntime(instrumented)
+
+
+def test_campaign_is_deterministic(fuzz_runtime):
+    def campaign():
+        fuzzer = Fuzzer(FuzzTarget(fuzz_runtime), seeds=[b"\x01\x02\x03"], seed=42)
+        return fuzzer.run_campaign(20)
+
+    first = campaign()
+    second = campaign()
+    assert first.executions == second.executions == 20
+    assert first.corpus_size == second.corpus_size
+    # Gadget sites are cumulative across the shared runtime but the counts of
+    # the two identical campaigns must agree.
+    assert first.gadget_count() == second.gadget_count()
+
+
+def test_campaign_grows_coverage_and_finds_gadgets(fuzz_runtime):
+    fuzzer = Fuzzer(FuzzTarget(fuzz_runtime),
+                    seeds=[b"\x01\x02\x03", b"\xff\x20\x05\x09"], seed=7)
+    result = fuzzer.run_campaign(30)
+    assert result.executions == 30
+    assert result.normal_coverage > 0
+    assert result.speculative_coverage > 0
+    assert result.corpus_size >= 2
+    assert result.gadget_count() >= 1
+    categories = result.count_by_category()
+    assert any(key.startswith("User-") for key in categories)
+
+
+def test_campaign_counts_crashes():
+    source = r"""
+    int main() {
+        byte buf[4];
+        int n = read_input(buf, 4);
+        if (n > 2) {
+            byte *p = 0;
+            return p[5];
+        }
+        return 0;
+    }
+    """
+    binary = compile_source(source)
+    from repro.runtime import Emulator
+    fuzzer = Fuzzer(FuzzTarget(Emulator(binary)), seeds=[b"abc"], seed=1)
+    result = fuzzer.run_campaign(5)
+    assert result.crashes >= 1

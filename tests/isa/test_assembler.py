@@ -1,0 +1,170 @@
+"""Tests for the two-pass assembler."""
+
+import struct
+
+import pytest
+
+from repro.isa.assembler import AsmFunction, AsmProgram, Assembler, AssemblerError
+from repro.isa.builder import FunctionBuilder
+from repro.isa.encoding import decode_instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.binary_format import DataObject, RelocationKind, SymbolKind
+
+
+def _single_function(name="main", body=None):
+    builder = FunctionBuilder(name)
+    if body:
+        body(builder)
+    else:
+        builder.mov(Reg(Register.R0), Imm(0))
+        builder.ret()
+    return builder.build()
+
+
+def test_assemble_produces_sections_and_symbols(simple_binary):
+    assert simple_binary.text.size > 0
+    names = {s.name for s in simple_binary.symbols}
+    assert {"main", "helper"} <= names
+    main = simple_binary.symbol("main")
+    assert main.kind is SymbolKind.FUNCTION
+    assert main.address == simple_binary.layout.text_base
+
+
+def test_function_sizes_cover_text(simple_binary):
+    total = sum(s.size for s in simple_binary.function_symbols())
+    assert total == simple_binary.text.size
+
+
+def test_duplicate_function_rejected():
+    program = AsmProgram(functions=[_single_function(), ])
+    with pytest.raises(AssemblerError):
+        program.add_function(_single_function())
+
+
+def test_undefined_label_rejected():
+    builder = FunctionBuilder("main")
+    builder.jmp("nowhere")
+    program = AsmProgram(functions=[builder.build()])
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(program)
+
+
+def test_undefined_entry_rejected():
+    program = AsmProgram(functions=[_single_function("not_main")])
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(program)
+
+
+def test_duplicate_local_label_rejected():
+    builder = FunctionBuilder("main")
+    builder.label("here")
+    builder.label("here")
+    builder.ret()
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(AsmProgram(functions=[builder.build()]))
+
+
+def test_ecall_builds_import_table():
+    def body(b):
+        b.ecall("malloc")
+        b.ecall("free")
+        b.ecall("malloc")
+        b.ret()
+    program = AsmProgram(functions=[_single_function("main", body)])
+    binary = Assembler().assemble(program)
+    assert binary.imports == ["malloc", "free"]
+    # The encoded ecall operand is the import index.
+    first, _ = decode_instruction(binary.text.data, 0)
+    assert first.operands[0] == Imm(0)
+
+
+def test_ecall_to_defined_function_rejected():
+    def body(b):
+        b.ecall("main")
+        b.ret()
+    program = AsmProgram(functions=[_single_function("main", body)])
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(program)
+
+
+def test_data_objects_are_laid_out_with_alignment():
+    program = AsmProgram(functions=[_single_function()])
+    program.add_data(DataObject("a", b"\x01", ".data", align=1))
+    program.add_data(DataObject("b", b"\x02" * 8, ".data", align=8))
+    binary = Assembler().assemble(program)
+    sym_a = binary.symbol("a")
+    sym_b = binary.symbol("b")
+    assert sym_b.address % 8 == 0
+    assert sym_b.address >= sym_a.address + 1
+    assert binary.read_bytes(sym_b.address, 8) == b"\x02" * 8
+
+
+def test_global_reference_generates_relocation():
+    def body(b):
+        b.load(Reg(Register.R0), Mem(disp=Label("counter")))
+        b.ret()
+    program = AsmProgram(functions=[_single_function("main", body)])
+    program.add_data(DataObject("counter", bytes(8), ".data"))
+    binary = Assembler().assemble(program)
+    kinds = {r.kind for r in binary.relocations}
+    assert RelocationKind.ABS64_CODE in kinds
+    reloc = [r for r in binary.relocations if r.symbol == "counter"][0]
+    assert reloc.address == binary.layout.text_base  # first instruction
+
+
+def test_pointer_slots_are_patched_and_relocated():
+    def body(b):
+        b.ret()
+    program = AsmProgram(functions=[_single_function("main", body),
+                                    _single_function("callee", body)])
+    table = DataObject("table", bytes(16), ".rodata", align=8,
+                       pointer_slots=[(0, "main", 0), (8, "callee", 0)])
+    program.add_data(table)
+    binary = Assembler().assemble(program)
+    main_addr = binary.symbol("main").address
+    callee_addr = binary.symbol("callee").address
+    stored = struct.unpack("<QQ", binary.read_bytes(binary.symbol("table").address, 16))
+    assert stored == (main_addr, callee_addr)
+    data_relocs = [r for r in binary.relocations
+                   if r.kind is RelocationKind.ABS64_DATA]
+    assert len(data_relocs) == 2
+
+
+def test_pointer_slot_with_unknown_symbol_rejected():
+    program = AsmProgram(functions=[_single_function()])
+    program.add_data(DataObject("t", bytes(8), ".data",
+                                pointer_slots=[(0, "missing", 0)]))
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(program)
+
+
+def test_qualified_pointer_slot_resolves_local_label():
+    builder = FunctionBuilder("main")
+    builder.mov(Reg(Register.R0), Imm(0))
+    builder.label("inner")
+    builder.ret()
+    program = AsmProgram(functions=[builder.build()])
+    program.add_data(DataObject("t", bytes(8), ".rodata", align=8,
+                                pointer_slots=[(0, "main::inner", 0)]))
+    binary = Assembler().assemble(program)
+    stored = struct.unpack("<Q", binary.read_bytes(binary.symbol("t").address, 8))[0]
+    main = binary.symbol("main")
+    assert main.address < stored < main.address + main.size
+
+
+def test_branch_targets_resolve_to_addresses(simple_binary):
+    # Every encoded branch/call target must land on an instruction boundary.
+    text = simple_binary.text
+    offset = 0
+    boundaries = set()
+    while offset < len(text.data):
+        _, length = decode_instruction(text.data, offset)
+        boundaries.add(text.address + offset)
+        offset += length
+    offset = 0
+    while offset < len(text.data):
+        instr, length = decode_instruction(text.data, offset)
+        if instr.opcode.value in ("call", "jmp") or instr.cc is not None:
+            assert instr.operands[0].value in boundaries
+        offset += length

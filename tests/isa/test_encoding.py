@@ -1,0 +1,144 @@
+"""Round-trip and property-based tests of the instruction encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    encode_instruction,
+    encoded_length,
+)
+from repro.isa.instructions import ConditionCode, Instruction, Opcode
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+
+
+def _round_trip(instr: Instruction) -> Instruction:
+    encoded = encode_instruction(instr)
+    decoded, length = decode_instruction(encoded)
+    assert length == len(encoded)
+    return decoded
+
+
+def test_simple_round_trip():
+    instr = ins.mov(Reg(Register.R3), Imm(-77))
+    decoded = _round_trip(instr)
+    assert decoded.opcode is Opcode.MOV
+    assert decoded.operands == [Reg(Register.R3), Imm(-77)]
+
+
+def test_memory_operand_round_trip():
+    instr = ins.load(Reg(Register.R1),
+                     Mem(base=Register.R2, index=Register.R3, scale=8, disp=-64),
+                     size=2)
+    decoded = _round_trip(instr)
+    assert decoded.size == 2
+    mem = decoded.operands[1]
+    assert mem.base is Register.R2 and mem.index is Register.R3
+    assert mem.scale == 8 and mem.disp == -64
+
+
+def test_condition_code_round_trip():
+    for cc in ConditionCode:
+        decoded = _round_trip(Instruction(Opcode.JCC, [Imm(0x1234)], cc=cc))
+        assert decoded.cc is cc
+
+
+def test_unresolved_label_cannot_encode():
+    with pytest.raises(EncodingError):
+        encode_instruction(ins.jmp("somewhere"))
+    with pytest.raises(EncodingError):
+        encode_instruction(ins.load(Reg(Register.R0), Mem(disp=Label("g"))))
+
+
+def test_encoded_length_matches_actual():
+    samples = [
+        ins.nop(),
+        ins.ret(),
+        ins.mov(Reg(Register.R0), Imm(1)),
+        ins.store(Mem(base=Register.R1, index=Register.R2, scale=4, disp=8),
+                  Reg(Register.R3)),
+        ins.push(Imm(123456789)),
+    ]
+    for instr in samples:
+        assert encoded_length(instr) == len(encode_instruction(instr))
+
+
+def test_encoded_length_for_labels_assumes_imm():
+    # A label encodes to an 8-byte immediate after resolution.
+    unresolved = ins.jmp("target")
+    resolved = ins.jmp(0x10000)
+    assert encoded_length(unresolved) == len(encode_instruction(resolved))
+
+
+def test_decode_truncated_raises():
+    encoded = encode_instruction(ins.mov(Reg(Register.R0), Imm(5)))
+    with pytest.raises(EncodingError):
+        decode_instruction(encoded[:-3])
+
+
+def test_decode_unknown_opcode_raises():
+    with pytest.raises(EncodingError):
+        decode_instruction(bytes([0xFE, 0x03, 0x00]))
+
+
+_registers = st.sampled_from(list(Register))
+_imm_values = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+@st.composite
+def _mem_operands(draw):
+    base = draw(st.one_of(st.none(), _registers))
+    index = draw(st.one_of(st.none(), _registers))
+    scale = draw(st.sampled_from([1, 2, 4, 8]))
+    disp = draw(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    return Mem(base=base, index=index, scale=scale, disp=disp)
+
+
+@st.composite
+def _instructions(draw):
+    kind = draw(st.sampled_from(["mov", "load", "store", "alu", "jcc", "push"]))
+    if kind == "mov":
+        return ins.mov(Reg(draw(_registers)), Imm(draw(_imm_values)))
+    if kind == "load":
+        return ins.load(Reg(draw(_registers)), draw(_mem_operands()),
+                        size=draw(st.sampled_from([1, 2, 4, 8])))
+    if kind == "store":
+        return ins.store(draw(_mem_operands()), Reg(draw(_registers)),
+                         size=draw(st.sampled_from([1, 2, 4, 8])))
+    if kind == "alu":
+        opcode = draw(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.XOR,
+                                       Opcode.SHL, Opcode.MUL]))
+        return ins.alu(opcode, Reg(draw(_registers)), Imm(draw(_imm_values)))
+    if kind == "jcc":
+        return Instruction(Opcode.JCC, [Imm(draw(st.integers(0, 2 ** 40)))],
+                           cc=draw(st.sampled_from(list(ConditionCode))))
+    return ins.push(Imm(draw(_imm_values)))
+
+
+@given(_instructions())
+@settings(max_examples=200, deadline=None)
+def test_encoding_round_trip_property(instr):
+    """decode(encode(i)) preserves opcode, operands, size and condition code."""
+    decoded = _round_trip(instr)
+    assert decoded.opcode is instr.opcode
+    assert decoded.cc == instr.cc
+    assert decoded.size == instr.size
+    assert decoded.operands == instr.operands
+
+
+@given(st.lists(_instructions(), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_stream_decoding_property(instrs):
+    """A concatenated instruction stream decodes back element by element."""
+    blob = b"".join(encode_instruction(i) for i in instrs)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        instr, length = decode_instruction(blob, offset)
+        decoded.append(instr)
+        offset += length
+    assert len(decoded) == len(instrs)
+    assert [d.opcode for d in decoded] == [i.opcode for i in instrs]

@@ -1,0 +1,121 @@
+"""Tests for instruction construction and predicates."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import (
+    ConditionCode,
+    Instruction,
+    Opcode,
+    falls_through,
+    is_branch,
+    is_call,
+    is_conditional_branch,
+    is_control_flow,
+    is_indirect_control_flow,
+    is_load,
+    is_memory_access,
+    is_pseudo,
+    is_serializing,
+    is_store,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+
+
+def test_jcc_requires_condition_code():
+    with pytest.raises(ValueError):
+        Instruction(Opcode.JCC, [Label("x")])
+
+
+def test_invalid_access_size_rejected():
+    with pytest.raises(ValueError):
+        Instruction(Opcode.LOAD, [Reg(Register.R0), Mem(base=Register.R1)], size=3)
+
+
+def test_condition_code_negation_is_involutive():
+    for cc in ConditionCode:
+        assert cc.negate().negate() is cc
+
+
+def test_negation_pairs():
+    assert ConditionCode.LT.negate() is ConditionCode.GE
+    assert ConditionCode.B.negate() is ConditionCode.AE
+    assert ConditionCode.EQ.negate() is ConditionCode.NE
+
+
+def test_predicates_on_load_store():
+    load = ins.load(Reg(Register.R0), Mem(base=Register.R1), size=1)
+    store = ins.store(Mem(base=Register.R2), Reg(Register.R3))
+    assert is_load(load) and not is_store(load)
+    assert is_store(store) and not is_load(store)
+    assert is_memory_access(load) and is_memory_access(store)
+
+
+def test_push_pop_are_memory_accesses():
+    assert is_store(ins.push(Reg(Register.R1)))
+    assert is_load(ins.pop(Reg(Register.R1)))
+
+
+def test_control_flow_predicates():
+    assert is_branch(ins.jmp("x"))
+    assert is_conditional_branch(ins.jcc(ConditionCode.LT, "x"))
+    assert not is_conditional_branch(ins.jmp("x"))
+    assert is_call(ins.call("f"))
+    assert is_call(ins.ecall("malloc"))
+    assert is_indirect_control_flow(ins.ret())
+    assert is_indirect_control_flow(ins.icall(Reg(Register.R1)))
+    assert not is_indirect_control_flow(ins.call("f"))
+    assert is_control_flow(ins.ret())
+
+
+def test_serializing_predicate():
+    assert is_serializing(ins.lfence())
+    assert is_serializing(Instruction(Opcode.CPUID))
+    assert not is_serializing(ins.nop())
+
+
+def test_pseudo_predicate():
+    assert is_pseudo(Instruction(Opcode.CHECKPOINT, [Label("t")]))
+    assert is_pseudo(Instruction(Opcode.ASAN_CHECK, [Mem(base=Register.R1)]))
+    assert not is_pseudo(ins.mov(Reg(Register.R0), Imm(1)))
+
+
+def test_falls_through():
+    assert falls_through(ins.jcc(ConditionCode.EQ, "x"))
+    assert falls_through(ins.call("f"))
+    assert not falls_through(ins.jmp("x"))
+    assert not falls_through(ins.ret())
+    assert not falls_through(ins.halt())
+
+
+def test_labels_collection():
+    instr = ins.load(Reg(Register.R0), Mem(index=Register.R1, disp=Label("tbl")))
+    assert instr.labels() == (Label("tbl"),)
+    instr2 = ins.mov(Reg(Register.R0), Label("func"))
+    assert instr2.labels() == (Label("func"),)
+
+
+def test_copy_is_independent():
+    original = ins.mov(Reg(Register.R0), Imm(1))
+    duplicate = original.copy()
+    duplicate.operands[1] = Imm(2)
+    assert original.operands[1] == Imm(1)
+
+
+def test_mnemonic_formatting():
+    assert ins.jcc(ConditionCode.AE, "x").mnemonic() == "jae"
+    assert ins.load(Reg(Register.R0), Mem(base=Register.R1), size=1).mnemonic() == "load.1"
+    assert ins.load(Reg(Register.R0), Mem(base=Register.R1)).mnemonic() == "load"
+
+
+def test_target_accessor():
+    assert ins.jmp("dest").target == Label("dest")
+    assert ins.call("f").target == Label("f")
+    assert ins.icall(Reg(Register.R4)).target == Reg(Register.R4)
+    assert ins.ret().target is None
+
+
+def test_alu_constructor_rejects_non_alu():
+    with pytest.raises(ValueError):
+        ins.alu(Opcode.MOV, Reg(Register.R0), Imm(1))

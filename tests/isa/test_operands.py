@@ -1,0 +1,64 @@
+"""Tests for the operand model."""
+
+import pytest
+
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+
+
+def test_reg_coerces_int():
+    assert Reg(3).reg is Register.R3
+
+
+def test_imm_rejects_non_int():
+    with pytest.raises(TypeError):
+        Imm("5")
+    with pytest.raises(TypeError):
+        Imm(True)
+
+
+def test_label_requires_name():
+    with pytest.raises(ValueError):
+        Label("")
+
+
+def test_label_addend_arithmetic():
+    label = Label("table", 8)
+    assert label.with_addend(8) == Label("table", 16)
+    assert str(label) == "table+8"
+    assert str(Label("x", -4)) == "x-4"
+
+
+def test_mem_scale_validation():
+    with pytest.raises(ValueError):
+        Mem(base=Register.R1, scale=3)
+    for scale in (1, 2, 4, 8):
+        assert Mem(index=Register.R2, scale=scale).scale == scale
+
+
+def test_mem_frame_relative_constant():
+    assert Mem(base=Register.FP, disp=-8).is_frame_relative_constant
+    assert Mem(base=Register.SP, disp=16).is_frame_relative_constant
+    assert not Mem(base=Register.R1, disp=-8).is_frame_relative_constant
+    assert not Mem(base=Register.FP, index=Register.R1).is_frame_relative_constant
+    assert not Mem(base=Register.FP, disp=Label("g")).is_frame_relative_constant
+
+
+def test_mem_registers():
+    mem = Mem(base=Register.R1, index=Register.R2, scale=8, disp=4)
+    assert mem.registers() == (Register.R1, Register.R2)
+    assert Mem(disp=100).registers() == ()
+
+
+def test_mem_symbolic_disp():
+    mem = Mem(index=Register.R1, scale=8, disp=Label("table"))
+    assert mem.has_symbolic_disp
+    replaced = mem.with_disp(0x1000)
+    assert not replaced.has_symbolic_disp
+    assert replaced.index is Register.R1
+
+
+def test_mem_str_formats():
+    assert str(Mem(base=Register.R1, index=Register.R2, scale=8, disp=16)) == \
+        "[r1 + r2*8 + 16]"
+    assert str(Mem(disp=0)) == "[0]"

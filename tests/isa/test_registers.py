@@ -1,0 +1,57 @@
+"""Tests for the register file definitions."""
+
+import pytest
+
+from repro.isa.registers import (
+    ARG_REGISTERS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    FRAME_POINTER,
+    GPR_NAMES,
+    RETURN_REGISTER,
+    SCRATCH_REGISTERS,
+    STACK_POINTER,
+    Register,
+)
+
+
+def test_sixteen_registers():
+    assert len(list(Register)) == 16
+    assert len(GPR_NAMES) == 16
+
+
+def test_special_register_names():
+    assert Register.SP.asm_name == "sp"
+    assert Register.FP.asm_name == "fp"
+    assert Register.R3.asm_name == "r3"
+
+
+def test_from_name_round_trip():
+    for reg in Register:
+        assert Register.from_name(reg.asm_name) is reg
+
+
+def test_from_name_rejects_unknown():
+    with pytest.raises(ValueError):
+        Register.from_name("r16")
+    with pytest.raises(ValueError):
+        Register.from_name("rax")
+
+
+def test_frame_relative_flags():
+    assert Register.SP.is_frame_relative
+    assert Register.FP.is_frame_relative
+    assert not Register.R0.is_frame_relative
+
+
+def test_calling_convention_disjointness():
+    assert RETURN_REGISTER not in ARG_REGISTERS
+    assert STACK_POINTER not in CALLER_SAVED
+    assert FRAME_POINTER in CALLEE_SAVED
+    # Scratch registers never overlap argument registers, so expression
+    # evaluation cannot clobber outgoing arguments.
+    assert not set(SCRATCH_REGISTERS) & set(ARG_REGISTERS)
+
+
+def test_arg_register_count():
+    assert len(ARG_REGISTERS) == 5

@@ -1,0 +1,66 @@
+"""Tests for the virtual address-space layout (paper Tables 1 and 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.loader.layout import DEFAULT_LAYOUT, MemoryLayout
+
+
+def test_default_layout_validates():
+    DEFAULT_LAYOUT.validate()
+
+
+def test_region_membership():
+    layout = DEFAULT_LAYOUT
+    assert layout.in_lowmem(layout.text_base)
+    assert layout.in_lowmem(layout.heap_base)
+    assert not layout.in_lowmem(layout.highmem_start)
+    assert layout.in_highmem(layout.stack_top)
+    assert layout.in_user_memory(layout.stack_top)
+    assert not layout.in_user_memory(layout.lowtag_start)
+    assert not layout.in_user_memory(layout.hightag_start)
+
+
+def test_tag_shadow_flips_bit_45():
+    layout = DEFAULT_LAYOUT
+    assert layout.tag_shadow_address(0x1234) == 0x2000_0000_1234
+    assert layout.tag_shadow_address(layout.highmem_start) == layout.hightag_start
+    # The mapping is an involution.
+    for addr in (0x0, 0x7FFF_0000, layout.stack_top):
+        assert layout.tag_shadow_address(layout.tag_shadow_address(addr)) == addr
+
+
+def test_asan_shadow_is_disjoint_from_user_memory():
+    layout = DEFAULT_LAYOUT
+    for addr in (0, layout.lowmem_end, layout.highmem_start, layout.highmem_end):
+        shadow = layout.asan_shadow_address(addr)
+        assert not layout.in_user_memory(shadow)
+
+
+def test_overlapping_layout_rejected():
+    bad = MemoryLayout(hightag_start=0x6000_0000_0000)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_stack_bottom_below_top():
+    layout = DEFAULT_LAYOUT
+    assert layout.stack_bottom() < layout.stack_top
+    assert layout.in_highmem(layout.stack_bottom())
+
+
+@given(st.integers(min_value=0, max_value=DEFAULT_LAYOUT.lowmem_end))
+def test_lowmem_tag_shadow_stays_in_lowtag(addr):
+    """Property: every LowMem byte's tag shadow lands inside LowTag."""
+    layout = DEFAULT_LAYOUT
+    shadow = layout.tag_shadow_address(addr)
+    assert layout.lowtag_start <= shadow <= layout.lowtag_end
+
+
+@given(st.integers(min_value=DEFAULT_LAYOUT.highmem_start,
+                   max_value=DEFAULT_LAYOUT.highmem_end))
+def test_highmem_tag_shadow_stays_in_hightag(addr):
+    """Property: every HighMem byte's tag shadow lands inside HighTag."""
+    layout = DEFAULT_LAYOUT
+    shadow = layout.tag_shadow_address(addr)
+    assert layout.hightag_start <= shadow <= layout.hightag_end

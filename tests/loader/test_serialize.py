@@ -1,0 +1,61 @@
+"""Tests for TELF serialisation."""
+
+import pytest
+
+from repro.loader import (
+    TelfFormatError,
+    dumps_binary,
+    load_binary,
+    loads_binary,
+    save_binary,
+)
+
+
+def test_round_trip_preserves_everything(simple_binary):
+    data = dumps_binary(simple_binary)
+    parsed = loads_binary(data)
+    assert parsed.entry == simple_binary.entry
+    assert parsed.text.data == simple_binary.text.data
+    assert parsed.imports == simple_binary.imports
+    assert [s.name for s in parsed.symbols] == [s.name for s in simple_binary.symbols]
+    assert [(r.address, r.symbol) for r in parsed.relocations] == \
+        [(r.address, r.symbol) for r in simple_binary.relocations]
+
+
+def test_round_trip_is_stable(simple_binary):
+    once = dumps_binary(simple_binary)
+    twice = dumps_binary(loads_binary(once))
+    assert once == twice
+
+
+def test_bad_magic_rejected(simple_binary):
+    data = bytearray(dumps_binary(simple_binary))
+    data[0:4] = b"NOPE"
+    with pytest.raises(TelfFormatError):
+        loads_binary(bytes(data))
+
+
+def test_truncated_image_rejected(simple_binary):
+    data = dumps_binary(simple_binary)
+    with pytest.raises(TelfFormatError):
+        loads_binary(data[: len(data) // 2])
+
+
+def test_file_round_trip(tmp_path, simple_binary):
+    path = tmp_path / "program.telf"
+    save_binary(simple_binary, str(path))
+    loaded = load_binary(str(path))
+    assert loaded.text.data == simple_binary.text.data
+
+
+def test_binary_queries(simple_binary):
+    assert simple_binary.has_symbol("main")
+    assert not simple_binary.has_symbol("nope")
+    main = simple_binary.symbol("main")
+    assert simple_binary.symbol_at(main.address).name == "main"
+    assert simple_binary.function_at(main.address + 1).name == "main"
+    assert simple_binary.entry_address() == main.address
+    with pytest.raises(KeyError):
+        simple_binary.symbol("missing")
+    with pytest.raises(KeyError):
+        simple_binary.import_index("printf")

@@ -1,0 +1,236 @@
+"""End-to-end tests of the mini-C compiler: compile then execute."""
+
+import pytest
+
+from repro.minic.codegen import CodegenError, CompilerOptions, SwitchLowering
+from repro.minic.compiler import compile_source
+from repro.runtime import Emulator
+
+
+def _run(source, data=b"", options=None):
+    binary = compile_source(source, options)
+    result = Emulator(binary, max_steps=500000).run(data)
+    assert result.status == "exit", (result.status, result.crash_reason)
+    return result.exit_status
+
+
+def test_arithmetic_and_precedence():
+    assert _run("int main() { return 2 + 3 * 4 - 10 / 2; }") == 9
+    assert _run("int main() { return (2 + 3) * 4; }") == 20
+    assert _run("int main() { return 7 % 3 + (1 << 4) + (255 >> 4); }") == 32
+
+
+def test_negative_return_value():
+    assert _run("int main() { return 0 - 5; }") == -5
+
+
+def test_unary_operators():
+    assert _run("int main() { int x = 5; return -x + 10; }") == 5
+    assert _run("int main() { return !0 + !7; }") == 1
+    assert _run("int main() { return ~0 + 2; }") == 1
+
+
+def test_logical_short_circuit():
+    source = """
+    int side_effects = 0;
+    int bump() { side_effects = side_effects + 1; return 1; }
+    int main() {
+        if (0 && bump()) { }
+        if (1 || bump()) { }
+        return side_effects;
+    }
+    """
+    assert _run(source) == 0
+
+
+def test_comparison_values():
+    assert _run("int main() { return (3 < 5) + (5 <= 5) + (7 > 9) + (2 != 2); }") == 2
+
+
+def test_while_and_for_loops():
+    assert _run("""
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (i < 10) { total += i; i++; }
+            for (int j = 0; j < 5; j++) { total += 100; }
+            return total;
+        }
+    """) == 45 + 500
+
+
+def test_break_continue():
+    assert _run("""
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 3) { continue; }
+                if (i == 6) { break; }
+                total += i;
+            }
+            return total;
+        }
+    """) == 0 + 1 + 2 + 4 + 5
+
+
+def test_nested_function_calls_preserve_registers():
+    assert _run("""
+        int add(int a, int b) { return a + b; }
+        int main() { return add(add(1, 2), add(3, add(4, 5))); }
+    """) == 15
+
+
+def test_recursion():
+    assert _run("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+    """) == 55
+
+
+def test_more_than_five_arguments_use_stack():
+    assert _run("""
+        int sum7(int a, int b, int c, int d, int e, int f, int g) {
+            return a + b * 10 + c * 100 + d + e + f + g;
+        }
+        int main() { return sum7(1, 2, 3, 4, 5, 6, 7); }
+    """) == 1 + 20 + 300 + 4 + 5 + 6 + 7
+
+
+def test_global_arrays_and_scalars():
+    assert _run("""
+        int counter = 7;
+        byte lut[4] = {10, 20, 30, 40};
+        int main() {
+            counter = counter + lut[2];
+            return counter;
+        }
+    """) == 37
+
+
+def test_local_arrays_and_pointers():
+    assert _run("""
+        int main() {
+            byte buf[8];
+            int i;
+            for (i = 0; i < 8; i++) { buf[i] = i * 2; }
+            byte *p = buf;
+            return p[3] + buf[7];
+        }
+    """) == 6 + 14
+
+
+def test_int_array_indexing_uses_word_elements():
+    assert _run("""
+        int main() {
+            int values[4];
+            values[0] = 1000000;
+            values[3] = 7;
+            return values[0] + values[3];
+        }
+    """) == 1000007
+
+
+def test_byte_comparisons_are_unsigned():
+    # 200 as a byte must compare above 100 (unsigned), unlike signed chars.
+    assert _run("""
+        int main() {
+            byte buf[2];
+            read_input(buf, 2);
+            if (buf[0] > 100) { return 1; }
+            return 0;
+        }
+    """, bytes([200, 0])) == 1
+
+
+def test_compound_assignment_operators():
+    assert _run("""
+        int main() {
+            int x = 1;
+            x += 5; x *= 3; x -= 2; x <<= 1; x |= 1; x &= 30; x ^= 2;
+            return x;
+        }
+    """) == ((((1 + 5) * 3 - 2) << 1 | 1) & 30) ^ 2
+
+
+def test_prefix_postfix_increment():
+    assert _run("""
+        int main() {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            return a * 100 + b * 10 + x;
+        }
+    """) == 5 * 100 + 7 * 10 + 7
+
+
+def test_switch_both_lowerings_agree():
+    source = """
+    int classify(int c) {
+        int r;
+        switch (c) {
+            case 1: { r = 10; }
+            case 2: { r = 20; }
+            case 4: { r = 40; }
+            default: { r = 99; }
+        }
+        return r;
+    }
+    int main() {
+        byte buf[1];
+        read_input(buf, 1);
+        return classify(buf[0]);
+    }
+    """
+    for value, expected in [(1, 10), (2, 20), (4, 40), (3, 99), (77, 99)]:
+        chain = _run(source, bytes([value]),
+                     CompilerOptions(switch_lowering=SwitchLowering.BRANCH_CHAIN))
+        table = _run(source, bytes([value]),
+                     CompilerOptions(switch_lowering=SwitchLowering.JUMP_TABLE))
+        assert chain == table == expected
+
+
+def test_sparse_switch_falls_back_to_chain():
+    from repro.disasm import disassemble
+    from repro.isa.instructions import Opcode
+    source = """
+    int f(int c) {
+        switch (c) {
+            case 0: return 1;
+            case 1000: return 2;
+            default: return 3;
+        }
+    }
+    int main() { return f(0); }
+    """
+    binary = compile_source(source, CompilerOptions(switch_lowering=SwitchLowering.JUMP_TABLE))
+    module = disassemble(binary)
+    opcodes = {i.opcode for i in module.function("f").instructions()}
+    assert Opcode.IJMP not in opcodes
+
+
+def test_unknown_identifier_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("int main() { return missing; }")
+
+
+def test_unknown_call_target_treated_as_pointer_requires_definition():
+    with pytest.raises(CodegenError):
+        compile_source("int main() { return not_a_function(1); }")
+
+
+def test_missing_entry_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("int helper() { return 1; }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("int main() { byte b[4]; b = 0; return 0; }")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(CodegenError):
+        compile_source("int main() { int x = 1; int x = 2; return x; }")

@@ -1,0 +1,119 @@
+"""Tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.minic import astnodes as ast
+from repro.minic.lexer import Lexer, LexerError, TokenKind
+from repro.minic.parser import ParseError, parse_source
+
+
+def _tokens(source):
+    return Lexer(source).tokenize()
+
+
+def test_lexer_basic_tokens():
+    kinds = [t.kind for t in _tokens("int x = 42;")]
+    assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.PUNCT,
+                     TokenKind.NUMBER, TokenKind.PUNCT, TokenKind.EOF]
+
+
+def test_lexer_hex_char_string():
+    tokens = _tokens("0x1F 'a' '\\n' \"hi\\n\"")
+    assert tokens[0].value == 0x1F
+    assert tokens[1].value == ord("a")
+    assert tokens[2].value == 10
+    assert tokens[3].text == "hi\n"
+
+
+def test_lexer_comments_skipped():
+    tokens = _tokens("a // line comment\n/* block\ncomment */ b")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_lexer_multichar_punctuation():
+    texts = [t.text for t in _tokens("a <<= b >> 1 <= != &&")][:-1]
+    assert "<<=" in texts and ">>" in texts and "<=" in texts and "&&" in texts
+
+
+def test_lexer_trailing_whitespace_terminates():
+    tokens = _tokens("x   \n\t ")
+    assert tokens[-1].kind is TokenKind.EOF
+
+
+def test_lexer_rejects_unknown_character():
+    with pytest.raises(LexerError):
+        _tokens("int a = `;")
+
+
+def test_lexer_rejects_unterminated_string():
+    with pytest.raises(LexerError):
+        _tokens('"never ends')
+
+
+def test_parse_function_and_globals():
+    program = parse_source("""
+        int counter = 5;
+        byte table[4] = {1, 2, 3, 4};
+        int add(int a, int b) { return a + b; }
+    """)
+    assert [g.name for g in program.globals] == ["counter", "table"]
+    assert program.globals[0].init == 5
+    assert program.globals[1].init == [1, 2, 3, 4]
+    func = program.function("add")
+    assert [p.name for p in func.params] == ["a", "b"]
+
+
+def test_parse_control_flow_shapes():
+    program = parse_source("""
+        int f(int x) {
+            int total = 0;
+            if (x > 0) { total = 1; } else { total = 2; }
+            while (x > 0) { x = x - 1; }
+            for (int i = 0; i < 4; i++) { total += i; }
+            switch (x) {
+                case 0: return 0;
+                default: return total;
+            }
+        }
+    """)
+    body = program.function("f").body.statements
+    kinds = [type(stmt).__name__ for stmt in body]
+    assert kinds == ["VarDecl", "If", "While", "For", "Switch"]
+
+
+def test_parse_expression_precedence():
+    program = parse_source("int f() { return 1 + 2 * 3; }")
+    ret = program.function("f").body.statements[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.Binary) and ret.value.right.op == "*"
+
+
+def test_parse_call_index_postfix():
+    program = parse_source("int f(byte *p) { return g(p[1])[2]; }")
+    ret = program.function("f").body.statements[0]
+    assert isinstance(ret.value, ast.Index)
+    assert isinstance(ret.value.base, ast.Call)
+
+
+def test_parse_pointer_and_address_of():
+    program = parse_source("int f() { int x = 1; int *p = &x; return *p; }")
+    statements = program.function("f").body.statements
+    assert isinstance(statements[1].init, ast.Unary) and statements[1].init.op == "&"
+    assert isinstance(statements[2].value, ast.Unary) and statements[2].value.op == "*"
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError):
+        parse_source("int f( { return 0; }")
+    with pytest.raises(ParseError):
+        parse_source("int f() { return 0 }")
+
+
+def test_parse_non_constant_global_initialiser_rejected():
+    with pytest.raises(ParseError):
+        parse_source("int g = f();")
+
+
+def test_parse_string_global():
+    program = parse_source('byte msg[8] = "hi";')
+    assert program.globals[0].init == b"hi"

@@ -1,0 +1,215 @@
+"""Tests for the emulator's architectural execution."""
+
+import pytest
+
+from repro.isa.assembler import AsmProgram, Assembler
+from repro.isa.builder import FunctionBuilder
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.binary_format import DataObject
+from repro.minic.compiler import compile_source
+from repro.runtime import Emulator
+
+R = Register
+
+
+def _assemble(functions, data=None, entry="main"):
+    program = AsmProgram(functions=functions, entry=entry)
+    for obj in data or []:
+        program.add_data(obj)
+    return Assembler().assemble(program)
+
+
+def test_exit_status_from_main(simple_binary):
+    result = Emulator(simple_binary).run()
+    assert result.ok
+    assert result.exit_status == 8
+    assert result.cycles > 0
+    assert result.arch_instructions == result.steps  # no pseudo ops
+
+
+def test_input_consumption_and_arithmetic():
+    source = r"""
+    int main() {
+        byte buf[32];
+        int n = read_input(buf, 32);
+        int total = 0;
+        int i;
+        for (i = 0; i < n; i++) {
+            total = total + buf[i];
+        }
+        return total;
+    }
+    """
+    binary = compile_source(source)
+    emulator = Emulator(binary)
+    assert emulator.run(bytes([1, 2, 3, 4])).exit_status == 10
+    assert emulator.run(bytes([200, 100])).exit_status == 300
+    assert emulator.run(b"").exit_status == 0
+
+
+def test_signed_division_and_modulo():
+    source = r"""
+    int main() {
+        byte buf[8];
+        read_input(buf, 8);
+        int a = buf[0];
+        int b = buf[1];
+        return a / b * 100 + a % b;
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run(bytes([17, 5]))
+    assert result.exit_status == 300 + 2
+
+
+def test_division_by_zero_crashes():
+    source = r"""
+    int main() {
+        byte buf[8];
+        read_input(buf, 8);
+        return 10 / buf[0];
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run(bytes([0]))
+    assert result.status == "crash"
+    assert "division" in result.crash_reason
+
+
+def test_wild_pointer_crashes():
+    source = r"""
+    int main() {
+        byte *p = 123456789123;
+        return p[0];
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run()
+    assert result.status == "crash"
+    assert "memory fault" in result.crash_reason
+
+
+def test_fuel_exhaustion_reports_hang():
+    source = r"""
+    int main() {
+        int x = 1;
+        while (x) {
+            x = x + 1;
+        }
+        return 0;
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary, max_steps=5000).run()
+    assert result.status == "fuel"
+
+
+def test_heap_and_memcpy_externals():
+    source = r"""
+    int main() {
+        byte buf[16];
+        int n = read_input(buf, 16);
+        byte *copy = malloc(16);
+        memcpy(copy, buf, n);
+        int ok = memcmp(copy, buf, n);
+        free(copy);
+        return ok;
+    }
+    """
+    binary = compile_source(source)
+    assert Emulator(binary).run(b"abcdef").exit_status == 0
+
+
+def test_string_externals():
+    source = r"""
+    int main() {
+        byte *s = "teapot";
+        return strlen(s);
+    }
+    """
+    binary = compile_source(source)
+    assert Emulator(binary).run().exit_status == 6
+
+
+def test_indirect_call_through_function_pointer():
+    source = r"""
+    int double_it(int x) { return x * 2; }
+    int triple_it(int x) { return x * 3; }
+    int main() {
+        byte buf[4];
+        read_input(buf, 4);
+        int fp = &double_it;
+        if (buf[0] > 10) {
+            fp = &triple_it;
+        }
+        return fp(7);
+    }
+    """
+    binary = compile_source(source)
+    assert Emulator(binary).run(bytes([1])).exit_status == 14
+    assert Emulator(binary).run(bytes([100])).exit_status == 21
+
+
+def test_exit_external_terminates():
+    source = r"""
+    int main() {
+        exit(42);
+        return 1;
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run()
+    assert result.ok and result.exit_status == 42
+
+
+def test_output_externals_collect_text():
+    source = r"""
+    int main() {
+        print_str("hello");
+        print_int(123);
+        return 0;
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run()
+    assert result.output == ["hello", "123"]
+
+
+def test_argv_passed_to_main():
+    source = r"""
+    int main(int argc, byte *argv) {
+        return argc;
+    }
+    """
+    binary = compile_source(source)
+    result = Emulator(binary).run(b"", argv=[b"prog", b"arg1"])
+    assert result.exit_status == 2
+
+
+def test_jump_table_execution_all_cases():
+    from repro.minic.codegen import CompilerOptions, SwitchLowering
+    source = r"""
+    int classify(int c) {
+        int r = 0;
+        switch (c) {
+            case 0: { r = 11; }
+            case 1: { r = 22; }
+            case 2: { r = 33; }
+            case 5: { r = 55; }
+            default: { r = 99; }
+        }
+        return r;
+    }
+    int main() {
+        byte buf[4];
+        read_input(buf, 4);
+        return classify(buf[0]);
+    }
+    """
+    for lowering in (SwitchLowering.BRANCH_CHAIN, SwitchLowering.JUMP_TABLE):
+        binary = compile_source(source, CompilerOptions(switch_lowering=lowering))
+        emulator = Emulator(binary)
+        expected = {0: 11, 1: 22, 2: 33, 5: 55, 3: 99, 200: 99}
+        for value, want in expected.items():
+            assert emulator.run(bytes([value])).exit_status == want, (lowering, value)

@@ -1,0 +1,109 @@
+"""Tests for the redzone-aware heap allocator."""
+
+import pytest
+
+from repro.loader.layout import DEFAULT_LAYOUT
+from repro.runtime.heap import ALIGNMENT, REDZONE_SIZE, Heap, HeapError
+from repro.runtime.machine import Memory
+from repro.sanitizers.asan import BinaryAsan
+
+
+@pytest.fixture
+def heap():
+    memory = Memory()
+    return Heap(memory, DEFAULT_LAYOUT)
+
+
+@pytest.fixture
+def asan_heap():
+    memory = Memory()
+    heap = Heap(memory, DEFAULT_LAYOUT)
+    heap.asan = BinaryAsan(memory, DEFAULT_LAYOUT)
+    return heap
+
+
+def test_allocations_are_aligned_and_disjoint(heap):
+    pointers = [heap.malloc(n) for n in (1, 7, 16, 100, 3)]
+    for ptr in pointers:
+        assert ptr % ALIGNMENT == 0
+    spans = sorted((p, p + max(n, 1)) for p, n in zip(pointers, (1, 7, 16, 100, 3)))
+    for (a_start, a_end), (b_start, _) in zip(spans, spans[1:]):
+        assert a_end <= b_start
+
+
+def test_redzone_gap_between_allocations(heap):
+    first = heap.malloc(16)
+    second = heap.malloc(16)
+    assert second - (first + 16) >= REDZONE_SIZE
+
+
+def test_calloc_zeroes(heap):
+    ptr = heap.calloc(4, 8)
+    assert heap.memory.read_bytes(ptr, 32) == bytes(32)
+
+
+def test_realloc_copies_contents(heap):
+    ptr = heap.malloc(8)
+    heap.memory.write_bytes(ptr, b"ABCDEFGH")
+    bigger = heap.realloc(ptr, 32)
+    assert heap.memory.read_bytes(bigger, 8) == b"ABCDEFGH"
+    assert heap.allocations[ptr].freed
+
+
+def test_double_free_rejected(heap):
+    ptr = heap.malloc(8)
+    heap.free(ptr)
+    with pytest.raises(HeapError):
+        heap.free(ptr)
+
+
+def test_foreign_pointer_free_rejected(heap):
+    with pytest.raises(HeapError):
+        heap.free(0x12345)
+
+
+def test_free_null_is_noop(heap):
+    heap.free(0)
+
+
+def test_negative_malloc_rejected(heap):
+    with pytest.raises(HeapError):
+        heap.malloc(-1)
+
+
+def test_arena_exhaustion(heap):
+    with pytest.raises(HeapError):
+        heap.malloc(heap.arena_size)
+
+
+def test_allocation_containing(heap):
+    ptr = heap.malloc(64)
+    assert heap.allocation_containing(ptr + 10).address == ptr
+    assert heap.allocation_containing(ptr - 1) is None
+
+
+def test_statistics(heap):
+    a = heap.malloc(10)
+    heap.malloc(20)
+    assert heap.allocation_count == 2
+    assert heap.bytes_allocated == 30
+    heap.free(a)
+    assert heap.allocation_count == 1
+    assert heap.bytes_allocated == 20
+
+
+def test_asan_poisoning_around_allocation(asan_heap):
+    ptr = asan_heap.malloc(10)
+    asan = asan_heap.asan
+    # Payload addressable, redzones and slack poisoned.
+    assert not asan.is_poisoned(ptr, 10)
+    assert asan.is_poisoned(ptr - 1, 1)
+    assert asan.is_poisoned(ptr + 10, 1)
+    assert asan.is_poisoned(ptr + 16, 1)
+
+
+def test_asan_poisoning_after_free(asan_heap):
+    ptr = asan_heap.malloc(32)
+    asan_heap.free(ptr)
+    assert asan_heap.asan.is_poisoned(ptr, 1)
+    assert asan_heap.asan.is_poisoned(ptr + 31, 1)

@@ -1,0 +1,167 @@
+"""Tests for machine state: flags, memory, registers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import ConditionCode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+from repro.runtime.errors import MemoryFault
+from repro.runtime.machine import Flags, MachineState, Memory, to_signed, to_unsigned
+
+
+# -- flags --------------------------------------------------------------------
+
+def test_compare_signed_conditions():
+    flags = Flags()
+    flags.set_compare(5, 10)
+    assert flags.evaluate(ConditionCode.LT)
+    assert not flags.evaluate(ConditionCode.GE)
+    flags.set_compare(10, 10)
+    assert flags.evaluate(ConditionCode.EQ)
+    assert flags.evaluate(ConditionCode.LE)
+    assert not flags.evaluate(ConditionCode.NE)
+
+
+def test_compare_unsigned_conditions():
+    flags = Flags()
+    flags.set_compare(to_unsigned(-1), 10)   # 0xffff... is above 10 unsigned
+    assert flags.evaluate(ConditionCode.A)
+    assert not flags.evaluate(ConditionCode.B)
+    flags.set_compare(3, 10)
+    assert flags.evaluate(ConditionCode.B)
+
+
+def test_negative_comparison_signed():
+    flags = Flags()
+    flags.set_compare(to_unsigned(-5), 3)
+    assert flags.evaluate(ConditionCode.LT)
+    assert flags.evaluate(ConditionCode.B) is False  # unsigned -5 is huge
+
+
+def test_snapshot_restore():
+    flags = Flags()
+    flags.set_compare(1, 2)
+    snapshot = flags.snapshot()
+    flags.set_compare(5, 5)
+    flags.restore(snapshot)
+    assert flags.evaluate(ConditionCode.LT)
+
+
+@given(st.integers(-2**63, 2**63 - 1), st.integers(-2**63, 2**63 - 1))
+def test_compare_matches_python_semantics(a, b):
+    """Property: signed and unsigned condition codes agree with Python ints."""
+    flags = Flags()
+    flags.set_compare(to_unsigned(a), to_unsigned(b))
+    assert flags.evaluate(ConditionCode.EQ) == (a == b)
+    assert flags.evaluate(ConditionCode.LT) == (a < b)
+    assert flags.evaluate(ConditionCode.GE) == (a >= b)
+    assert flags.evaluate(ConditionCode.B) == (to_unsigned(a) < to_unsigned(b))
+    assert flags.evaluate(ConditionCode.AE) == (to_unsigned(a) >= to_unsigned(b))
+
+
+# -- memory --------------------------------------------------------------------
+
+def test_unmapped_access_faults():
+    memory = Memory()
+    with pytest.raises(MemoryFault):
+        memory.read_bytes(0x5000, 4)
+    with pytest.raises(MemoryFault):
+        memory.write_bytes(0x5000, b"hi")
+
+
+def test_mapped_read_write_round_trip():
+    memory = Memory()
+    memory.map_region(0x1000, 0x1000)
+    memory.write_bytes(0x1800, b"hello world")
+    assert memory.read_bytes(0x1800, 11) == b"hello world"
+    memory.write_int(0x1000, -1, 8)
+    assert memory.read_int(0x1000, 8) == to_unsigned(-1)
+
+
+def test_access_straddling_region_boundary_faults():
+    memory = Memory()
+    memory.map_region(0x1000, 0x10)
+    with pytest.raises(MemoryFault):
+        memory.read_bytes(0x100C, 8)
+
+
+def test_adjacent_regions_are_contiguous():
+    memory = Memory()
+    memory.map_region(0x1000, 0x10)
+    memory.map_region(0x1010, 0x10)
+    assert memory.is_mapped(0x1008, 16)
+
+
+def test_cross_page_write():
+    memory = Memory()
+    memory.map_region(0, 3 * 4096)
+    payload = bytes(range(256)) * 20
+    memory.write_bytes(4000, payload)
+    assert memory.read_bytes(4000, len(payload)) == payload
+
+
+def test_shadow_access_bypasses_mapping():
+    memory = Memory()
+    shadow_addr = 0x2000_0000_0000
+    memory.write_shadow_byte(shadow_addr, 0x41)
+    assert memory.read_shadow_byte(shadow_addr) == 0x41
+    # Unwritten shadow reads back as zero.
+    assert memory.read_shadow_byte(shadow_addr + 100) == 0
+
+
+def test_read_cstring():
+    memory = Memory()
+    memory.map_region(0x1000, 64)
+    memory.write_bytes(0x1000, b"teapot\x00junk")
+    assert memory.read_cstring(0x1000) == b"teapot"
+
+
+# -- machine state ----------------------------------------------------------------
+
+def test_effective_address_computation():
+    machine = MachineState()
+    machine.set_reg(Register.R1, 0x1000)
+    machine.set_reg(Register.R2, 3)
+    mem = Mem(base=Register.R1, index=Register.R2, scale=8, disp=16)
+    assert machine.effective_address(mem) == 0x1000 + 24 + 16
+
+
+def test_effective_address_wraps_to_64_bits():
+    machine = MachineState()
+    machine.set_reg(Register.R1, (1 << 64) - 8)
+    assert machine.effective_address(Mem(base=Register.R1, disp=16)) == 8
+
+
+def test_register_wrapping():
+    machine = MachineState()
+    machine.set_reg(Register.R0, -1)
+    assert machine.get_reg(Register.R0) == (1 << 64) - 1
+
+
+def test_push_pop():
+    machine = MachineState()
+    machine.memory.map_region(machine.layout.stack_bottom(),
+                              machine.layout.stack_size + 256)
+    machine.sp = machine.layout.stack_top
+    machine.push(42)
+    machine.push(99)
+    assert machine.pop() == 99
+    assert machine.pop() == 42
+
+
+def test_read_operand():
+    machine = MachineState()
+    machine.set_reg(Register.R5, 7)
+    assert machine.read_operand(Reg(Register.R5)) == 7
+    assert machine.read_operand(Imm(-3)) == to_unsigned(-3)
+    with pytest.raises(ValueError):
+        machine.read_operand(Mem(base=Register.R5))
+
+
+@given(st.integers(-2**70, 2**70))
+def test_signed_unsigned_round_trip(value):
+    """Property: to_signed(to_unsigned(x)) == x mod 2^64 interpreted as signed."""
+    wrapped = to_unsigned(value)
+    assert 0 <= wrapped < 2**64
+    assert to_unsigned(to_signed(wrapped)) == wrapped

@@ -1,0 +1,148 @@
+"""Tests for the speculation controller and nesting policies."""
+
+import pytest
+
+from repro.runtime.machine import MachineState
+from repro.runtime.speculation import (
+    DisabledNestingPolicy,
+    SpecFuzzNestingPolicy,
+    SpecTaintNestingPolicy,
+    SpeculationController,
+    TeapotNestingPolicy,
+)
+
+
+def _machine():
+    machine = MachineState()
+    machine.memory.map_region(0x1000, 0x1000)
+    return machine
+
+
+def test_checkpoint_and_rollback_restores_state():
+    machine = _machine()
+    controller = SpeculationController(DisabledNestingPolicy())
+    machine.set_reg(3, 111)
+    machine.flags.set_compare(1, 2)
+    machine.memory.write_int(0x1100, 0xAA, 8)
+
+    assert controller.maybe_enter(machine, branch_address=0x40, resume_pc=0x44)
+    machine.set_reg(3, 999)
+    machine.flags.set_compare(9, 1)
+    old = machine.memory.read_bytes(0x1100, 8)
+    controller.log_memory_write(0x1100, old)
+    machine.memory.write_int(0x1100, 0xBB, 8)
+
+    undone = controller.rollback(machine)
+    assert undone == 1
+    assert machine.get_reg(3) == 111
+    assert machine.memory.read_int(0x1100, 8) == 0xAA
+    assert machine.pc == 0x44
+    assert not controller.in_simulation
+
+
+def test_rollback_without_checkpoint_raises():
+    controller = SpeculationController()
+    with pytest.raises(RuntimeError):
+        controller.rollback(_machine())
+
+
+def test_nested_rollback_unwinds_one_level():
+    machine = _machine()
+    controller = SpeculationController(TeapotNestingPolicy())
+    assert controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    assert controller.maybe_enter(machine, branch_address=2, resume_pc=20)
+    assert controller.depth == 2
+    assert controller.branch_addresses == (1, 2)
+    controller.rollback(machine)
+    assert controller.depth == 1
+    assert machine.pc == 20
+    controller.rollback(machine)
+    assert machine.pc == 10
+    assert controller.spec_instruction_count == 0
+
+
+def test_budget_accounting():
+    machine = _machine()
+    controller = SpeculationController(DisabledNestingPolicy(), rob_budget=5)
+    controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    for _ in range(4):
+        controller.count_instruction()
+    assert not controller.budget_exceeded()
+    controller.count_instruction()
+    assert controller.budget_exceeded()
+
+
+def test_disabled_policy_never_nests():
+    policy = DisabledNestingPolicy()
+    assert policy.should_enter(0x1, depth=0)
+    assert not policy.should_enter(0x1, depth=1)
+
+
+def test_spectaint_policy_five_visit_cap():
+    policy = SpecTaintNestingPolicy(max_visits=5)
+    entries = [policy.should_enter(0xAA, depth=0) for _ in range(8)]
+    assert entries == [True] * 5 + [False] * 3
+    # A different branch has its own budget.
+    assert policy.should_enter(0xBB, depth=0)
+    policy.reset()
+    assert policy.should_enter(0xAA, depth=0)
+
+
+def test_spectaint_policy_depth_cap():
+    policy = SpecTaintNestingPolicy(max_visits=100, max_depth=6)
+    assert not policy.should_enter(0xAA, depth=6)
+
+
+def test_specfuzz_policy_ramps_depth_with_encounters():
+    policy = SpecFuzzNestingPolicy(ramp=4, max_depth=6)
+    # First encounters: only depth 0 allowed.
+    assert policy.should_enter(0x1, depth=0)
+    assert not policy.should_enter(0x1, depth=1)
+    # After enough encounters the permitted depth grows.
+    for _ in range(10):
+        policy.should_enter(0x1, depth=0)
+    assert policy.should_enter(0x1, depth=1)
+    assert not policy.should_enter(0x1, depth=5)
+
+
+def test_teapot_policy_eager_then_ramp():
+    policy = TeapotNestingPolicy(eager_runs=3, ramp=100, max_depth=6)
+    # Eager phase: deep nesting allowed immediately.
+    assert policy.should_enter(0x1, depth=5)
+    assert policy.should_enter(0x1, depth=4)
+    assert policy.should_enter(0x1, depth=3)
+    # After the eager budget, the SpecFuzz-style ramp takes over (ramp=100
+    # means effectively depth 1 only).
+    assert not policy.should_enter(0x1, depth=3)
+    assert policy.should_enter(0x1, depth=0)
+
+
+def test_teapot_policy_respects_max_depth():
+    policy = TeapotNestingPolicy(eager_runs=100, max_depth=6)
+    assert not policy.should_enter(0x7, depth=6)
+
+
+def test_taint_log_rollback():
+    machine = _machine()
+    controller = SpeculationController()
+    controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    shadow_addr = 0x2000_0000_1000
+    machine.memory.write_shadow_byte(shadow_addr, 0x1)
+    controller.log_taint_write(shadow_addr, 0x1)
+    machine.memory.write_shadow_byte(shadow_addr, 0x5)
+    controller.rollback(machine)
+    assert machine.memory.read_shadow_byte(shadow_addr) == 0x1
+
+
+def test_stats_accumulate():
+    machine = _machine()
+    controller = SpeculationController(TeapotNestingPolicy())
+    controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    controller.count_instruction()
+    controller.rollback(machine, reason="budget")
+    stats = controller.stats.as_dict()
+    assert stats["simulations_started"] == 1
+    assert stats["budget_rollbacks"] == 1
+    assert stats["simulated_instructions"] == 1
+    controller.reset()
+    assert controller.stats.simulations_started == 0

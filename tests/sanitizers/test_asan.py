@@ -1,0 +1,90 @@
+"""Tests for the binary AddressSanitizer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.loader.layout import DEFAULT_LAYOUT
+from repro.runtime.machine import Memory
+from repro.sanitizers.asan import GRANULE, BinaryAsan
+
+
+def _asan():
+    memory = Memory()
+    memory.map_region(0x1000, 0x10000)
+    return BinaryAsan(memory, DEFAULT_LAYOUT)
+
+
+def test_unpoisoned_memory_passes():
+    asan = _asan()
+    assert not asan.is_poisoned(0x1000, 64)
+    assert asan.check_access(0x1000, 8)
+
+
+def test_poison_unpoison_round_trip():
+    asan = _asan()
+    asan.poison_region(0x2000, 64)
+    assert asan.is_poisoned(0x2000, 1)
+    assert asan.is_poisoned(0x2000 + 63, 1)
+    asan.unpoison_region(0x2000, 64)
+    assert not asan.is_poisoned(0x2000, 64)
+
+
+def test_partial_granule_poisoning():
+    asan = _asan()
+    # Unpoison 10 bytes: the second granule keeps only its first 2 bytes valid.
+    asan.poison_region(0x3000, 32)
+    asan.unpoison_region(0x3000, 10)
+    assert not asan.is_poisoned(0x3000, 10)
+    assert asan.is_poisoned(0x3000 + 10, 1)
+
+
+def test_partial_granule_poison_start():
+    asan = _asan()
+    # Poisoning starting mid-granule keeps the prefix addressable.
+    asan.poison_region(0x4004, 12)
+    assert not asan.is_poisoned(0x4000, 4)
+    assert asan.is_poisoned(0x4004, 1)
+    assert asan.is_poisoned(0x4008, 8)
+
+
+def test_unmapped_and_non_user_addresses_fail_check():
+    asan = _asan()
+    assert not asan.check_access(0x900000, 8)          # unmapped LowMem
+    assert not asan.check_access(0x2000_0000_0000, 8)  # tag-shadow region
+    assert asan.violations == 2
+
+
+def test_return_slot_protection():
+    asan = _asan()
+    asan.poison_return_slot(0x1200)
+    assert asan.is_poisoned(0x1200, 8)
+    asan.unpoison_return_slot(0x1200)
+    assert not asan.is_poisoned(0x1200, 8)
+
+
+def test_return_slot_protection_disabled():
+    memory = Memory()
+    memory.map_region(0x1000, 0x1000)
+    asan = BinaryAsan(memory, DEFAULT_LAYOUT, protect_stack=False)
+    asan.poison_return_slot(0x1200)
+    assert not asan.is_poisoned(0x1200, 8)
+
+
+def test_zero_sized_operations_are_noops():
+    asan = _asan()
+    asan.poison_region(0x1000, 0)
+    asan.unpoison_region(0x1000, 0)
+    assert not asan.is_poisoned(0x1000, 0)
+
+
+@given(st.integers(0, 2000), st.integers(1, 64), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_poisoned_range_is_detected_property(offset, size, access_size):
+    """Property: any access overlapping a poisoned range fails the check."""
+    asan = _asan()
+    start = 0x8000 + offset
+    asan.poison_region(start, size)
+    # An access entirely inside the poisoned range must be flagged.
+    assert asan.is_poisoned(start, min(access_size, size))
+    # An 8-aligned access entirely before the poisoned granule must pass.
+    before_granule = (start - GRANULE * 2) - ((start - GRANULE * 2) % GRANULE)
+    assert not asan.is_poisoned(before_granule, 1)

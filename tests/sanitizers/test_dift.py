@@ -1,0 +1,153 @@
+"""Tests for binary DIFT tag propagation."""
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import ConditionCode, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.layout import DEFAULT_LAYOUT
+from repro.runtime.machine import MachineState
+from repro.sanitizers.dift import (
+    BinaryDift,
+    TAG_MASSAGE,
+    TAG_SECRET_USER,
+    TAG_USER,
+)
+
+R = Register
+
+
+def _setup():
+    machine = MachineState()
+    machine.memory.map_region(0x1000, 0x10000)
+    dift = BinaryDift(machine.memory, DEFAULT_LAYOUT)
+    return machine, dift
+
+
+def test_memory_tagging_round_trip():
+    machine, dift = _setup()
+    dift.set_mem_tag(0x1000, 4, TAG_USER)
+    assert dift.get_mem_tag(0x1000, 4) == TAG_USER
+    assert dift.get_mem_tag(0x1004, 4) == 0
+    dift.clear_mem_tags(0x1000, 4)
+    assert dift.get_mem_tag(0x1000, 8) == 0
+
+
+def test_mark_user_input_respects_sources_enabled():
+    machine, dift = _setup()
+    dift.sources_enabled = False
+    dift.mark_user_input(0x1000, 8)
+    assert dift.get_mem_tag(0x1000, 8) == 0
+    dift.sources_enabled = True
+    dift.mark_user_input(0x1000, 8)
+    assert dift.get_mem_tag(0x1000, 8) == TAG_USER
+
+
+def test_copy_mem_tags():
+    machine, dift = _setup()
+    dift.set_mem_tag(0x1000, 4, TAG_USER)
+    dift.copy_mem_tags(0x2000, 0x1000, 8)
+    assert dift.get_mem_tag(0x2000, 4) == TAG_USER
+    assert dift.get_mem_tag(0x2004, 4) == 0
+
+
+def test_load_propagates_memory_tag_to_register():
+    machine, dift = _setup()
+    dift.set_mem_tag(0x1100, 8, TAG_USER)
+    machine.set_reg(R.R1, 0x1100)
+    instr = ins.load(Reg(R.R2), Mem(base=R.R1))
+    dift.propagate(instr, machine)
+    assert dift.get_register_tag(R.R2) == TAG_USER
+
+
+def test_store_propagates_register_tag_to_memory():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R3, TAG_MASSAGE)
+    machine.set_reg(R.R1, 0x1200)
+    instr = ins.store(Mem(base=R.R1), Reg(R.R3), size=4)
+    dift.propagate(instr, machine)
+    assert dift.get_mem_tag(0x1200, 4) == TAG_MASSAGE
+
+
+def test_alu_unions_tags_and_taints_flags():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER)
+    dift.set_register_tag(R.R2, TAG_MASSAGE)
+    instr = ins.alu(Opcode.ADD, Reg(R.R1), Reg(R.R2))
+    dift.propagate(instr, machine)
+    assert dift.get_register_tag(R.R1) == TAG_USER | TAG_MASSAGE
+    assert dift.flags_tag == TAG_USER | TAG_MASSAGE
+
+
+def test_mov_immediate_clears_tag():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER)
+    dift.propagate(ins.mov(Reg(R.R1), Imm(0)), machine)
+    assert dift.get_register_tag(R.R1) == 0
+
+
+def test_xor_self_clears_tag():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER | TAG_SECRET_USER)
+    dift.propagate(ins.alu(Opcode.XOR, Reg(R.R1), Reg(R.R1)), machine)
+    assert dift.get_register_tag(R.R1) == 0
+
+
+def test_cmp_taints_flags_only():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R5, TAG_SECRET_USER)
+    dift.propagate(ins.cmp(Reg(R.R5), Imm(3)), machine)
+    assert dift.flags_tag == TAG_SECRET_USER
+    assert dift.get_register_tag(R.R5) == TAG_SECRET_USER
+
+
+def test_lea_propagates_address_register_tags():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER)
+    instr = ins.lea(Reg(R.R4), Mem(base=R.R1, index=R.R2, scale=8))
+    dift.propagate(instr, machine)
+    assert dift.get_register_tag(R.R4) == TAG_USER
+
+
+def test_push_pop_round_trip_tags():
+    machine, dift = _setup()
+    machine.memory.map_region(machine.layout.stack_bottom(),
+                              machine.layout.stack_size + 256)
+    machine.sp = machine.layout.stack_top
+    dift.set_register_tag(R.R1, TAG_USER)
+    dift.propagate(ins.push(Reg(R.R1)), machine)
+    machine.push(123)
+    dift.propagate(ins.pop(Reg(R.R7)), machine)
+    assert dift.get_register_tag(R.R7) == TAG_USER
+
+
+def test_address_tag_helper():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER)
+    mem = Mem(base=R.R2, index=R.R1, scale=1)
+    assert dift.address_tag(mem, machine) == TAG_USER
+
+
+def test_register_tag_snapshot_restore():
+    machine, dift = _setup()
+    dift.set_register_tag(R.R1, TAG_USER)
+    snapshot = dift.snapshot_register_tags()
+    dift.set_register_tag(R.R1, 0)
+    dift.restore_register_tags(snapshot)
+    assert dift.get_register_tag(R.R1) == TAG_USER
+
+
+def test_taint_log_written_during_simulation():
+    machine, dift = _setup()
+
+    class FakeController:
+        def __init__(self):
+            self.in_simulation = True
+            self.log = []
+
+        def log_taint_write(self, addr, old):
+            self.log.append((addr, old))
+
+    controller = FakeController()
+    dift.controller = controller
+    dift.set_mem_tag(0x1000, 2, TAG_USER)
+    assert len(controller.log) == 2

@@ -1,0 +1,181 @@
+"""Tests for the detection policies and report bookkeeping."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.operands import Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.layout import DEFAULT_LAYOUT
+from repro.runtime.machine import MachineState
+from repro.sanitizers.asan import BinaryAsan
+from repro.sanitizers.dift import BinaryDift, TAG_MASSAGE, TAG_SECRET_USER, TAG_USER
+from repro.sanitizers.policy import KasperPolicy, SpecFuzzPolicy, SpecTaintPolicy
+from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport, ReportCollection
+
+R = Register
+
+
+class FakeContext:
+    branch_addresses = (0x1000,)
+    depth = 1
+
+
+def _env(policy):
+    machine = MachineState()
+    machine.memory.map_region(0x1000, 0x1000)
+    asan = BinaryAsan(machine.memory, DEFAULT_LAYOUT)
+    dift = BinaryDift(machine.memory, DEFAULT_LAYOUT)
+    policy.attach(asan, dift)
+    return machine, asan, dift
+
+
+def _load_instr(base=R.R1, index=R.R2):
+    instr = ins.load(Reg(R.R0), Mem(base=base, index=index), size=1)
+    instr.address = 0x4242
+    return instr
+
+
+def test_kasper_user_oob_load_reports_mds_and_promotes():
+    policy = KasperPolicy()
+    machine, asan, dift = _env(policy)
+    dift.set_register_tag(R.R2, TAG_USER)
+    machine.set_reg(R.R1, 0x1000)
+    machine.set_reg(R.R2, 10 ** 9)     # wild index -> unmapped
+    instr = _load_instr()
+    promoted = policy.on_speculative_access(
+        instr, instr.memory_operand(), 0x1000 + 10 ** 9, 1, False, machine, FakeContext()
+    )
+    assert promoted & TAG_SECRET_USER
+    assert len(policy.reports) == 1
+    report = policy.reports[0]
+    assert report.channel is Channel.MDS
+    assert report.attacker is AttackerClass.USER
+    assert report.pc == 0x4242
+
+
+def test_kasper_in_bounds_user_access_is_silent():
+    policy = KasperPolicy()
+    machine, asan, dift = _env(policy)
+    dift.set_register_tag(R.R2, TAG_USER)
+    promoted = policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0x1100, 1, False, machine, FakeContext()
+    )
+    assert promoted == 0
+    assert policy.reports == []
+
+
+def test_kasper_secret_pointer_reports_cache():
+    policy = KasperPolicy()
+    machine, asan, dift = _env(policy)
+    dift.set_register_tag(R.R1, TAG_SECRET_USER)
+    policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0x1100, 1, False, machine, FakeContext()
+    )
+    assert any(r.channel is Channel.CACHE for r in policy.reports)
+
+
+def test_kasper_massage_pointer_promotes_and_reports():
+    policy = KasperPolicy()
+    machine, asan, dift = _env(policy)
+    dift.set_register_tag(R.R1, TAG_MASSAGE)
+    promoted = policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0x1100, 1, False, machine, FakeContext()
+    )
+    assert promoted  # secret-from-massage
+    assert any(r.attacker is AttackerClass.MASSAGE for r in policy.reports)
+
+
+def test_kasper_untainted_oob_becomes_massage_when_enabled():
+    policy = KasperPolicy(massage_enabled=True)
+    machine, asan, dift = _env(policy)
+    promoted = policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0xDEAD_BEEF_0000, 1, False,
+        machine, FakeContext()
+    )
+    assert promoted == TAG_MASSAGE
+    assert policy.reports == []   # massaging itself is not yet a gadget
+
+
+def test_kasper_massage_disabled_for_table3():
+    policy = KasperPolicy(massage_enabled=False)
+    machine, asan, dift = _env(policy)
+    promoted = policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0xDEAD_BEEF_0000, 1, False,
+        machine, FakeContext()
+    )
+    assert promoted == 0
+
+
+def test_kasper_secret_branch_reports_port():
+    policy = KasperPolicy()
+    machine, asan, dift = _env(policy)
+    dift.flags_tag = TAG_SECRET_USER
+    instr = ins.jcc(ins.ConditionCode.EQ, "x")
+    instr.address = 0x99
+    policy.on_speculative_branch(instr, machine, FakeContext())
+    assert policy.reports[0].channel is Channel.PORT
+
+
+def test_specfuzz_reports_every_oob_without_attribution():
+    policy = SpecFuzzPolicy()
+    machine, asan, dift = _env(policy)
+    policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0xDEAD_BEEF_0000, 1, False,
+        machine, FakeContext()
+    )
+    assert len(policy.reports) == 1
+    assert policy.reports[0].attacker is AttackerClass.UNKNOWN
+
+
+def test_spectaint_assumes_user_access_loads_secret():
+    policy = SpecTaintPolicy()
+    machine, asan, dift = _env(policy)
+    dift.set_register_tag(R.R2, TAG_USER)
+    promoted = policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0x1100, 1, False, machine, FakeContext()
+    )
+    assert promoted & TAG_SECRET_USER   # even though the access is in bounds
+
+
+def test_drain_reports_clears():
+    policy = SpecFuzzPolicy()
+    machine, asan, dift = _env(policy)
+    policy.on_speculative_access(
+        _load_instr(), Mem(base=R.R1, index=R.R2), 0xDEAD_BEEF_0000, 1, False,
+        machine, FakeContext()
+    )
+    drained = policy.drain_reports()
+    assert len(drained) == 1
+    assert policy.reports == []
+
+
+# -- report collection -------------------------------------------------------
+
+def _report(pc=1, channel=Channel.MDS, attacker=AttackerClass.USER):
+    return GadgetReport(tool="t", channel=channel, attacker=attacker, pc=pc,
+                        branch_addresses=(0x10,), depth=1)
+
+
+def test_report_collection_dedup_by_site():
+    collection = ReportCollection()
+    assert collection.add(_report(pc=1))
+    assert not collection.add(_report(pc=1))
+    assert collection.add(_report(pc=2))
+    assert collection.add(_report(pc=1, channel=Channel.CACHE))
+    assert len(collection) == 3
+    assert collection.total_raw == 4
+
+
+def test_report_collection_category_counts():
+    collection = ReportCollection()
+    collection.extend([
+        _report(pc=1),
+        _report(pc=2, channel=Channel.CACHE),
+        _report(pc=3, attacker=AttackerClass.MASSAGE, channel=Channel.PORT),
+    ])
+    categories = collection.count_by_category()
+    assert categories["User-MDS"] == 1
+    assert categories["User-Cache"] == 1
+    assert categories["Massage-Port"] == 1
+    assert collection.count(channel=Channel.CACHE) == 1
+    assert collection.count(attacker=AttackerClass.USER) == 2

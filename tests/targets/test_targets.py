@@ -1,0 +1,107 @@
+"""Tests for the workload programs, gadget injection and case studies."""
+
+import pytest
+
+from repro.runtime import Emulator
+from repro.targets import (
+    ALL_TARGETS,
+    TABLE3_TARGETS,
+    REGISTRY,
+    compile_vanilla,
+    get_target,
+    inject_gadgets,
+    strip_markers,
+)
+from repro.targets.case_studies import LZMA_CASE_STUDY, MASSAGE_CASE_STUDY
+from repro.targets.gadget_samples import GADGET_TEMPLATES, gadget_globals, gadget_snippet
+
+
+def test_registry_contains_all_paper_workloads():
+    assert set(ALL_TARGETS) <= set(REGISTRY.names())
+    assert set(TABLE3_TARGETS) < set(ALL_TARGETS)
+    with pytest.raises(KeyError):
+        REGISTRY.get("nginx")
+
+
+@pytest.mark.parametrize("name", ALL_TARGETS)
+def test_vanilla_targets_run_on_their_seeds(name):
+    target = get_target(name)
+    binary = compile_vanilla(target)
+    emulator = Emulator(binary, max_steps=400_000)
+    for seed in target.seeds:
+        result = emulator.run(seed)
+        assert result.ok, (name, seed, result.status, result.crash_reason)
+
+
+@pytest.mark.parametrize("name", ALL_TARGETS)
+def test_perf_inputs_scale_and_run(name):
+    target = get_target(name)
+    binary = compile_vanilla(target)
+    emulator = Emulator(binary, max_steps=600_000)
+    small = emulator.run(target.perf_input(64))
+    large = emulator.run(target.perf_input(256))
+    assert small.ok and large.ok
+    assert large.arch_instructions > small.arch_instructions
+
+
+@pytest.mark.parametrize("name", ALL_TARGETS)
+def test_attack_point_markers_match_declared_points(name):
+    target = get_target(name)
+    for point in target.attack_points:
+        assert target.marker_text(point.marker_id) in target.source
+    assert strip_markers(target.source).find("@ATTACK_POINT") == -1
+
+
+@pytest.mark.parametrize("name", TABLE3_TARGETS)
+def test_injection_produces_ground_truth_and_runs(name):
+    target = get_target(name)
+    injected = inject_gadgets(target)
+    assert injected.ground_truth_count == len(target.attack_points)
+    assert injected.reachable_count <= injected.ground_truth_count
+    emulator = Emulator(injected.binary, max_steps=400_000)
+    result = emulator.run(target.seeds[0])
+    assert result.ok, (name, result.status, result.crash_reason)
+    # Each injected gadget contributes its per-instance globals.
+    for gadget in injected.gadgets:
+        assert injected.binary.has_symbol(f"atk_size_{gadget.marker_id}")
+
+
+def test_libyaml_has_two_unreachable_gadgets():
+    injected = inject_gadgets(get_target("libyaml"))
+    unreachable = [g for g in injected.gadgets if not g.reachable]
+    assert len(unreachable) == 2
+    assert {g.function for g in unreachable} == {"scan_flow_mapping"}
+
+
+def test_paper_ground_truth_counts():
+    expected = {"jsmn": 3, "libyaml": 10, "libhtp": 7, "brotli": 13}
+    for name, count in expected.items():
+        assert len(get_target(name).attack_points) == count
+
+
+def test_gadget_templates_are_self_contained():
+    assert len(GADGET_TEMPLATES) == 4
+    for variant in range(len(GADGET_TEMPLATES)):
+        snippet = gadget_snippet(7, variant)
+        assert "{n}" not in snippet
+        assert "atk_idx_7" in snippet
+    assert "atk_size_3" in gadget_globals(3)
+
+
+def test_case_studies_compile_and_run():
+    for case in (LZMA_CASE_STUDY, MASSAGE_CASE_STUDY):
+        binary = case.compile()
+        result = Emulator(binary, max_steps=300_000).run(case.seeds[0])
+        assert result.ok, (case.name, result.status, result.crash_reason)
+
+
+def test_injection_rejects_unknown_marker():
+    from repro.targets.base import AttackPoint, TargetProgram
+    bogus = TargetProgram(
+        name="bogus",
+        source="int main() { /*@ATTACK_POINT:9@*/ return 0; }",
+        seeds=[b""],
+        attack_points=[AttackPoint(1, "main")],
+    )
+    with pytest.raises(ValueError):
+        inject_gadgets(bogus)
