@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Run a multi-target campaign matrix with checkpoint/resume.
+
+The campaign subsystem is the scale-out layer over the single fuzzing
+loop of ``examples/fuzz_workload.py``: it fans a (target × tool) matrix
+out over worker processes, syncs the sharded corpora between rounds,
+deduplicates gadget reports across workers, and checkpoints after every
+round so a killed run resumes without losing work.
+
+Usage:  python examples/campaign_matrix.py [iterations] [workers]
+        iterations defaults to 60 per (target, tool) group; workers to 2.
+
+Equivalent CLI:
+        python -m repro.campaign --targets gadgets,jsmn --tools teapot,specfuzz \
+            --iterations 60 --rounds 2 --shards 2 --workers 2 \
+            --checkpoint /tmp/repro-campaign.json --resume
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, run_campaign
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    spec = CampaignSpec(
+        targets=("gadgets", "jsmn"),
+        tools=("teapot", "specfuzz"),
+        iterations=iterations,
+        rounds=2,
+        shards=2,
+        seed=2025,
+        workers=workers,
+    )
+    checkpoint = Path(tempfile.gettempdir()) / "repro-campaign.json"
+    print(f"campaign fingerprint: {spec.fingerprint()}")
+    print(f"checkpoint: {checkpoint} (kill and re-run to resume)\n")
+
+    try:
+        summary = run_campaign(
+            spec,
+            checkpoint_path=str(checkpoint),
+            resume=checkpoint.exists(),
+            progress=lambda message: print(f"  [{message}]"),
+        )
+    except ValueError:
+        # A stale checkpoint from a run with different arguments: start over.
+        print("  [stale checkpoint for different arguments; starting fresh]")
+        summary = run_campaign(
+            spec,
+            checkpoint_path=str(checkpoint),
+            progress=lambda message: print(f"  [{message}]"),
+        )
+
+    print()
+    print(summary.format_table())
+    print("\nNote the per-group dedup: 'raw' counts every report occurrence "
+          "across all workers and rounds, 'gadgets' the unique sites.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,26 @@
-"""Setuptools shim so `pip install -e .` / `setup.py develop` work offline."""
-from setuptools import setup
+"""Packaging for the Teapot reproduction (works offline: no fetch needed)."""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="teapot-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Teapot: Efficiently Uncovering Spectre Gadgets "
+        "in COTS Binaries' (CGO 2025) with campaign-scale fuzzing"
+    ),
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.campaign.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Security",
+        "Topic :: Software Development :: Testing",
+    ],
+)

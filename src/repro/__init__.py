@@ -38,9 +38,10 @@ from repro.baselines import (
 from repro.runtime import Emulator, ExecutionResult
 from repro.fuzzing import Fuzzer, FuzzTarget
 from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
-from repro.targets import get_target, inject_gadgets, compile_vanilla
+from repro.targets import get_target, inject_gadgets, compile_vanilla, runnable_targets
+from repro.campaign import CampaignScheduler, CampaignSpec, run_campaign
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "compile_source",
@@ -70,5 +71,9 @@ __all__ = [
     "get_target",
     "inject_gadgets",
     "compile_vanilla",
+    "runnable_targets",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "run_campaign",
     "__version__",
 ]

@@ -14,9 +14,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
 from repro.baselines.spectaint import SpecTaintAnalyzer, SpecTaintConfig
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.summary import CampaignSummary
+from repro.campaign.worker import instrumented_binary
 from repro.core.config import TeapotConfig
 from repro.core.teapot import TeapotRewriter, TeapotRuntime
-from repro.fuzzing.fuzzer import CampaignResult, Fuzzer, FuzzTarget
 from repro.minic.codegen import CompilerOptions, SwitchLowering
 from repro.minic.compiler import compile_source
 from repro.runtime.emulator import Emulator
@@ -208,39 +211,53 @@ def run_table3(
     programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli"),
     fuzz_iterations: int = 40,
     seed: int = 1234,
+    workers: int = 1,
 ) -> List[InjectionRow]:
     """Table 3: detection of artificially injected gadgets.
 
     Following the paper: the ordinary taint sources are disabled and only
     the artificial gadgets' input (``attack_input()``) is attacker-direct;
-    the Massage policy is disabled to avoid attacker-indirect noise.
+    the Massage policy is disabled to avoid attacker-indirect noise (this
+    is the campaign worker's ``injected``-variant configuration).
+
+    The fuzzing itself is routed through the campaign scheduler —
+    ``workers > 1`` fans the (program × tool) matrix over a process pool
+    without changing any result, because the legacy single-shard seeding is
+    preserved (``derive_seeds=False`` keeps every job on ``seed``).
     """
+    spec = CampaignSpec(
+        targets=tuple(programs),
+        tools=("teapot", "specfuzz"),
+        variants=("injected",),
+        iterations=fuzz_iterations,
+        rounds=1,
+        shards=1,
+        seed=seed,
+        workers=workers,
+        derive_seeds=False,
+        skip_uninjectable=False,
+    )
+    summary = run_campaign(spec)
+
     rows: List[InjectionRow] = []
     for name in programs:
-        target = get_target(name)
-        injected = inject_gadgets(target)
+        # Recompute the ground truth and the pc->function mapping binaries;
+        # both are deterministic and memoised per process, so the serial
+        # path reuses the worker's own compiles.
+        injected = inject_gadgets(get_target(name))
         row = InjectionRow(program=name,
                            spectaint_reported=SPECTAINT_REPORTED_TABLE3.get(name))
-
-        # Teapot.
-        teapot_config = TeapotConfig(massage_enabled=False,
-                                     taint_sources_enabled=False)
-        teapot_binary = TeapotRewriter(teapot_config).instrument(injected.binary)
-        teapot_runtime = TeapotRuntime(teapot_binary, config=teapot_config)
-        fuzzer = Fuzzer(FuzzTarget(teapot_runtime), seeds=list(target.seeds), seed=seed)
-        campaign = fuzzer.run_campaign(fuzz_iterations)
         row.scores["teapot"] = classify_reports(
-            injected, campaign.reports, teapot_binary, require_user_attacker=True
+            injected,
+            summary.row(name, "teapot", "injected").collection,
+            instrumented_binary(name, "teapot", "injected"),
+            require_user_attacker=True,
         )
-
-        # SpecFuzz.
-        sf_config = SpecFuzzConfig()
-        sf_binary = SpecFuzzRewriter(sf_config).instrument(injected.binary)
-        sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
-        sf_fuzzer = Fuzzer(FuzzTarget(sf_runtime), seeds=list(target.seeds), seed=seed)
-        sf_campaign = sf_fuzzer.run_campaign(fuzz_iterations)
         row.scores["specfuzz"] = classify_reports(
-            injected, sf_campaign.reports, sf_binary, require_user_attacker=False
+            injected,
+            summary.row(name, "specfuzz", "injected").collection,
+            instrumented_binary(name, "specfuzz", "injected"),
+            require_user_attacker=False,
         )
         rows.append(row)
     return rows
@@ -275,31 +292,71 @@ def run_table4(
     programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli", "openssl"),
     fuzz_iterations: int = 40,
     seed: int = 99,
+    workers: int = 1,
 ) -> List[VanillaRow]:
-    """Table 4: gadgets found in the unmodified binaries."""
+    """Table 4: gadgets found in the unmodified binaries.
+
+    Routed through the campaign scheduler (one job per program × tool);
+    ``workers > 1`` parallelises the matrix without changing results.
+    """
+    spec = CampaignSpec(
+        targets=tuple(programs),
+        tools=("teapot", "specfuzz", "spectaint"),
+        variants=("vanilla",),
+        iterations=fuzz_iterations,
+        rounds=1,
+        shards=1,
+        seed=seed,
+        workers=workers,
+        derive_seeds=False,
+    )
+    summary = run_campaign(spec)
+
     rows: List[VanillaRow] = []
     for name in programs:
-        target = get_target(name)
-        binary = compile_vanilla(target)
-        row = VanillaRow(program=name)
-
-        teapot_config = TeapotConfig()
-        teapot_binary = TeapotRewriter(teapot_config).instrument(binary)
-        teapot_runtime = TeapotRuntime(teapot_binary, config=teapot_config)
-        fuzzer = Fuzzer(FuzzTarget(teapot_runtime), seeds=list(target.seeds), seed=seed)
-        campaign = fuzzer.run_campaign(fuzz_iterations)
-        row.teapot_by_category = campaign.count_by_category()
-        row.teapot_total = campaign.gadget_count()
-
-        sf_config = SpecFuzzConfig()
-        sf_binary = SpecFuzzRewriter(sf_config).instrument(binary)
-        sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
-        sf_fuzzer = Fuzzer(FuzzTarget(sf_runtime), seeds=list(target.seeds), seed=seed)
-        row.specfuzz_total = sf_fuzzer.run_campaign(fuzz_iterations).gadget_count()
-
-        st_config = SpecTaintConfig()
-        analyzer = SpecTaintAnalyzer(binary, config=st_config)
-        st_fuzzer = Fuzzer(FuzzTarget(analyzer), seeds=list(target.seeds), seed=seed)
-        row.spectaint_total = st_fuzzer.run_campaign(fuzz_iterations).gadget_count()
-        rows.append(row)
+        teapot = summary.row(name, "teapot", "vanilla")
+        rows.append(VanillaRow(
+            program=name,
+            teapot_by_category=dict(teapot.by_category),
+            teapot_total=teapot.unique_gadgets,
+            specfuzz_total=summary.row(name, "specfuzz", "vanilla").unique_gadgets,
+            spectaint_total=summary.row(name, "spectaint", "vanilla").unique_gadgets,
+        ))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Whole-suite campaign matrices
+# ---------------------------------------------------------------------------
+
+def run_matrix(
+    targets: Optional[Sequence[str]] = None,
+    tools: Sequence[str] = ("teapot",),
+    variants: Sequence[str] = ("vanilla",),
+    iterations: int = 200,
+    rounds: int = 2,
+    shards: int = 2,
+    seed: int = 0,
+    workers: int = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+) -> CampaignSummary:
+    """Run a whole-suite campaign matrix and return its summary.
+
+    This is the library-level equivalent of ``python -m repro.campaign``:
+    sharded corpora with cross-worker sync every round, report dedup
+    across workers, and optional checkpoint/resume.
+    """
+    from repro.targets import runnable_targets
+
+    spec = CampaignSpec(
+        targets=tuple(targets if targets is not None else runnable_targets()),
+        tools=tuple(tools),
+        variants=tuple(variants),
+        iterations=iterations,
+        rounds=rounds,
+        shards=shards,
+        seed=seed,
+        workers=workers,
+    )
+    return run_campaign(spec, checkpoint_path=checkpoint_path, resume=resume)

@@ -1,0 +1,162 @@
+"""``python -m repro.campaign`` / ``repro-campaign``: the campaign CLI.
+
+Runs a whole-suite fuzzing matrix and prints a Table-4-style per-target
+gadget table.  Examples::
+
+    # The full target suite, 4 worker processes, 200 executions per group.
+    python -m repro.campaign --targets all --workers 4 --iterations 200
+
+    # A sharded teapot-vs-specfuzz comparison with checkpointing.
+    python -m repro.campaign --targets jsmn,libyaml --tools teapot,specfuzz \
+        --shards 2 --rounds 3 --checkpoint /tmp/campaign.json
+
+    # Kill it at any point, then finish from the last completed round:
+    python -m repro.campaign --targets jsmn,libyaml --tools teapot,specfuzz \
+        --shards 2 --rounds 3 --checkpoint /tmp/campaign.json --resume
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import TOOLS, VARIANTS, CampaignSpec
+from repro.targets import runnable_targets
+
+
+def _parse_list(text: str, choices: Sequence[str], what: str) -> List[str]:
+    values = [item.strip() for item in text.split(",") if item.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError(f"no {what} given")
+    for value in values:
+        if value not in choices:
+            raise argparse.ArgumentTypeError(
+                f"unknown {what} {value!r}; choose from {', '.join(choices)}"
+            )
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Parallel multi-target Spectre-gadget fuzzing campaigns.",
+    )
+    parser.add_argument(
+        "--targets", default="all",
+        help="comma-separated target names, or 'all' for the whole suite "
+             f"({', '.join(runnable_targets())})")
+    parser.add_argument(
+        "--tools", default="teapot",
+        help=f"comma-separated detectors ({', '.join(TOOLS)}); default: teapot")
+    parser.add_argument(
+        "--variants", default="vanilla",
+        help=f"comma-separated binary variants ({', '.join(VARIANTS)}); "
+             "'injected' reproduces the Table 3 build and is skipped for "
+             "targets without attack points")
+    parser.add_argument("--iterations", type=int, default=200,
+                        help="total executions per (target, tool, variant) "
+                             "group (default: 200)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1 = serial)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="corpus shards per group (default: = workers); "
+                             "affects results, unlike --workers")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="corpus-sync rounds (default: 2)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--max-input-size", type=int, default=1024,
+                        help="mutation size cap in bytes (default: 1024)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="write a JSON checkpoint after every round")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint if it exists")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the summary as JSON ('-' for stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.targets.strip() == "all":
+            targets = runnable_targets()
+        else:
+            targets = _parse_list(args.targets, runnable_targets(), "target")
+        tools = _parse_list(args.tools, TOOLS, "tool")
+        variants = _parse_list(args.variants, VARIANTS, "variant")
+    except argparse.ArgumentTypeError as error:
+        parser.error(str(error))
+    shards = args.shards if args.shards > 0 else max(1, args.workers)
+    if args.shards <= 0 and args.resume and args.checkpoint:
+        # --shards defaults to --workers, but shard count is part of the
+        # campaign identity while worker count is not: when resuming,
+        # default to the checkpoint's shard count so a 4-worker campaign
+        # can be finished with any --workers value.
+        try:
+            with open(args.checkpoint, "r", encoding="utf-8") as handle:
+                shards = int(json.load(handle)["spec"]["shards"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # no/unreadable checkpoint: keep the workers-based default
+
+    try:
+        spec = CampaignSpec(
+            targets=tuple(targets),
+            tools=tuple(tools),
+            variants=tuple(variants),
+            iterations=args.iterations,
+            rounds=args.rounds,
+            shards=shards,
+            seed=args.seed,
+            max_input_size=args.max_input_size,
+            workers=max(1, args.workers),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    progress = None if args.quiet else (
+        lambda message: print(f"[campaign] {message}", file=sys.stderr)
+    )
+    started = time.time()
+    try:
+        summary = run_campaign(spec, checkpoint_path=args.checkpoint,
+                               resume=args.resume, progress=progress)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    elapsed = time.time() - started
+    # Write the JSON artifact before touching stdout: a truncated pipe
+    # (e.g. `... | head`) kills the process with BrokenPipeError and must
+    # not cost the caller their summary file.
+    if args.json and args.json != "-":
+        payload = json.dumps(summary.to_dict(), indent=1, sort_keys=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+    try:
+        print(summary.format_table())
+        if not args.quiet:
+            print(f"[campaign] finished in {elapsed:.1f}s "
+                  f"(fingerprint {summary.fingerprint})", file=sys.stderr)
+        if args.json == "-":
+            print(json.dumps(summary.to_dict(), indent=1, sort_keys=True))
+        return 0
+    except BrokenPipeError:
+        # The reader went away (`... | head`); the campaign and any --json
+        # artifact are already safe on disk, so exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Campaign scheduler: fan jobs out, sync corpora, checkpoint, summarize.
+
+The scheduler turns a :class:`CampaignSpec` into rounds of
+:class:`JobSpec` work units and executes each round over a
+``multiprocessing`` pool (falling back to in-process serial execution when
+``workers <= 1`` or the platform refuses to give us a pool).  Between
+rounds it performs the corpus sync of the paper's distributed-fuzzing
+setups: every worker's coverage-novel corpus entries are merged into one
+per-group corpus, which is re-sharded round-robin and redistributed for
+the next round.  After every round the full campaign state — corpora,
+deduplicated reports, counters — is written to a JSON checkpoint, so a
+killed campaign resumes from the last completed round and finishes with a
+summary identical to an uninterrupted run.
+
+Determinism: job RNG seeds derive from (campaign seed, target, tool,
+variant, round, shard) and merging happens in a fixed order, so the pool
+size never affects results — only ``shards`` does, and that is part of the
+spec fingerprint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import CampaignState, GroupKey
+from repro.campaign.summary import CampaignSummary, summarize
+from repro.campaign.worker import WorkerResult, execute_task
+from repro.fuzzing.corpus import Corpus
+from repro.targets import get_target
+
+Task = Tuple[JobSpec, Optional[List[bytes]]]
+ProgressFn = Callable[[str], None]
+
+
+class CampaignScheduler:
+    """Runs a whole campaign matrix with corpus sync and checkpointing."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        checkpoint_path: Optional[str] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.spec = spec
+        self.checkpoint_path = checkpoint_path
+        self._progress = progress or (lambda message: None)
+        #: True when the last round ran through a real process pool.
+        self.used_pool = False
+        self._pool = None
+        self._pool_unavailable = False
+
+    # -- public API ---------------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignSummary:
+        """Execute (or finish) the campaign and return its summary."""
+        state = self._initial_state(resume)
+        try:
+            for round_index in range(state.completed_rounds, self.spec.rounds):
+                jobs = self.spec.jobs_for_round(round_index)
+                tasks = [(job, self._seeds_for(state, job)) for job in jobs]
+                self._progress(
+                    f"round {round_index + 1}/{self.spec.rounds}: "
+                    f"{len(tasks)} jobs over {self.spec.workers} worker(s)"
+                )
+                results = self._map(tasks)
+                self._merge_round(state, results)
+                state.completed_rounds = round_index + 1
+                if self.checkpoint_path:
+                    state.save(self.checkpoint_path)
+                    self._progress(f"checkpoint written to {self.checkpoint_path}")
+        finally:
+            self._close_pool()
+        return summarize(state)
+
+    # -- state --------------------------------------------------------------
+    def _initial_state(self, resume: bool) -> CampaignState:
+        fingerprint = self.spec.fingerprint()
+        if resume and self.checkpoint_path:
+            try:
+                state = CampaignState.load(self.checkpoint_path)
+            except FileNotFoundError:
+                state = None
+            if state is not None:
+                if state.fingerprint != fingerprint:
+                    raise ValueError(
+                        "checkpoint was produced by a different campaign spec "
+                        f"(fingerprint {state.fingerprint} != {fingerprint}); "
+                        "refusing to resume"
+                    )
+                self._progress(
+                    f"resuming after {state.completed_rounds} completed round(s)"
+                )
+                return state
+        return CampaignState(fingerprint=fingerprint,
+                             spec_dict=self.spec.to_dict())
+
+    def _seeds_for(self, state: CampaignState, job: JobSpec) -> Optional[List[bytes]]:
+        """The corpus shard assigned to one job.
+
+        Round 0 of a fresh campaign starts from the target's seed inputs;
+        later rounds start from the merged cross-worker corpus of the
+        previous round, sharded round-robin.
+        """
+        corpus = state.corpus(job.group)
+        if corpus is None:
+            corpus = Corpus(list(get_target(job.target).seeds))
+        return corpus.shards(job.shard_count)[job.shard]
+
+    def _merge_round(self, state: CampaignState,
+                     results: Sequence[WorkerResult]) -> None:
+        """Fold one round's worker results into the campaign state.
+
+        Results arrive in job order (``pool.map`` preserves it), so the
+        merge is deterministic regardless of completion order.  The rules
+        (sum counters, max the coverage gauges, dedup reports by site)
+        mirror :meth:`repro.fuzzing.fuzzer.CampaignResult.merge` — keep
+        the two in step.
+        """
+        for result in results:
+            key: GroupKey = result.group
+            stats = state.group_stats(key)
+            stats.executions += result.executions
+            stats.crashes += result.crashes
+            stats.hangs += result.hangs
+            stats.total_cycles += result.total_cycles
+            stats.total_steps += result.total_steps
+            stats.normal_coverage = max(stats.normal_coverage,
+                                        result.normal_coverage)
+            stats.speculative_coverage = max(stats.speculative_coverage,
+                                             result.speculative_coverage)
+            for stat_key, value in result.spec_stats.items():
+                stats.spec_stats[stat_key] = (
+                    stats.spec_stats.get(stat_key, 0) + value
+                )
+            state.store.add_serialized(key, result.reports, result.raw_reports)
+
+            merged = state.corpora.get(key)
+            incoming = Corpus.from_dicts(result.corpus)
+            if merged is None:
+                state.corpora[key] = incoming
+            else:
+                merged.merge(incoming)
+
+    # -- execution ----------------------------------------------------------
+    def _map(self, tasks: List[Task]) -> List[WorkerResult]:
+        """Run the round's tasks, through a pool when it pays off."""
+        self.used_pool = False
+        if self.spec.workers > 1 and len(tasks) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                self.used_pool = True
+                return pool.map(execute_task, tasks)
+        return [execute_task(task) for task in tasks]
+
+    def _ensure_pool(self):
+        """The campaign-lifetime worker pool (created once, reused per round).
+
+        Keeping one pool alive across rounds lets the forked workers keep
+        their per-process compile/instrument caches warm instead of
+        recompiling every binary each round.
+        """
+        if self._pool is None and not self._pool_unavailable:
+            try:
+                self._pool = multiprocessing.get_context("fork").Pool(
+                    self.spec.workers
+                )
+            except (OSError, ValueError, ImportError, AttributeError) as error:
+                # Sandboxes without working semaphores, platforms without
+                # fork, etc.: the campaign still completes, just serially.
+                self._pool_unavailable = True
+                self._progress(f"worker pool unavailable ({error}); "
+                               "falling back to serial execution")
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignSummary:
+    """Convenience wrapper: schedule and run one campaign."""
+    scheduler = CampaignScheduler(spec, checkpoint_path=checkpoint_path,
+                                  progress=progress)
+    return scheduler.run(resume=resume)

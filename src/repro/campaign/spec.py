@@ -1,0 +1,214 @@
+"""Campaign specifications: the (target × tool × variant) job matrix.
+
+A :class:`CampaignSpec` describes a whole multi-target fuzzing campaign the
+way the paper's evaluation describes its 24-hour honggfuzz runs: which
+workloads, which detectors, how many executions, and how the work is cut
+into corpus-sync rounds and shards.  The spec is pure data — expanding it
+into :class:`JobSpec` work units is deterministic, and every job derives
+its RNG seed from the campaign seed and its own coordinates, so a campaign
+replays identically regardless of how many worker processes execute it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+#: Detector tools a campaign can drive.
+TOOLS = ("teapot", "specfuzz", "spectaint")
+#: Binary variants: the unmodified workload or the Table-3 injected build.
+VARIANTS = ("vanilla", "injected")
+
+
+def derive_seed(campaign_seed: int, *coords: object) -> int:
+    """A deterministic 63-bit RNG seed for one job.
+
+    Uses SHA-256 over the campaign seed and the job coordinates so the
+    result is stable across processes and Python versions (unlike
+    ``hash()``, which is salted per interpreter).
+    """
+    text = "|".join(str(part) for part in (campaign_seed, *coords))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` integer chunks differing by at most 1.
+
+    Earlier chunks get the remainder, so the split is deterministic:
+    ``split_evenly(10, 4) == [3, 3, 2, 2]``.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, remainder = divmod(total, parts)
+    return [base + (1 if index < remainder else 0) for index in range(parts)]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: fuzz one shard of one (target, tool, variant)."""
+
+    target: str
+    tool: str
+    variant: str = "vanilla"
+    shard: int = 0
+    shard_count: int = 1
+    round_index: int = 0
+    iterations: int = 0
+    seed: int = 0
+    max_input_size: int = 1024
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        """The campaign group this job contributes to."""
+        return (self.target, self.tool, self.variant)
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable identity, e.g. ``jsmn/teapot/vanilla r0 s1/4``."""
+        return (f"{self.target}/{self.tool}/{self.variant} "
+                f"r{self.round_index} s{self.shard + 1}/{self.shard_count}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign: the job matrix plus scheduling parameters.
+
+    ``iterations`` is the *total* execution budget per (target, tool,
+    variant) group; it is split evenly over ``rounds`` corpus-sync rounds
+    and, within each round, over ``shards`` parallel workers.  Only the
+    fields hashed by :meth:`fingerprint` affect results — ``workers`` is
+    pure execution parallelism and never changes the outcome.
+    """
+
+    targets: Tuple[str, ...]
+    tools: Tuple[str, ...] = ("teapot",)
+    variants: Tuple[str, ...] = ("vanilla",)
+    iterations: int = 200
+    rounds: int = 2
+    shards: int = 1
+    seed: int = 0
+    max_input_size: int = 1024
+    workers: int = 1
+    #: When False (the legacy-experiment mode used by
+    #: :mod:`repro.analysis.experiments`), every job uses ``seed`` directly
+    #: instead of a derived per-job seed; only valid with one shard.
+    derive_seeds: bool = True
+    #: When True (the CLI default), ``injected``-variant groups are dropped
+    #: for targets without attack points; the experiment harness passes
+    #: False so every requested program gets a row (injection into a
+    #: target with no attack points is a no-op build, as in the paper).
+    skip_uninjectable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not self.derive_seeds and self.shards != 1:
+            raise ValueError("derive_seeds=False requires shards == 1")
+        for tool in self.tools:
+            if tool not in TOOLS:
+                raise ValueError(f"unknown tool {tool!r}; expected one of {TOOLS}")
+        for variant in self.variants:
+            if variant not in VARIANTS:
+                raise ValueError(
+                    f"unknown variant {variant!r}; expected one of {VARIANTS}")
+
+    # -- matrix expansion ---------------------------------------------------
+    def groups(self) -> List[Tuple[str, str, str]]:
+        """All (target, tool, variant) groups, in deterministic order.
+
+        The ``injected`` variant only applies to targets with attack points;
+        groups for targets without any are silently dropped.
+        """
+        from repro.targets import get_target
+
+        result: List[Tuple[str, str, str]] = []
+        for target in self.targets:
+            for tool in self.tools:
+                for variant in self.variants:
+                    if (variant == "injected" and self.skip_uninjectable
+                            and not get_target(target).attack_points):
+                        continue
+                    result.append((target, tool, variant))
+        return result
+
+    def round_iterations(self, round_index: int) -> int:
+        """Execution budget of one round (per group, across all shards)."""
+        return split_evenly(self.iterations, self.rounds)[round_index]
+
+    def jobs_for_round(self, round_index: int) -> List[JobSpec]:
+        """Expand the matrix into the jobs of one corpus-sync round."""
+        jobs: List[JobSpec] = []
+        per_shard = split_evenly(self.round_iterations(round_index), self.shards)
+        for target, tool, variant in self.groups():
+            for shard in range(self.shards):
+                if per_shard[shard] == 0:
+                    continue
+                if self.derive_seeds:
+                    seed = derive_seed(self.seed, target, tool, variant,
+                                       round_index, shard)
+                else:
+                    seed = self.seed
+                jobs.append(JobSpec(
+                    target=target, tool=tool, variant=variant,
+                    shard=shard, shard_count=self.shards,
+                    round_index=round_index,
+                    iterations=per_shard[shard],
+                    seed=seed,
+                    max_input_size=self.max_input_size,
+                ))
+        return jobs
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the checkpoint file."""
+        return {
+            "targets": list(self.targets),
+            "tools": list(self.tools),
+            "variants": list(self.variants),
+            "iterations": self.iterations,
+            "rounds": self.rounds,
+            "shards": self.shards,
+            "seed": self.seed,
+            "max_input_size": self.max_input_size,
+            "workers": self.workers,
+            "derive_seeds": self.derive_seeds,
+            "skip_uninjectable": self.skip_uninjectable,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            targets=tuple(record["targets"]),
+            tools=tuple(record.get("tools", ("teapot",))),
+            variants=tuple(record.get("variants", ("vanilla",))),
+            iterations=int(record.get("iterations", 200)),
+            rounds=int(record.get("rounds", 2)),
+            shards=int(record.get("shards", 1)),
+            seed=int(record.get("seed", 0)),
+            max_input_size=int(record.get("max_input_size", 1024)),
+            workers=int(record.get("workers", 1)),
+            derive_seeds=bool(record.get("derive_seeds", True)),
+            skip_uninjectable=bool(record.get("skip_uninjectable", True)),
+        )
+
+    def fingerprint(self) -> str:
+        """Hash of every result-affecting field (checkpoint compatibility).
+
+        ``workers`` is deliberately excluded: resuming a 4-worker campaign
+        with 1 worker (or vice versa) is valid and yields identical results.
+        """
+        record = self.to_dict()
+        record.pop("workers")
+        text = "|".join(f"{key}={record[key]}" for key in sorted(record))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def with_workers(self, workers: int) -> "CampaignSpec":
+        """The same campaign executed with a different pool size."""
+        return replace(self, workers=workers)

@@ -1,0 +1,217 @@
+"""Report dedup store and campaign checkpoint state.
+
+The :class:`ReportStore` aggregates gadget reports from every worker of a
+campaign, deduplicating by gadget site — (channel, attacker, pc) — within
+each (target, tool, variant) group, exactly as :class:`ReportCollection`
+does within one fuzzing process.  The :class:`CampaignState` bundles the
+store with the synchronized corpora and per-group counters and serializes
+the whole thing as JSON, which is the checkpoint/resume format of
+``python -m repro.campaign``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzzing.corpus import Corpus
+from repro.sanitizers.reports import ReportCollection
+
+#: Checkpoint format version; bump on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+GroupKey = Tuple[str, str, str]
+
+
+def group_key_str(key: GroupKey) -> str:
+    """Encode a (target, tool, variant) key for JSON object keys."""
+    return "/".join(key)
+
+def parse_group_key(text: str) -> GroupKey:
+    """Decode :func:`group_key_str` output."""
+    target, tool, variant = text.split("/")
+    return (target, tool, variant)
+
+
+@dataclass
+class GroupStats:
+    """Summed execution counters of one (target, tool, variant) group."""
+
+    executions: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    total_cycles: int = 0
+    total_steps: int = 0
+    #: peak per-shard coverage observed (coverage maps are per-runtime, so
+    #: sizes from different shards cannot be summed meaningfully).
+    normal_coverage: int = 0
+    speculative_coverage: int = 0
+    spec_stats: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "executions": self.executions,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "total_cycles": self.total_cycles,
+            "total_steps": self.total_steps,
+            "normal_coverage": self.normal_coverage,
+            "speculative_coverage": self.speculative_coverage,
+            "spec_stats": dict(sorted(self.spec_stats.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "GroupStats":
+        return cls(
+            executions=int(record.get("executions", 0)),
+            crashes=int(record.get("crashes", 0)),
+            hangs=int(record.get("hangs", 0)),
+            total_cycles=int(record.get("total_cycles", 0)),
+            total_steps=int(record.get("total_steps", 0)),
+            normal_coverage=int(record.get("normal_coverage", 0)),
+            speculative_coverage=int(record.get("speculative_coverage", 0)),
+            spec_stats=dict(record.get("spec_stats", {})),
+        )
+
+
+class ReportStore:
+    """Cross-worker gadget-report deduplication, grouped per campaign cell."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[GroupKey, ReportCollection] = {}
+
+    def collection(self, key: GroupKey) -> ReportCollection:
+        """The (created-on-demand) collection of one group."""
+        if key not in self._collections:
+            self._collections[key] = ReportCollection()
+        return self._collections[key]
+
+    def add_serialized(self, key: GroupKey,
+                       report_dicts: List[Dict[str, object]],
+                       raw_count: int = 0) -> int:
+        """Merge one worker's serialized reports; returns new unique sites."""
+        incoming = ReportCollection.from_dicts(report_dicts)
+        collection = self.collection(key)
+        new = collection.merge(incoming)
+        # ``merge`` added ``incoming.total_raw`` (== len(report_dicts));
+        # account for occurrences the worker deduplicated locally.
+        if raw_count > len(report_dicts):
+            collection.total_raw += raw_count - len(report_dicts)
+        return new
+
+    def keys(self) -> List[GroupKey]:
+        """All groups with at least one report collection, sorted."""
+        return sorted(self._collections)
+
+    def unique_count(self, key: GroupKey) -> int:
+        """Unique gadget sites of one group (0 if the group is unknown)."""
+        collection = self._collections.get(key)
+        return len(collection) if collection is not None else 0
+
+    def total_unique(self) -> int:
+        """Unique gadget sites across every group."""
+        return sum(len(c) for c in self._collections.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (stable ordering)."""
+        return {
+            group_key_str(key): {
+                "reports": self._collections[key].to_dicts(),
+                "total_raw": self._collections[key].total_raw,
+            }
+            for key in self.keys()
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ReportStore":
+        store = cls()
+        for key_text, entry in record.items():
+            store._collections[parse_group_key(key_text)] = (
+                ReportCollection.from_dicts(
+                    entry.get("reports", []),
+                    total_raw=int(entry.get("total_raw", 0)),
+                )
+            )
+        return store
+
+
+@dataclass
+class CampaignState:
+    """Everything a campaign needs to resume: corpora, reports, counters."""
+
+    fingerprint: str
+    spec_dict: Dict[str, object]
+    completed_rounds: int = 0
+    corpora: Dict[GroupKey, Corpus] = field(default_factory=dict)
+    stats: Dict[GroupKey, GroupStats] = field(default_factory=dict)
+    store: ReportStore = field(default_factory=ReportStore)
+
+    def corpus(self, key: GroupKey) -> Optional[Corpus]:
+        return self.corpora.get(key)
+
+    def group_stats(self, key: GroupKey) -> GroupStats:
+        if key not in self.stats:
+            self.stats[key] = GroupStats()
+        return self.stats[key]
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec_dict,
+            "completed_rounds": self.completed_rounds,
+            "corpora": {
+                group_key_str(key): corpus.to_dicts()
+                for key, corpus in sorted(self.corpora.items())
+            },
+            "stats": {
+                group_key_str(key): stats.to_dict()
+                for key, stats in sorted(self.stats.items())
+            },
+            "reports": self.store.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "CampaignState":
+        version = int(record.get("version", 0))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        state = cls(
+            fingerprint=str(record["fingerprint"]),
+            spec_dict=dict(record["spec"]),
+            completed_rounds=int(record.get("completed_rounds", 0)),
+        )
+        for key_text, entries in record.get("corpora", {}).items():
+            state.corpora[parse_group_key(key_text)] = Corpus.from_dicts(entries)
+        for key_text, stats in record.get("stats", {}).items():
+            state.stats[parse_group_key(key_text)] = GroupStats.from_dict(stats)
+        state.store = ReportStore.from_dict(record.get("reports", {}))
+        return state
+
+    def save(self, path: str) -> None:
+        """Write the checkpoint atomically (tmp file + rename)."""
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(prefix=".campaign-", suffix=".json",
+                                        dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignState":
+        """Read a checkpoint written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,144 @@
+"""Campaign summaries: the Table-3/Table-4-style output of a matrix run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.campaign.store import CampaignState, group_key_str
+from repro.sanitizers.reports import ReportCollection
+
+
+@dataclass
+class GroupSummary:
+    """One row of the campaign table: one (target, tool, variant) group."""
+
+    target: str
+    tool: str
+    variant: str
+    executions: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    total_cycles: int = 0
+    corpus_size: int = 0
+    normal_coverage: int = 0
+    speculative_coverage: int = 0
+    unique_gadgets: int = 0
+    raw_reports: int = 0
+    by_category: Dict[str, int] = field(default_factory=dict)
+    #: the deduplicated reports themselves (not serialized by ``to_dict``;
+    #: the experiment harness classifies them against ground truth).
+    collection: ReportCollection = field(default_factory=ReportCollection)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.target, self.tool, self.variant)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "tool": self.tool,
+            "variant": self.variant,
+            "executions": self.executions,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "total_cycles": self.total_cycles,
+            "corpus_size": self.corpus_size,
+            "normal_coverage": self.normal_coverage,
+            "speculative_coverage": self.speculative_coverage,
+            "unique_gadgets": self.unique_gadgets,
+            "raw_reports": self.raw_reports,
+            "by_category": dict(sorted(self.by_category.items())),
+        }
+
+
+@dataclass
+class CampaignSummary:
+    """The final product of a campaign: per-group rows plus totals."""
+
+    fingerprint: str
+    rounds_completed: int
+    groups: List[GroupSummary] = field(default_factory=list)
+
+    def row(self, target: str, tool: str, variant: str = "vanilla") -> GroupSummary:
+        """Look up one group's row."""
+        for group in self.groups:
+            if group.key == (target, tool, variant):
+                return group
+        raise KeyError(f"no group {group_key_str((target, tool, variant))!r}")
+
+    def total_unique_gadgets(self) -> int:
+        return sum(group.unique_gadgets for group in self.groups)
+
+    def total_executions(self) -> int:
+        return sum(group.executions for group in self.groups)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form; also the equality basis of the replay tests."""
+        return {
+            "fingerprint": self.fingerprint,
+            "rounds_completed": self.rounds_completed,
+            "groups": [group.to_dict() for group in self.groups],
+        }
+
+    def format_table(self) -> str:
+        """Render the per-target gadget table (paper Table 4 style)."""
+        categories = sorted({
+            category for group in self.groups for category in group.by_category
+        })
+        headers = (["target", "tool", "variant", "execs", "crash", "corpus",
+                    "cov(n/s)", "gadgets", "raw"] + categories)
+        rows: List[List[str]] = []
+        for group in self.groups:
+            rows.append([
+                group.target, group.tool, group.variant,
+                str(group.executions), str(group.crashes),
+                str(group.corpus_size),
+                f"{group.normal_coverage}/{group.speculative_coverage}",
+                str(group.unique_gadgets), str(group.raw_reports),
+            ] + [str(group.by_category.get(c, 0)) for c in categories])
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+                  else len(headers[i]) for i in range(len(headers))]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * widths[i] for i in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        lines.append("")
+        lines.append(
+            f"{len(self.groups)} groups, {self.total_executions()} executions, "
+            f"{self.total_unique_gadgets()} unique gadget sites "
+            f"({self.rounds_completed} rounds)"
+        )
+        return "\n".join(lines)
+
+
+def summarize(state: CampaignState) -> CampaignSummary:
+    """Build the summary rows from a (possibly resumed) campaign state."""
+    summary = CampaignSummary(
+        fingerprint=state.fingerprint,
+        rounds_completed=state.completed_rounds,
+    )
+    keys = sorted(set(state.stats) | set(state.corpora) | set(state.store.keys()))
+    for key in keys:
+        target, tool, variant = key
+        stats = state.group_stats(key)
+        corpus = state.corpus(key)
+        collection = state.store.collection(key)
+        summary.groups.append(GroupSummary(
+            target=target, tool=tool, variant=variant,
+            executions=stats.executions,
+            crashes=stats.crashes,
+            hangs=stats.hangs,
+            total_cycles=stats.total_cycles,
+            corpus_size=len(corpus) if corpus is not None else 0,
+            normal_coverage=stats.normal_coverage,
+            speculative_coverage=stats.speculative_coverage,
+            unique_gadgets=len(collection),
+            raw_reports=collection.total_raw,
+            by_category=collection.count_by_category(),
+            collection=collection,
+        ))
+    return summary

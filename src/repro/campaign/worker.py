@@ -1,0 +1,169 @@
+"""Campaign worker: run one fuzzing job and return a picklable result.
+
+Workers are plain top-level functions so the scheduler can fan them out
+over a ``multiprocessing`` pool; everything they return is primitive data
+(ints, strings, dicts) that crosses process boundaries cheaply.  Compiled
+and instrumented binaries are memoised per process — a pool worker that
+executes several shards of the same target compiles it once, and the
+serial (``workers=1``) path compiles each (target, variant, tool)
+combination exactly once per campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
+from repro.baselines.spectaint import SpecTaintAnalyzer, SpecTaintConfig
+from repro.campaign.spec import JobSpec
+from repro.core.config import TeapotConfig
+from repro.core.teapot import TeapotRewriter, TeapotRuntime
+from repro.fuzzing.fuzzer import Fuzzer, FuzzTarget
+from repro.loader.binary_format import TelfBinary
+from repro.targets import get_target
+from repro.targets.injection import compile_vanilla, inject_gadgets
+
+#: Per-process caches; keyed by (target, variant) and (target, variant, tool).
+_BINARY_CACHE: Dict[Tuple[str, str], TelfBinary] = {}
+_INSTRUMENTED_CACHE: Dict[Tuple[str, str, str], TelfBinary] = {}
+
+
+def compiled_binary(target_name: str, variant: str) -> TelfBinary:
+    """The (memoised) vanilla or injected build of a target."""
+    key = (target_name, variant)
+    if key not in _BINARY_CACHE:
+        target = get_target(target_name)
+        if variant == "injected":
+            _BINARY_CACHE[key] = inject_gadgets(target).binary
+        elif variant == "vanilla":
+            _BINARY_CACHE[key] = compile_vanilla(target)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+    return _BINARY_CACHE[key]
+
+
+def _tool_config(tool: str, variant: str):
+    """The detector configuration for one (tool, variant) combination.
+
+    The ``injected`` variant reproduces the Table 3 methodology for Teapot:
+    ordinary taint sources off (only ``attack_input()`` is attacker-direct)
+    and the Massage policy off to avoid attacker-indirect noise.
+    """
+    if tool == "teapot":
+        if variant == "injected":
+            return TeapotConfig(massage_enabled=False, taint_sources_enabled=False)
+        return TeapotConfig()
+    if tool == "specfuzz":
+        return SpecFuzzConfig()
+    if tool == "spectaint":
+        return SpecTaintConfig()
+    raise ValueError(f"unknown tool {tool!r}")
+
+
+def instrumented_binary(target_name: str, tool: str, variant: str) -> TelfBinary:
+    """The (memoised) tool-instrumented build of a target.
+
+    SpecTaint analyses the original binary (DBI-style), so its
+    "instrumented" binary is the plain compiled one.
+    """
+    key = (target_name, variant, tool)
+    if key not in _INSTRUMENTED_CACHE:
+        binary = compiled_binary(target_name, variant)
+        config = _tool_config(tool, variant)
+        if tool == "teapot":
+            binary = TeapotRewriter(config).instrument(binary)
+        elif tool == "specfuzz":
+            binary = SpecFuzzRewriter(config).instrument(binary)
+        _INSTRUMENTED_CACHE[key] = binary
+    return _INSTRUMENTED_CACHE[key]
+
+
+def build_runtime(target_name: str, tool: str, variant: str):
+    """A fresh runtime (coverage maps and all) for one job."""
+    config = _tool_config(tool, variant)
+    binary = instrumented_binary(target_name, tool, variant)
+    if tool == "teapot":
+        return TeapotRuntime(binary, config=config)
+    if tool == "specfuzz":
+        return SpecFuzzRuntime(binary, config=config)
+    return SpecTaintAnalyzer(binary, config=config)
+
+
+@dataclass
+class WorkerResult:
+    """Everything one job hands back to the scheduler (picklable)."""
+
+    job_id: str
+    target: str
+    tool: str
+    variant: str
+    shard: int
+    round_index: int
+    executions: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    total_cycles: int = 0
+    total_steps: int = 0
+    normal_coverage: int = 0
+    speculative_coverage: int = 0
+    spec_stats: Dict[str, int] = field(default_factory=dict)
+    #: unique gadget reports, serialized (``GadgetReport.to_dict``).
+    reports: List[Dict[str, object]] = field(default_factory=list)
+    #: raw (pre-dedup) report occurrences, for dedup-ratio accounting.
+    raw_reports: int = 0
+    #: the worker's final corpus, serialized (``CorpusEntry.to_dict``).
+    corpus: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        return (self.target, self.tool, self.variant)
+
+
+def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResult:
+    """Execute one fuzzing job from scratch.
+
+    ``seeds`` is the corpus shard the scheduler assigned; when omitted the
+    target's own seed inputs are used (round 0 of a fresh campaign).
+    """
+    if seeds is None:
+        seeds = list(get_target(job.target).seeds)
+    runtime = build_runtime(job.target, job.tool, job.variant)
+    fuzzer = Fuzzer(
+        FuzzTarget(runtime),
+        seeds=list(seeds),
+        seed=job.seed,
+        max_input_size=job.max_input_size,
+    )
+    result = fuzzer.run_chunk(job.iterations)
+    return WorkerResult(
+        job_id=job.job_id,
+        target=job.target,
+        tool=job.tool,
+        variant=job.variant,
+        shard=job.shard,
+        round_index=job.round_index,
+        executions=result.executions,
+        crashes=result.crashes,
+        hangs=result.hangs,
+        total_cycles=result.total_cycles,
+        total_steps=result.total_steps,
+        normal_coverage=result.normal_coverage,
+        speculative_coverage=result.speculative_coverage,
+        spec_stats=dict(result.spec_stats),
+        reports=result.reports.to_dicts(),
+        raw_reports=result.reports.total_raw,
+        corpus=fuzzer.corpus.to_dicts(),
+    )
+
+
+def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
+    """Pool entry point: unpack one (job, seeds) task and run it."""
+    job, seeds = task
+    return run_job(job, seeds)
+
+
+def clear_caches() -> None:
+    """Drop the per-process binary caches (tests / memory pressure)."""
+    _BINARY_CACHE.clear()
+    _INSTRUMENTED_CACHE.clear()

@@ -1,10 +1,11 @@
 """Coverage-guided fuzzing (the honggfuzz stand-in of the paper's Figure 3)."""
 
-from repro.fuzzing.corpus import Corpus, CorpusEntry
+from repro.fuzzing.corpus import KEEP_REASONS, Corpus, CorpusEntry
 from repro.fuzzing.mutators import Mutator
 from repro.fuzzing.fuzzer import CampaignResult, Fuzzer, FuzzTarget
 
 __all__ = [
+    "KEEP_REASONS",
     "Corpus",
     "CorpusEntry",
     "Mutator",

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Why an entry was kept: seeded, novel normal coverage, novel speculative
+#: coverage, both axes at once, a crashing input, or merged from a peer
+#: corpus (campaign corpus sync).
+KEEP_REASONS = ("seed", "normal", "speculative", "both", "crash", "merge")
 
 
 @dataclass
@@ -14,11 +19,33 @@ class CorpusEntry:
     normal_coverage: int = 0
     speculative_coverage: int = 0
     executions: int = 0
+    reason: str = "seed"
 
     @property
     def coverage_signature(self) -> Tuple[int, int]:
         """(normal, speculative) coverage sizes when the entry was added."""
         return (self.normal_coverage, self.speculative_coverage)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for campaign checkpoints (data as hex)."""
+        return {
+            "data": self.data.hex(),
+            "normal_coverage": self.normal_coverage,
+            "speculative_coverage": self.speculative_coverage,
+            "executions": self.executions,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "CorpusEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        return cls(
+            data=bytes.fromhex(record["data"]),
+            normal_coverage=int(record.get("normal_coverage", 0)),
+            speculative_coverage=int(record.get("speculative_coverage", 0)),
+            executions=int(record.get("executions", 0)),
+            reason=str(record.get("reason", "seed")),
+        )
 
 
 class Corpus:
@@ -33,15 +60,77 @@ class Corpus:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def add(self, data: bytes, normal_coverage: int, speculative_coverage: int) -> bool:
-        """Add an input if it is not already present; returns ``True`` if added."""
+    def add(
+        self,
+        data: bytes,
+        normal_coverage: int,
+        speculative_coverage: int,
+        reason: str = "seed",
+    ) -> bool:
+        """Add an input if it is not already present; returns ``True`` if added.
+
+        ``reason`` records which coverage axis justified keeping the entry
+        (one of :data:`KEEP_REASONS`) so campaign-level corpus analysis can
+        tell speculative-coverage finds from normal-coverage finds.
+        """
         if data in self._seen:
             return False
         self._seen.add(data)
         self.entries.append(
-            CorpusEntry(data, normal_coverage, speculative_coverage)
+            CorpusEntry(data, normal_coverage, speculative_coverage, reason=reason)
         )
         return True
+
+    def merge(self, other: "Corpus") -> int:
+        """Fold another corpus's entries in; returns how many were new.
+
+        Entries keep their recorded coverage but are tagged ``merge`` so a
+        sync'd entry is distinguishable from one this corpus discovered.
+        """
+        added = 0
+        for entry in other.entries:
+            if self.add(entry.data, entry.normal_coverage,
+                        entry.speculative_coverage, reason="merge"):
+                added += 1
+        return added
+
+    def to_bytes_list(self) -> List[bytes]:
+        """All stored inputs in insertion order (round-trips via ``Corpus()``)."""
+        return [entry.data for entry in self.entries]
+
+    def shards(self, count: int) -> List[List[bytes]]:
+        """Split the inputs round-robin into ``count`` shards.
+
+        Every shard is guaranteed at least one input (the first entry is
+        replicated into shards that would otherwise come up empty), so each
+        campaign worker always has something to mutate.
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        data = self.to_bytes_list()
+        shards: List[List[bytes]] = [[] for _ in range(count)]
+        for index, item in enumerate(data):
+            shards[index % count].append(item)
+        if data:
+            for shard in shards:
+                if not shard:
+                    shard.append(data[0])
+        return shards
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Serialize every entry (campaign checkpoint format)."""
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dicts(cls, records: List[Dict[str, object]]) -> "Corpus":
+        """Rebuild a corpus from :meth:`to_dicts` output."""
+        corpus = cls()
+        for record in records:
+            entry = CorpusEntry.from_dict(record)
+            if entry.data not in corpus._seen:
+                corpus._seen.add(entry.data)
+                corpus.entries.append(entry)
+        return corpus
 
     def select(self, index: int) -> CorpusEntry:
         """Pick an entry for mutation (round-robin by index)."""

@@ -69,6 +69,30 @@ class CampaignResult:
         """Unique gadget counts per ``Attacker-Channel`` category."""
         return self.reports.count_by_category()
 
+    def merge(self, other: "CampaignResult") -> None:
+        """Fold another result in (campaign aggregation across chunks/workers).
+
+        Counters sum, reports deduplicate by gadget site, and the coverage /
+        corpus-size gauges take the maximum (they are absolute sizes, not
+        increments).  The campaign scheduler applies the same rules when
+        folding serialized worker results into its checkpointable state —
+        keep :meth:`repro.campaign.scheduler.CampaignScheduler._merge_round`
+        in step with any change here.
+        """
+        self.executions += other.executions
+        self.total_cycles += other.total_cycles
+        self.total_steps += other.total_steps
+        self.crashes += other.crashes
+        self.hangs += other.hangs
+        self.corpus_size = max(self.corpus_size, other.corpus_size)
+        self.normal_coverage = max(self.normal_coverage, other.normal_coverage)
+        self.speculative_coverage = max(
+            self.speculative_coverage, other.speculative_coverage
+        )
+        self.reports.merge(other.reports)
+        for key, value in other.spec_stats.items():
+            self.spec_stats[key] = self.spec_stats.get(key, 0) + value
+
 
 class Fuzzer:
     """Deterministic coverage-guided fuzzer."""
@@ -84,15 +108,31 @@ class Fuzzer:
         self.corpus = Corpus(seeds or [b"\x00"])
         self.rng = random.Random(seed)
         self.mutator = Mutator(self.rng, max_size=max_input_size)
+        #: total executions performed so far (the resumable loop's cursor).
+        self.executions = 0
 
     def run_campaign(self, iterations: int) -> CampaignResult:
         """Fuzz for a fixed number of executions and aggregate the findings."""
-        result = CampaignResult()
-        for index in range(iterations):
-            data = self._next_input(index)
+        return self.run_chunk(iterations)
+
+    def run_chunk(
+        self, iterations: int, into: Optional[CampaignResult] = None
+    ) -> CampaignResult:
+        """Run ``iterations`` more executions from the current loop state.
+
+        The fuzzer keeps its cursor (``self.executions``), RNG and corpus
+        between calls, so ``run_chunk(10); run_chunk(10)`` is execution-wise
+        identical to ``run_chunk(20)`` — this is what lets a campaign worker
+        pause at a sync point and later resume deterministically.  Pass
+        ``into`` to accumulate several chunks into one result.
+        """
+        result = into if into is not None else CampaignResult()
+        for _ in range(iterations):
+            data = self._next_input(self.executions)
             before = self.target.coverage_signature()
             exec_result = self.target.execute(data)
             after = self.target.coverage_signature()
+            self.executions += 1
 
             result.executions += 1
             result.total_cycles += exec_result.cycles
@@ -103,15 +143,29 @@ class Fuzzer:
                 result.hangs += 1
             result.reports.extend(exec_result.reports)
             for key, value in exec_result.spec_stats.items():
-                result.spec_stats[key] = value
+                result.spec_stats[key] = result.spec_stats.get(key, 0) + value
 
             if after != before or exec_result.status == "crash":
-                self.corpus.add(data, after[0], after[1])
+                self.corpus.add(data, after[0], after[1],
+                                reason=self._keep_reason(before, after, exec_result))
 
         result.corpus_size = len(self.corpus)
         final = self.target.coverage_signature()
         result.normal_coverage, result.speculative_coverage = final
         return result
+
+    @staticmethod
+    def _keep_reason(before, after, exec_result) -> str:
+        """Which coverage axis (or crash) justified keeping the input."""
+        novel_normal = after[0] > before[0]
+        novel_speculative = after[1] > before[1]
+        if novel_normal and novel_speculative:
+            return "both"
+        if novel_normal:
+            return "normal"
+        if novel_speculative:
+            return "speculative"
+        return "crash"
 
     # -- internals ------------------------------------------------------------
     def _next_input(self, index: int) -> bytes:

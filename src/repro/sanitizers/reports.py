@@ -52,6 +52,31 @@ class GadgetReport:
         """Category label in the paper's Table 4 style, e.g. ``User-Cache``."""
         return f"{self.attacker.value.capitalize()}-{self.channel.value.upper() if self.channel is Channel.MDS else self.channel.value.capitalize()}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable, JSON-ready serialization (campaign checkpoints, workers)."""
+        return {
+            "tool": self.tool,
+            "channel": self.channel.value,
+            "attacker": self.attacker.value,
+            "pc": self.pc,
+            "branch_addresses": list(self.branch_addresses),
+            "depth": self.depth,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "GadgetReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            tool=str(record["tool"]),
+            channel=Channel(record["channel"]),
+            attacker=AttackerClass(record["attacker"]),
+            pc=int(record["pc"]),
+            branch_addresses=tuple(record.get("branch_addresses", ())),
+            depth=int(record.get("depth", 0)),
+            description=str(record.get("description", "")),
+        )
+
 
 class ReportCollection:
     """A deduplicated set of gadget reports with category accounting."""
@@ -72,6 +97,39 @@ class ReportCollection:
         """Add many reports."""
         for report in reports:
             self.add(report)
+
+    def merge(self, other: "ReportCollection") -> int:
+        """Fold another collection's unique reports in; returns new sites.
+
+        ``total_raw`` sums so cross-worker dedup ratios stay meaningful:
+        the merged collection counts every raw occurrence either side saw.
+        """
+        new = 0
+        for report in other._by_site.values():
+            if report.site not in self._by_site:
+                self._by_site[report.site] = report
+                new += 1
+        self.total_raw += other.total_raw
+        return new
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Serialize the unique reports, sorted by site for stable output."""
+        return [
+            self._by_site[site].to_dict() for site in sorted(self._by_site)
+        ]
+
+    @classmethod
+    def from_dicts(cls, records: Iterable[Dict[str, object]],
+                   total_raw: int = 0) -> "ReportCollection":
+        """Rebuild a collection from :meth:`to_dicts` output."""
+        collection = cls()
+        for record in records:
+            collection.add(GadgetReport.from_dict(record))
+        # ``add`` counted each record once; restore the recorded raw total
+        # when the checkpoint carried one.
+        if total_raw:
+            collection.total_raw = total_raw
+        return collection
 
     def __len__(self) -> int:
         return len(self._by_site)

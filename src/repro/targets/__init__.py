@@ -6,8 +6,10 @@ the attack points used by the Table 3 injection methodology.  Importing this
 package registers every target in :data:`repro.targets.base.REGISTRY`.
 """
 
+from typing import List
+
 from repro.targets.base import AttackPoint, TargetProgram, TargetRegistry, REGISTRY
-from repro.targets import jsmn, libyaml, libhtp, brotli, openssl_server  # noqa: F401
+from repro.targets import jsmn, libyaml, libhtp, brotli, openssl_server, samples  # noqa: F401
 from repro.targets.case_studies import LZMA_CASE_STUDY, MASSAGE_CASE_STUDY
 from repro.targets.injection import (
     InjectedGadget,
@@ -28,6 +30,21 @@ def get_target(name: str) -> TargetProgram:
     return REGISTRY.get(name)
 
 
+def runnable_targets() -> List[str]:
+    """All registered target names a campaign can fuzz (sorted).
+
+    This is the whole-suite enumeration behind ``--targets all``: the
+    paper's five COTS workloads plus the standalone gadget-samples driver.
+    """
+    return REGISTRY.names()
+
+
+def injectable_targets() -> List[str]:
+    """Targets with attack points, i.e. valid for the ``injected`` variant."""
+    return [name for name in REGISTRY.names()
+            if REGISTRY.get(name).attack_points]
+
+
 __all__ = [
     "AttackPoint",
     "TargetProgram",
@@ -43,4 +60,6 @@ __all__ = [
     "TABLE3_TARGETS",
     "ALL_TARGETS",
     "get_target",
+    "runnable_targets",
+    "injectable_targets",
 ]

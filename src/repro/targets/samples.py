@@ -1,0 +1,66 @@
+"""``gadgets`` workload: the Kocher gadget samples as a standalone target.
+
+The Table 3 methodology injects the gadget samples of
+:mod:`repro.targets.gadget_samples` into real workloads.  For campaign
+matrices it is also useful to fuzz the samples *directly* — a tiny driver
+that dispatches on the first input byte into one of the four Kocher
+variants, so a short campaign exercises every gadget shape without paying
+for a host program.  This mirrors the paper's sanity experiments on the
+bare Spectre examples before moving to the COTS workloads.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import TargetProgram, REGISTRY
+from repro.targets.gadget_samples import (
+    GADGET_TEMPLATES,
+    gadget_globals,
+    gadget_snippet,
+)
+
+
+def _build_source() -> str:
+    """One driver with every gadget variant behind an input-selected branch."""
+    parts = []
+    for instance in range(len(GADGET_TEMPLATES)):
+        parts.append(gadget_globals(instance))
+    parts.append("int main() {")
+    parts.append("    byte buf[16];")
+    parts.append("    int n = read_input(buf, 16);")
+    parts.append("    if (n < 1) {")
+    parts.append("        return 0;")
+    parts.append("    }")
+    parts.append("    int selector = buf[0] & 3;")
+    for instance in range(len(GADGET_TEMPLATES)):
+        parts.append(f"    if (selector == {instance}) {{")
+        parts.append(gadget_snippet(instance, variant=instance))
+        parts.append("    }")
+    parts.append("    return 0;")
+    parts.append("}")
+    return "\n".join(parts)
+
+
+SOURCE = _build_source()
+
+
+def _perf_input(size: int) -> bytes:
+    # Cycle through all four selectors with varied attacker values.
+    pattern = bytes((i % 4 if i % 8 == 0 else (i * 37) % 256) for i in range(max(size, 1)))
+    return pattern[:size]
+
+
+GADGET_SAMPLES = REGISTRY.register(
+    TargetProgram(
+        name="gadgets",
+        source=SOURCE,
+        seeds=[
+            b"\x00" + b"\x05" * 8,
+            b"\x01" + b"\x7f" * 8,
+            b"\x02" + b"\xff" * 8,
+            b"\x03" + b"\x41" * 8,
+        ],
+        attack_points=[],
+        perf_input_builder=_perf_input,
+        description="Kocher gadget samples behind an input-dispatched driver",
+    )
+)

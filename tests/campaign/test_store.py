@@ -1,0 +1,102 @@
+"""Tests for the cross-worker report store and checkpoint state."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import (
+    CampaignState,
+    GroupStats,
+    ReportStore,
+    group_key_str,
+    parse_group_key,
+)
+from repro.fuzzing.corpus import Corpus
+from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
+
+KEY = ("jsmn", "teapot", "vanilla")
+
+
+def report_dicts(*pcs):
+    return [
+        GadgetReport(tool="teapot", channel=Channel.CACHE,
+                     attacker=AttackerClass.USER, pc=pc,
+                     branch_addresses=(), depth=1).to_dict()
+        for pc in pcs
+    ]
+
+
+def test_group_key_round_trip():
+    assert parse_group_key(group_key_str(KEY)) == KEY
+
+
+def test_store_dedups_across_workers():
+    store = ReportStore()
+    assert store.add_serialized(KEY, report_dicts(0x100, 0x104)) == 2
+    # A second worker found one overlapping and one new site.
+    assert store.add_serialized(KEY, report_dicts(0x104, 0x108)) == 1
+    assert store.unique_count(KEY) == 3
+    assert store.total_unique() == 3
+    # Raw occurrences (including worker-local duplicates) are preserved.
+    assert store.add_serialized(KEY, report_dicts(0x100), raw_count=5) == 0
+    assert store.collection(KEY).total_raw == 9
+
+
+def test_store_keeps_groups_separate():
+    store = ReportStore()
+    store.add_serialized(KEY, report_dicts(0x100))
+    store.add_serialized(("jsmn", "specfuzz", "vanilla"), report_dicts(0x100))
+    assert store.total_unique() == 2
+    assert store.keys() == [("jsmn", "specfuzz", "vanilla"), KEY]
+
+
+def test_store_dict_round_trip():
+    store = ReportStore()
+    store.add_serialized(KEY, report_dicts(0x100, 0x104), raw_count=7)
+    rebuilt = ReportStore.from_dict(store.to_dict())
+    assert rebuilt.unique_count(KEY) == 2
+    assert rebuilt.collection(KEY).total_raw == 7
+    assert rebuilt.to_dict() == store.to_dict()
+
+
+def test_state_checkpoint_round_trip(tmp_path):
+    state = CampaignState(fingerprint="abc123", spec_dict={"targets": ["jsmn"]},
+                          completed_rounds=2)
+    corpus = Corpus([b"seed"])
+    corpus.add(b"found", 3, 1, reason="speculative")
+    state.corpora[KEY] = corpus
+    stats = state.group_stats(KEY)
+    stats.executions = 40
+    stats.spec_stats["rollbacks"] = 9
+    state.store.add_serialized(KEY, report_dicts(0x100))
+
+    path = str(tmp_path / "ckpt.json")
+    state.save(path)
+    # The checkpoint is plain JSON (documented format).
+    with open(path) as handle:
+        raw = json.load(handle)
+    assert raw["version"] == 1
+    assert raw["completed_rounds"] == 2
+
+    loaded = CampaignState.load(path)
+    assert loaded.fingerprint == "abc123"
+    assert loaded.completed_rounds == 2
+    assert loaded.corpora[KEY].to_bytes_list() == [b"seed", b"found"]
+    assert loaded.corpora[KEY].entries[1].reason == "speculative"
+    assert loaded.stats[KEY].executions == 40
+    assert loaded.stats[KEY].spec_stats == {"rollbacks": 9}
+    assert loaded.store.unique_count(KEY) == 1
+    assert loaded.to_dict() == state.to_dict()
+
+
+def test_state_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "fingerprint": "x", "spec": {}}))
+    with pytest.raises(ValueError, match="version"):
+        CampaignState.load(str(path))
+
+
+def test_group_stats_round_trip():
+    stats = GroupStats(executions=10, crashes=2, normal_coverage=5,
+                       spec_stats={"a": 1})
+    assert GroupStats.from_dict(stats.to_dict()) == stats

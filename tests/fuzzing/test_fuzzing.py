@@ -52,6 +52,58 @@ def test_corpus_deduplicates_inputs():
     assert corpus.total_bytes() == 2
 
 
+def test_corpus_records_keep_reason():
+    corpus = Corpus([b"seed"])
+    corpus.add(b"n", 3, 0, reason="normal")
+    corpus.add(b"s", 3, 1, reason="speculative")
+    corpus.add(b"c", 3, 1, reason="crash")
+    assert [e.reason for e in corpus.entries] == [
+        "seed", "normal", "speculative", "crash"
+    ]
+
+
+def test_corpus_merge_and_bytes_round_trip():
+    left = Corpus([b"a", b"b"])
+    right = Corpus([b"b"])
+    right.add(b"c", 5, 2, reason="speculative")
+
+    added = left.merge(right)
+    assert added == 1
+    assert left.to_bytes_list() == [b"a", b"b", b"c"]
+    # Merged entries keep their coverage but are tagged as sync'd.
+    merged_entry = left.entries[-1]
+    assert merged_entry.coverage_signature == (5, 2)
+    assert merged_entry.reason == "merge"
+
+    # to_bytes_list round-trips through the constructor.
+    rebuilt = Corpus(left.to_bytes_list())
+    assert rebuilt.to_bytes_list() == left.to_bytes_list()
+
+
+def test_corpus_shards_round_robin_and_nonempty():
+    corpus = Corpus([b"a", b"b", b"c"])
+    shards = corpus.shards(2)
+    assert shards == [[b"a", b"c"], [b"b"]]
+    # Every shard gets at least one input even when shards > entries.
+    shards = corpus.shards(5)
+    assert all(shard for shard in shards)
+    assert shards[0] == [b"a"]
+    assert shards[4] == [b"a"]
+    with pytest.raises(ValueError):
+        corpus.shards(0)
+
+
+def test_corpus_dict_round_trip():
+    corpus = Corpus([b"a"])
+    corpus.add(b"b", 4, 7, reason="both")
+    rebuilt = Corpus.from_dicts(corpus.to_dicts())
+    assert rebuilt.to_bytes_list() == corpus.to_bytes_list()
+    assert rebuilt.entries[1].coverage_signature == (4, 7)
+    assert rebuilt.entries[1].reason == "both"
+    # The rebuilt corpus still deduplicates against its own entries.
+    assert not rebuilt.add(b"b", 0, 0)
+
+
 def test_corpus_select_round_robin():
     corpus = Corpus([b"a", b"b"])
     assert corpus.select(0).data == b"a"
@@ -144,6 +196,92 @@ def test_campaign_grows_coverage_and_finds_gadgets(fuzz_runtime):
     assert result.gadget_count() >= 1
     categories = result.count_by_category()
     assert any(key.startswith("User-") for key in categories)
+
+
+class _StubRuntime:
+    """Deterministic fake runtime: every run reports the same spec stats."""
+
+    def __init__(self):
+        from repro.runtime.emulator import ExecutionResult
+        self._result_cls = ExecutionResult
+
+    def run(self, data):
+        return self._result_cls(
+            status="exit", steps=10, cycles=100,
+            spec_stats={"simulations_started": 2, "rollbacks": 1},
+        )
+
+
+def test_campaign_accumulates_spec_stats():
+    """Regression: per-execution spec_stats must sum, not overwrite."""
+    fuzzer = Fuzzer(FuzzTarget(_StubRuntime()), seeds=[b"x"], seed=0)
+    result = fuzzer.run_campaign(5)
+    assert result.spec_stats == {"simulations_started": 10, "rollbacks": 5}
+
+
+def test_run_chunk_resumes_identically():
+    """Two chunks of 10 replay exactly like one chunk of 20."""
+    # A fresh runtime per campaign: the coverage maps (the fuzzer's feedback
+    # signal) must start empty for the two runs to be comparable.
+    instrumented = TeapotRewriter().instrument(compile_source(FUZZ_SOURCE))
+
+    def fresh():
+        return Fuzzer(FuzzTarget(TeapotRuntime(instrumented)),
+                      seeds=[b"\x01\x02\x03"], seed=9)
+
+    whole = fresh().run_campaign(20)
+    split_fuzzer = fresh()
+    accumulated = split_fuzzer.run_chunk(10)
+    split_fuzzer.run_chunk(10, into=accumulated)
+
+    assert accumulated.executions == whole.executions == 20
+    assert accumulated.total_steps == whole.total_steps
+    assert accumulated.corpus_size == whole.corpus_size
+    assert accumulated.spec_stats == whole.spec_stats
+    assert accumulated.gadget_count() == whole.gadget_count()
+
+
+def test_fuzzer_tags_corpus_entries_with_keep_reason():
+    # The gadget-samples driver dispatches on the first input byte, so
+    # mutations keep discovering new branch sites (and new speculative
+    # coverage inside the gadgets) for a while.
+    from repro.targets import get_target
+    from repro.targets.injection import compile_vanilla
+
+    target = get_target("gadgets")
+    runtime = TeapotRuntime(TeapotRewriter().instrument(compile_vanilla(target)))
+    fuzzer = Fuzzer(FuzzTarget(runtime), seeds=[target.seeds[0]], seed=7)
+    fuzzer.run_campaign(40)
+    reasons = {entry.reason for entry in fuzzer.corpus.entries}
+    assert reasons <= {"seed", "normal", "speculative", "both", "crash"}
+    # The seed keeps its tag; at least one entry was kept per coverage axis.
+    assert fuzzer.corpus.entries[0].reason == "seed"
+    assert reasons & {"normal", "both"}
+    assert reasons & {"speculative", "both"}
+
+
+def test_campaign_result_merge():
+    from repro.fuzzing.fuzzer import CampaignResult
+    from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
+
+    def report(pc):
+        return GadgetReport(tool="teapot", channel=Channel.CACHE,
+                            attacker=AttackerClass.USER, pc=pc,
+                            branch_addresses=(), depth=1)
+
+    left = CampaignResult(executions=5, crashes=1, normal_coverage=10,
+                          spec_stats={"rollbacks": 2})
+    left.reports.extend([report(1), report(2)])
+    right = CampaignResult(executions=3, hangs=1, normal_coverage=12,
+                           spec_stats={"rollbacks": 1, "simulations_started": 4})
+    right.reports.extend([report(2), report(3)])
+
+    left.merge(right)
+    assert left.executions == 8
+    assert left.crashes == 1 and left.hangs == 1
+    assert left.normal_coverage == 12
+    assert left.spec_stats == {"rollbacks": 3, "simulations_started": 4}
+    assert left.gadget_count() == 3
 
 
 def test_campaign_counts_crashes():
