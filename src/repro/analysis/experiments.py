@@ -22,7 +22,7 @@ from repro.core.config import TeapotConfig
 from repro.core.teapot import TeapotRewriter, TeapotRuntime
 from repro.minic.codegen import CompilerOptions, SwitchLowering
 from repro.minic.compiler import compile_source
-from repro.runtime.emulator import Emulator
+from repro.runtime.fastpath import resolve_engine
 from repro.analysis.metrics import DetectionScore, classify_reports
 from repro.targets import get_target
 from repro.targets.injection import InjectedTarget, compile_vanilla, inject_gadgets
@@ -58,8 +58,9 @@ class RuntimeRow:
         return {tool: round(self.normalized(tool), 1) for tool in self.tool_cycles}
 
 
-def _measure_native(binary, perf_input: bytes) -> int:
-    emulator = Emulator(binary)
+def _measure_native(binary, perf_input: bytes, engine: str = "fast") -> int:
+    emulator_cls, _ = resolve_engine(engine)
+    emulator = emulator_cls(binary)
     result = emulator.run(perf_input)
     if not result.ok:
         raise RuntimeError(f"native run failed: {result.status} {result.crash_reason}")
@@ -70,27 +71,30 @@ def run_figure7(
     programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli", "openssl"),
     input_size: int = 200,
     tools: Sequence[str] = ("spectaint", "specfuzz", "teapot"),
+    engine: str = "fast",
 ) -> List[RuntimeRow]:
     """Figure 7: normalized run time of each tool on each program.
 
     Nested speculation and all heuristics are disabled for every tool, as in
-    the paper's §7.1 setup.
+    the paper's §7.1 setup.  ``engine`` selects the emulator engine; the
+    reported cycle counts are engine-invariant.
     """
     rows: List[RuntimeRow] = []
     for name in programs:
         target = get_target(name)
         binary = compile_vanilla(target)
         perf_input = target.perf_input(input_size)
-        row = RuntimeRow(program=name, native_cycles=_measure_native(binary, perf_input))
+        row = RuntimeRow(program=name,
+                         native_cycles=_measure_native(binary, perf_input, engine))
 
         if "teapot" in tools:
-            config = TeapotConfig().without_nesting()
+            config = TeapotConfig(engine=engine).without_nesting()
             instrumented = TeapotRewriter(config).instrument(binary)
             runtime = TeapotRuntime(instrumented, config=config)
             result = runtime.run(perf_input)
             row.tool_cycles["teapot"] = result.cycles
         if "specfuzz" in tools:
-            sf_config = SpecFuzzConfig().without_nesting()
+            sf_config = SpecFuzzConfig(engine=engine).without_nesting()
             sf_binary = SpecFuzzRewriter(sf_config).instrument(binary)
             sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
             result = sf_runtime.run(perf_input)
@@ -212,6 +216,7 @@ def run_table3(
     fuzz_iterations: int = 40,
     seed: int = 1234,
     workers: int = 1,
+    engine: str = "fast",
 ) -> List[InjectionRow]:
     """Table 3: detection of artificially injected gadgets.
 
@@ -236,6 +241,7 @@ def run_table3(
         workers=workers,
         derive_seeds=False,
         skip_uninjectable=False,
+        engine=engine,
     )
     summary = run_campaign(spec)
 
@@ -293,11 +299,13 @@ def run_table4(
     fuzz_iterations: int = 40,
     seed: int = 99,
     workers: int = 1,
+    engine: str = "fast",
 ) -> List[VanillaRow]:
     """Table 4: gadgets found in the unmodified binaries.
 
     Routed through the campaign scheduler (one job per program × tool);
-    ``workers > 1`` parallelises the matrix without changing results.
+    ``workers > 1`` parallelises the matrix without changing results, and
+    ``engine`` selects the (result-invariant) emulator engine.
     """
     spec = CampaignSpec(
         targets=tuple(programs),
@@ -309,6 +317,7 @@ def run_table4(
         seed=seed,
         workers=workers,
         derive_seeds=False,
+        engine=engine,
     )
     summary = run_campaign(spec)
 
@@ -340,6 +349,7 @@ def run_matrix(
     workers: int = 1,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    engine: str = "fast",
 ) -> CampaignSummary:
     """Run a whole-suite campaign matrix and return its summary.
 
@@ -358,5 +368,6 @@ def run_matrix(
         shards=shards,
         seed=seed,
         workers=workers,
+        engine=engine,
     )
     return run_campaign(spec, checkpoint_path=checkpoint_path, resume=resume)

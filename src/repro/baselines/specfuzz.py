@@ -43,12 +43,12 @@ from repro.loader.binary_format import TelfBinary
 from repro.rewriting.passes import PassManager, RewritePass
 from repro.rewriting.reassemble import reassemble
 from repro.runtime.costs import CostModel, DEFAULT_COSTS
-from repro.runtime.emulator import Emulator, ExecutionResult
+from repro.runtime.emulator import ExecutionResult
 from repro.runtime.externals import ExternalRegistry
+from repro.runtime.fastpath import resolve_engine
 from repro.runtime.speculation import (
     DisabledNestingPolicy,
     SpecFuzzNestingPolicy,
-    SpeculationController,
 )
 from repro.sanitizers.policy import SpecFuzzPolicy
 from repro.core.instrumentation import _access_info
@@ -66,11 +66,19 @@ class SpecFuzzConfig:
     coverage: bool = True
     allowlist_frame_accesses: bool = True
     max_steps: int = 5_000_000
+    #: emulator engine ("fast" or "legacy"); results are engine-invariant.
+    engine: str = "fast"
 
     def without_nesting(self) -> "SpecFuzzConfig":
         """Copy with nested speculation disabled (for the §7.1 comparison)."""
         copy = SpecFuzzConfig(**self.__dict__)
         copy.nested_speculation = False
+        return copy
+
+    def with_engine(self, engine: str) -> "SpecFuzzConfig":
+        """A copy of this configuration running on a different engine."""
+        copy = SpecFuzzConfig(**self.__dict__)
+        copy.engine = engine
         return copy
 
 
@@ -192,10 +200,11 @@ class SpecFuzzRuntime:
                                            ramp=self.config.ramp)
         else:
             policy = DisabledNestingPolicy()
-        self.controller = SpeculationController(policy, rob_budget=self.config.rob_budget)
+        emulator_cls, controller_cls = resolve_engine(self.config.engine)
+        self.controller = controller_cls(policy, rob_budget=self.config.rob_budget)
         self.detection_policy = SpecFuzzPolicy()
         self.coverage = CoverageRuntime()
-        self.emulator = Emulator(
+        self.emulator = emulator_cls(
             self.binary,
             externals=self.externals,
             cost_model=self.cost_model,
@@ -208,3 +217,17 @@ class SpecFuzzRuntime:
     def run(self, input_data: bytes, argv=None) -> ExecutionResult:
         """Execute the instrumented binary over one input."""
         return self.emulator.run(input_data, argv=argv)
+
+    @property
+    def engine(self) -> str:
+        """Name of the emulator engine this runtime executes on."""
+        return self.config.engine
+
+    def with_engine(self, engine: str) -> "SpecFuzzRuntime":
+        """A fresh runtime over the same binary on a different engine."""
+        return SpecFuzzRuntime(
+            self.binary,
+            config=self.config.with_engine(engine),
+            externals=self.externals,
+            cost_model=self.cost_model,
+        )

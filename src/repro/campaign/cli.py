@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign seed (default: 0)")
     parser.add_argument("--max-input-size", type=int, default=1024,
                         help="mutation size cap in bytes (default: 1024)")
+    parser.add_argument("--engine", choices=("fast", "legacy"), default="fast",
+                        help="emulator engine (default: fast); both engines "
+                             "produce identical results, legacy keeps the "
+                             "reference implementation selectable")
     parser.add_argument("--checkpoint", metavar="PATH", default=None,
                         help="write a JSON checkpoint after every round")
     parser.add_argument("--resume", action="store_true",
@@ -119,6 +123,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             max_input_size=args.max_input_size,
             workers=max(1, args.workers),
+            engine=args.engine,
         )
     except ValueError as error:
         parser.error(str(error))

@@ -58,6 +58,9 @@ class JobSpec:
     iterations: int = 0
     seed: int = 0
     max_input_size: int = 1024
+    #: emulator engine ("fast"/"legacy"); execution detail, never affects
+    #: results (the engines are differentially tested to be identical).
+    engine: str = "fast"
 
     @property
     def group(self) -> Tuple[str, str, str]:
@@ -100,6 +103,12 @@ class CampaignSpec:
     #: False so every requested program gets a row (injection into a
     #: target with no attack points is a no-op build, as in the paper).
     skip_uninjectable: bool = True
+    #: Emulator engine every job runs on ("fast"/"legacy").  Like
+    #: ``workers`` this is pure execution mechanics: the engines are
+    #: differentially tested to produce identical results, so it is
+    #: excluded from the checkpoint fingerprint and a campaign may be
+    #: resumed on a different engine.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -117,6 +126,11 @@ class CampaignSpec:
             if variant not in VARIANTS:
                 raise ValueError(
                     f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        from repro.runtime.fastpath import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
 
     # -- matrix expansion ---------------------------------------------------
     def groups(self) -> List[Tuple[str, str, str]]:
@@ -161,6 +175,7 @@ class CampaignSpec:
                     iterations=per_shard[shard],
                     seed=seed,
                     max_input_size=self.max_input_size,
+                    engine=self.engine,
                 ))
         return jobs
 
@@ -179,6 +194,7 @@ class CampaignSpec:
             "workers": self.workers,
             "derive_seeds": self.derive_seeds,
             "skip_uninjectable": self.skip_uninjectable,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -196,16 +212,20 @@ class CampaignSpec:
             workers=int(record.get("workers", 1)),
             derive_seeds=bool(record.get("derive_seeds", True)),
             skip_uninjectable=bool(record.get("skip_uninjectable", True)),
+            engine=str(record.get("engine", "fast")),
         )
 
     def fingerprint(self) -> str:
         """Hash of every result-affecting field (checkpoint compatibility).
 
-        ``workers`` is deliberately excluded: resuming a 4-worker campaign
-        with 1 worker (or vice versa) is valid and yields identical results.
+        ``workers`` and ``engine`` are deliberately excluded: resuming a
+        4-worker campaign with 1 worker, or a fast-engine campaign on the
+        legacy engine (or vice versa), is valid and yields identical
+        results.
         """
         record = self.to_dict()
         record.pop("workers")
+        record.pop("engine")
         text = "|".join(f"{key}={record[key]}" for key in sorted(record))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 

@@ -43,19 +43,24 @@ def compiled_binary(target_name: str, variant: str) -> TelfBinary:
     return _BINARY_CACHE[key]
 
 
-def _tool_config(tool: str, variant: str):
+def _tool_config(tool: str, variant: str, engine: str = "fast"):
     """The detector configuration for one (tool, variant) combination.
 
     The ``injected`` variant reproduces the Table 3 methodology for Teapot:
     ordinary taint sources off (only ``attack_input()`` is attacker-direct)
     and the Massage policy off to avoid attacker-indirect noise.
+
+    ``engine`` selects the emulator engine for the tools that support it
+    (teapot and specfuzz); SpecTaint models a DBI system with its own
+    emulator subclass and always runs on the legacy engine.
     """
     if tool == "teapot":
         if variant == "injected":
-            return TeapotConfig(massage_enabled=False, taint_sources_enabled=False)
-        return TeapotConfig()
+            return TeapotConfig(massage_enabled=False, taint_sources_enabled=False,
+                                engine=engine)
+        return TeapotConfig(engine=engine)
     if tool == "specfuzz":
-        return SpecFuzzConfig()
+        return SpecFuzzConfig(engine=engine)
     if tool == "spectaint":
         return SpecTaintConfig()
     raise ValueError(f"unknown tool {tool!r}")
@@ -79,9 +84,10 @@ def instrumented_binary(target_name: str, tool: str, variant: str) -> TelfBinary
     return _INSTRUMENTED_CACHE[key]
 
 
-def build_runtime(target_name: str, tool: str, variant: str):
+def build_runtime(target_name: str, tool: str, variant: str,
+                  engine: str = "fast"):
     """A fresh runtime (coverage maps and all) for one job."""
-    config = _tool_config(tool, variant)
+    config = _tool_config(tool, variant, engine)
     binary = instrumented_binary(target_name, tool, variant)
     if tool == "teapot":
         return TeapotRuntime(binary, config=config)
@@ -128,7 +134,7 @@ def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResu
     """
     if seeds is None:
         seeds = list(get_target(job.target).seeds)
-    runtime = build_runtime(job.target, job.tool, job.variant)
+    runtime = build_runtime(job.target, job.tool, job.variant, job.engine)
     fuzzer = Fuzzer(
         FuzzTarget(runtime),
         seeds=list(seeds),

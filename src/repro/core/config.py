@@ -43,6 +43,17 @@ class TeapotConfig:
     allowlist_frame_accesses: bool = True
     #: maximum emulator steps per execution (hang protection for fuzzing).
     max_steps: int = 5_000_000
+    #: emulator engine: ``"fast"`` (decoded-trace dispatch + copy-on-write
+    #: rollback journaling) or ``"legacy"`` (generic dispatch + full-state
+    #: checkpoints).  Both produce bit-identical results — see
+    #: ``docs/emulator.md`` and the differential test harness.
+    engine: str = "fast"
+
+    def with_engine(self, engine: str) -> "TeapotConfig":
+        """A copy of this configuration running on a different engine."""
+        copy = TeapotConfig(**self.__dict__)
+        copy.engine = engine
+        return copy
 
     def without_nesting(self) -> "TeapotConfig":
         """A copy with nested speculation and heuristics disabled.

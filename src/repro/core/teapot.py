@@ -29,11 +29,11 @@ from repro.loader.binary_format import TelfBinary
 from repro.rewriting.passes import PassManager
 from repro.rewriting.reassemble import reassemble
 from repro.runtime.costs import CostModel, DEFAULT_COSTS
-from repro.runtime.emulator import Emulator, ExecutionResult
+from repro.runtime.emulator import ExecutionResult
 from repro.runtime.externals import ExternalRegistry
+from repro.runtime.fastpath import resolve_engine
 from repro.runtime.speculation import (
     DisabledNestingPolicy,
-    SpeculationController,
     TeapotNestingPolicy,
 )
 from repro.sanitizers.policy import KasperPolicy
@@ -98,10 +98,11 @@ class TeapotRuntime:
             )
         else:
             policy = DisabledNestingPolicy()
-        self.controller = SpeculationController(policy, rob_budget=self.config.rob_budget)
+        emulator_cls, controller_cls = resolve_engine(self.config.engine)
+        self.controller = controller_cls(policy, rob_budget=self.config.rob_budget)
         self.detection_policy = KasperPolicy(massage_enabled=self.config.massage_enabled)
         self.coverage = CoverageRuntime()
-        self.emulator = Emulator(
+        self.emulator = emulator_cls(
             self.binary,
             externals=self.externals,
             cost_model=self.cost_model,
@@ -116,6 +117,20 @@ class TeapotRuntime:
     def run(self, input_data: bytes, argv=None) -> ExecutionResult:
         """Execute the instrumented binary over one input."""
         return self.emulator.run(input_data, argv=argv)
+
+    @property
+    def engine(self) -> str:
+        """Name of the emulator engine this runtime executes on."""
+        return self.config.engine
+
+    def with_engine(self, engine: str) -> "TeapotRuntime":
+        """A fresh runtime over the same binary on a different engine."""
+        return TeapotRuntime(
+            self.binary,
+            config=self.config.with_engine(engine),
+            externals=self.externals,
+            cost_model=self.cost_model,
+        )
 
 
 def instrument_and_build_runtime(

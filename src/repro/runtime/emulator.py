@@ -114,6 +114,10 @@ class Emulator:
         self.pending_return_tag = 0
         self._pending_promotion = 0
         self._extra_cycles = 0
+        #: pristine (pages, regions) image of the freshly loaded process;
+        #: built on the first run and cloned on every later run, replacing
+        #: the per-run section mapping and copying.
+        self._memory_template = None
 
         self._decode_text()
         self._index_shadow_functions()
@@ -184,12 +188,21 @@ class Emulator:
     def _setup_process(self, input_data: bytes, argv: List[bytes]) -> None:
         machine = MachineState(self.layout)
         memory = machine.memory
-        for section in self.binary.sections.values():
-            if section.size:
-                memory.map_region(section.address, section.size)
-                memory.write_bytes(section.address, section.data)
-        stack_bottom = self.layout.stack_bottom()
-        memory.map_region(stack_bottom, self.layout.stack_size + 256)
+        if self._memory_template is None:
+            for section in self.binary.sections.values():
+                if section.size:
+                    memory.map_region(section.address, section.size)
+                    memory.write_bytes(section.address, section.data)
+            stack_bottom = self.layout.stack_bottom()
+            memory.map_region(stack_bottom, self.layout.stack_size + 256)
+            self._memory_template = (
+                {pid: bytes(page) for pid, page in memory._pages.items()},
+                list(memory._regions),
+            )
+        else:
+            pages, regions = self._memory_template
+            memory._pages = {pid: bytearray(page) for pid, page in pages.items()}
+            memory._regions = list(regions)
         machine.sp = self.layout.stack_top
         machine.set_reg(Register.FP, 0)
 
@@ -214,10 +227,7 @@ class Emulator:
         if self.policy is not None:
             self.policy.attach(self.asan, self.dift)
         if self.controller is not None:
-            self.controller.checkpoints.clear()
-            self.controller.memlog.clear()
-            self.controller.taint_log.clear()
-            self.controller.spec_instruction_count = 0
+            self.controller.begin_run()
         if self.coverage is not None:
             self.coverage.reset_execution_state()
 
@@ -330,12 +340,23 @@ class Emulator:
 
     # ------------------------------------------------------------------ helpers
     def _guest_write(self, addr: int, data: bytes) -> None:
-        """Guest memory write with speculative memory logging."""
+        """Guest memory write with speculative memory logging.
+
+        With a journaling controller the machine's own
+        :class:`~repro.runtime.machine.StateJournal` records the undo entry
+        inside ``write_bytes``; only legacy snapshot controllers need the
+        explicit memory log.
+        """
         memory = self.machine.memory
-        if self.controller is not None and self.controller.in_simulation:
+        controller = self.controller
+        if (
+            controller is not None
+            and not controller.uses_machine_journal
+            and controller.in_simulation
+        ):
             if memory.is_mapped(addr, len(data)):
                 old = memory.read_bytes(addr, len(data))
-                self.controller.log_memory_write(addr, old)
+                controller.log_memory_write(addr, old)
         memory.write_bytes(addr, data)
 
     def _write_int(self, addr: int, value: int, size: int) -> None:

@@ -16,6 +16,65 @@ PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
 
 
+class StateJournal:
+    """Copy-on-write undo log over registers and guest memory.
+
+    While a speculation simulation is active the machine appends the *old*
+    value of every mutated register and every overwritten guest memory range
+    to this journal; a rollback replays the entries in reverse instead of
+    restoring a full snapshot.  Nested speculation works with *marks*: each
+    checkpoint remembers ``len(entries)`` at entry and rolling back pops only
+    the segment recorded since that mark.
+
+    Entries are ``(is_memory, key, old)`` tuples: ``(False, reg_index,
+    old_value)`` for register writes and ``(True, address, old_bytes)`` for
+    guest memory writes.  The journal is attached to a
+    :class:`MachineState` and its :class:`Memory` through their ``journal``
+    attributes; ``None`` (the default) disables journaling entirely, so the
+    non-speculative fast path pays only a single ``is not None`` test.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[bool, int, object]] = []
+
+    def mark(self) -> int:
+        """The current journal position (stored by checkpoints)."""
+        return len(self.entries)
+
+    def rollback_to(self, mark: int, machine: "MachineState") -> int:
+        """Undo every entry recorded since ``mark`` (newest first).
+
+        Restoration writes bypass the journal and the guest mapping check —
+        every undone range was mapped when its write was logged.  Returns
+        the number of *memory* entries undone, which is the quantity the
+        cost model charges for (register undos ride inside the fixed
+        rollback base cost, exactly like the registers of a legacy
+        full-snapshot restore).
+        """
+        entries = self.entries
+        registers = machine.registers
+        memory = machine.memory
+        undone_memory = 0
+        for index in range(len(entries) - 1, mark - 1, -1):
+            is_memory, key, old = entries[index]
+            if is_memory:
+                memory._write_raw(key, old)
+                undone_memory += 1
+            else:
+                registers[key] = old
+        del entries[mark:]
+        return undone_memory
+
+    def clear(self) -> None:
+        """Drop all entries (end of the outermost simulation or of a run)."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 def to_signed(value: int) -> int:
     """Interpret a 64-bit value as signed."""
     value &= MASK64
@@ -126,6 +185,14 @@ class Memory:
         self._pages: Dict[int, bytearray] = {}
         #: list of (start, end) half-open mapped ranges, kept sorted
         self._regions: List[Tuple[int, int]] = []
+        #: lazily filled cache ``page id -> fully mapped?``; accesses confined
+        #: to a fully mapped page skip the region walk (fast-engine hot path).
+        #: Invalidated wholesale whenever a region is mapped, because mapping
+        #: can only turn pages *more* mapped.
+        self._full_pages: Dict[int, bool] = {}
+        #: copy-on-write undo log; attached by the speculation controller
+        #: while a simulation is active, ``None`` otherwise.
+        self.journal: Optional[StateJournal] = None
 
     # -- region management ----------------------------------------------------
     def map_region(self, start: int, size: int) -> None:
@@ -134,6 +201,14 @@ class Memory:
             return
         self._regions.append((start, start + size))
         self._regions.sort()
+        self._full_pages.clear()
+
+    def page_fully_mapped(self, page_id: int) -> bool:
+        """Whether the whole page ``page_id`` lies in mapped guest memory
+        (cached; consulted by the fast engine's single-page access paths)."""
+        state = self.is_mapped(page_id << 12, PAGE_SIZE)
+        self._full_pages[page_id] = state
+        return state
 
     def mapped_regions(self) -> List[Tuple[int, int]]:
         """The list of mapped ``(start, end)`` ranges."""
@@ -141,6 +216,11 @@ class Memory:
 
     def is_mapped(self, addr: int, size: int = 1) -> bool:
         """Whether the whole range ``[addr, addr+size)`` is mapped."""
+        if (addr + size - 1) >> 12 == addr >> 12 and self._full_pages.get(addr >> 12):
+            # Single-page access to a page known fully mapped: skip the
+            # region walk.  (Cache misses fall through; only the fast
+            # engine's access paths populate the cache.)
+            return True
         remaining_start = addr
         end = addr + size
         for start, stop in self._regions:
@@ -198,11 +278,18 @@ class Memory:
     def write_bytes(self, addr: int, data: bytes) -> None:
         """Guest write of ``data`` at ``addr``.
 
+        While a :class:`StateJournal` is attached the previous contents of
+        the range are logged first, so a speculation rollback can undo the
+        write.
+
         Raises:
             MemoryFault: if the range is not mapped.
         """
         if not self.is_mapped(addr, len(data)):
             raise MemoryFault(addr, len(data), write=True)
+        journal = self.journal
+        if journal is not None:
+            journal.entries.append((True, addr, self._read_raw(addr, len(data))))
         self._write_raw(addr, data)
 
     def read_int(self, addr: int, size: int) -> int:
@@ -251,9 +338,19 @@ class MachineState:
     flags: Flags = field(default_factory=Flags)
     pc: int = 0
     memory: Memory = field(init=False)
+    #: copy-on-write undo log; attached while a speculation simulation is
+    #: active (shared with ``memory.journal``), ``None`` otherwise.
+    journal: Optional[StateJournal] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.memory = Memory(self.layout)
+
+    # -- journaling ----------------------------------------------------------------
+    def attach_journal(self, journal: Optional[StateJournal]) -> None:
+        """Attach (or detach, with ``None``) an undo log to registers and
+        guest memory."""
+        self.journal = journal
+        self.memory.journal = journal
 
     # -- register access ----------------------------------------------------------
     def get_reg(self, reg: Register) -> int:
@@ -262,7 +359,11 @@ class MachineState:
 
     def set_reg(self, reg: Register, value: int) -> None:
         """Write a register (value wrapped to 64 bits)."""
-        self.registers[int(reg)] = to_unsigned(value)
+        index = int(reg)
+        journal = self.journal
+        if journal is not None:
+            journal.entries.append((False, index, self.registers[index]))
+        self.registers[index] = to_unsigned(value)
 
     def snapshot_registers(self) -> Tuple[int, ...]:
         """Capture all registers (used by checkpoints)."""

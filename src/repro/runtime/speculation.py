@@ -15,6 +15,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.runtime.machine import StateJournal
+
 #: The reorder-buffer stand-in: maximum instructions simulated per
 #: speculation episode (paper uses 250, following prior studies).
 DEFAULT_ROB_BUDGET = 250
@@ -38,6 +40,49 @@ class Checkpoint:
     register_tags: Optional[Tuple[int, ...]]
     flags_tag: int
     instruction_count_at_entry: int
+
+
+class JournalCheckpoint:
+    """A lightweight checkpoint: a mark into the copy-on-write journal.
+
+    Unlike :class:`Checkpoint` it stores no register copy and no memory log
+    index — entering speculation records only *positions* (journal mark,
+    taint-log index) plus the O(1) flags word and the DIFT register tags.
+    The state itself is reconstructed at rollback by replaying the machine's
+    :class:`~repro.runtime.machine.StateJournal` in reverse.
+
+    A plain ``__slots__`` class (not a dataclass): checkpoints are allocated
+    on every speculation entry, which makes construction cost part of the
+    hot path.
+    """
+
+    __slots__ = (
+        "branch_address",
+        "resume_pc",
+        "journal_mark",
+        "flags",
+        "taint_log_index",
+        "register_tags",
+        "flags_tag",
+    )
+
+    def __init__(
+        self,
+        branch_address: int,
+        resume_pc: int,
+        journal_mark: int,
+        flags: Tuple[bool, bool, bool, bool],
+        taint_log_index: int,
+        register_tags: Optional[Tuple[int, ...]],
+        flags_tag: int,
+    ) -> None:
+        self.branch_address = branch_address
+        self.resume_pc = resume_pc
+        self.journal_mark = journal_mark
+        self.flags = flags
+        self.taint_log_index = taint_log_index
+        self.register_tags = register_tags
+        self.flags_tag = flags_tag
 
 
 class NestedSpeculationPolicy(abc.ABC):
@@ -193,6 +238,11 @@ class SpeculationStats:
 class SpeculationController:
     """Runtime state machine for speculation simulation."""
 
+    #: Whether guest stores are undo-logged by the machine's own journal
+    #: (:class:`JournalingSpeculationController`) rather than by the
+    #: emulator calling :meth:`log_memory_write` per store.
+    uses_machine_journal = False
+
     def __init__(
         self,
         policy: Optional[NestedSpeculationPolicy] = None,
@@ -228,6 +278,21 @@ class SpeculationController:
     def budget_exceeded(self) -> bool:
         """Whether the ROB instruction budget has been exhausted."""
         return self.spec_instruction_count >= self.rob_budget
+
+    # -- per-run lifecycle -------------------------------------------------------
+    def begin_run(self) -> None:
+        """Clear per-execution state before a fresh program run.
+
+        Called by the emulator's process setup.  Stats and policy state
+        deliberately survive — they accumulate across a fuzzing campaign.
+        ``checkpoints`` is cleared in place, never reassigned: the fast
+        engine's decoded thunks close over the list object to test
+        ``in_simulation`` without an attribute lookup.
+        """
+        self.checkpoints.clear()
+        self.memlog.clear()
+        self.taint_log.clear()
+        self.spec_instruction_count = 0
 
     # -- entry -------------------------------------------------------------------
     def maybe_enter(self, machine, branch_address: int, resume_pc: int,
@@ -302,11 +367,17 @@ class SpeculationController:
             address, old = self.memlog.pop()
             machine.memory.write_bytes(address, old)
             undone += 1
+        machine.restore_registers(checkpoint.registers)
+        self._finish_rollback(checkpoint, machine, dift, reason)
+        return undone
+
+    def _finish_rollback(self, checkpoint, machine, dift, reason: str) -> None:
+        """Shared rollback tail: taint-log unwind, flags/pc/DIFT restoration
+        and statistics — identical for snapshot and journaling controllers."""
         while len(self.taint_log) > checkpoint.taint_log_index:
             shadow_address, old_tag = self.taint_log.pop()
             machine.memory.write_shadow_byte(shadow_address, old_tag)
 
-        machine.restore_registers(checkpoint.registers)
         machine.flags.restore(checkpoint.flags)
         machine.pc = checkpoint.resume_pc
         if dift is not None and checkpoint.register_tags is not None:
@@ -322,7 +393,6 @@ class SpeculationController:
             self.stats.exception_rollbacks += 1
         if not self.checkpoints:
             self.spec_instruction_count = 0
-        return undone
 
     def reset(self) -> None:
         """Clear all run state (checkpoints, logs, counters) and policy state."""
@@ -332,3 +402,101 @@ class SpeculationController:
         self.spec_instruction_count = 0
         self.stats = SpeculationStats()
         self.policy.reset()
+
+
+class JournalingSpeculationController(SpeculationController):
+    """Speculation controller backed by copy-on-write journaling.
+
+    Instead of copying all registers and keeping a controller-side memory
+    log, this controller attaches a :class:`StateJournal` to the machine
+    while ≥ 1 checkpoint is live.  Every register and guest-memory write is
+    then recorded as an ``(old value)`` undo entry by the machine itself,
+    and rollback replays the journal segment since the innermost
+    checkpoint's mark.  Nested speculation simply pops journal segments.
+
+    Behaviour (rollback results, statistics and the ``undone`` memory-entry
+    count the cost model charges for) is bit-identical to the legacy
+    snapshot controller; the differential test harness asserts this for
+    every nesting policy.
+    """
+
+    uses_machine_journal = True
+
+    def __init__(
+        self,
+        policy: Optional[NestedSpeculationPolicy] = None,
+        rob_budget: int = DEFAULT_ROB_BUDGET,
+    ) -> None:
+        super().__init__(policy, rob_budget=rob_budget)
+        self.journal = StateJournal()
+        self._machine = None
+
+    # -- per-run lifecycle -------------------------------------------------------
+    def begin_run(self) -> None:
+        """Clear per-execution state, including a journal left over by a run
+        that ended (crash/fuel) while a simulation was still active."""
+        super().begin_run()
+        if self._machine is not None:
+            self._machine.attach_journal(None)
+            self._machine = None
+        self.journal.clear()
+
+    # -- entry -------------------------------------------------------------------
+    def maybe_enter(self, machine, branch_address: int, resume_pc: int,
+                    dift=None) -> bool:
+        """Decide whether to enter simulation; push a journal-mark checkpoint."""
+        if not self.policy.should_enter(branch_address, self.depth):
+            return False
+        if self.depth == 0:
+            self.spec_instruction_count = 0
+            self.stats.simulations_started += 1
+            self.journal.clear()
+            self._machine = machine
+            machine.attach_journal(self.journal)
+        else:
+            self.stats.nested_simulations += 1
+        register_tags = None
+        flags_tag = 0
+        if dift is not None:
+            register_tags = dift.snapshot_register_tags()
+            flags_tag = dift.flags_tag
+        self.checkpoints.append(
+            JournalCheckpoint(
+                branch_address,
+                resume_pc,
+                len(self.journal.entries),
+                machine.flags.snapshot(),
+                len(self.taint_log),
+                register_tags,
+                flags_tag,
+            )
+        )
+        self.stats.max_depth_reached = max(self.stats.max_depth_reached, self.depth)
+        return True
+
+    # -- logging -----------------------------------------------------------------
+    def log_memory_write(self, address: int, old_bytes: bytes) -> None:
+        """No-op: the attached journal records guest stores automatically."""
+
+    # -- rollback ---------------------------------------------------------------------
+    def rollback(self, machine, dift=None, reason: str = "restore") -> int:
+        """Roll back to the innermost checkpoint by replaying the journal."""
+        if not self.checkpoints:
+            raise RuntimeError("rollback requested outside speculation simulation")
+        checkpoint = self.checkpoints.pop()
+
+        undone = self.journal.rollback_to(checkpoint.journal_mark, machine)
+        self._finish_rollback(checkpoint, machine, dift, reason)
+        if not self.checkpoints:
+            machine.attach_journal(None)
+            self._machine = None
+            self.journal.clear()
+        return undone
+
+    def reset(self) -> None:
+        """Clear all run state including the journal attachment."""
+        if self._machine is not None:
+            self._machine.attach_journal(None)
+            self._machine = None
+        self.journal.clear()
+        super().reset()

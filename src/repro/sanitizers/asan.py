@@ -70,9 +70,11 @@ class BinaryAsan:
             self.memory.write_shadow_byte(self.shadow_address(granule_start),
                                           addressable)
             cursor = granule_start + GRANULE
-        while cursor < end:
-            self.memory.write_shadow_byte(self.shadow_address(cursor), POISONED)
-            cursor += GRANULE
+        # Whole granules map to consecutive shadow bytes: one bulk write.
+        granules = (end - cursor + GRANULE - 1) // GRANULE
+        if granules > 0:
+            self.memory.write_shadow(self.shadow_address(cursor),
+                                     b"\xff" * granules)
 
     def unpoison_region(self, addr: int, size: int) -> None:
         """Make ``[addr, addr+size)`` addressable again."""
@@ -80,32 +82,40 @@ class BinaryAsan:
             return
         end = addr + size
         cursor = addr - (addr % GRANULE)
-        while cursor < end:
-            remaining = end - cursor
-            if remaining >= GRANULE:
-                value = 0x00
-            else:
-                value = remaining  # partial granule: first `remaining` bytes valid
-            self.memory.write_shadow_byte(self.shadow_address(cursor), value)
-            cursor += GRANULE
+        full = (end - cursor) // GRANULE
+        if full > 0:
+            self.memory.write_shadow(self.shadow_address(cursor), bytes(full))
+            cursor += full * GRANULE
+        if cursor < end:
+            # Trailing partial granule: first `end - cursor` bytes valid.
+            self.memory.write_shadow_byte(self.shadow_address(cursor),
+                                          end - cursor)
 
     # -- checking -----------------------------------------------------------------------
     def is_poisoned(self, addr: int, size: int) -> bool:
-        """Whether any byte of ``[addr, addr+size)`` is poisoned."""
+        """Whether any byte of ``[addr, addr+size)`` is poisoned.
+
+        Walks shadow *granules*, not bytes: within one granule the byte
+        offsets covered by the access are contiguous, so the partial-granule
+        test only needs the highest covered offset.
+        """
         if size <= 0:
             return False
-        for offset in range(size):
-            byte_addr = addr + offset
-            shadow = self.memory.read_shadow_byte(
-                self.shadow_address(byte_addr - (byte_addr % GRANULE))
-            )
-            if shadow == 0:
-                continue
-            if shadow == POISONED:
-                return True
-            # Partial granule: only the first `shadow` bytes are addressable.
-            if (byte_addr % GRANULE) >= shadow:
-                return True
+        end = addr + size
+        cursor = addr - (addr % GRANULE)
+        read_shadow_byte = self.memory.read_shadow_byte
+        shadow_address = self.shadow_address
+        while cursor < end:
+            shadow = read_shadow_byte(shadow_address(cursor))
+            if shadow:
+                if shadow == POISONED:
+                    return True
+                # Partial granule: only the first `shadow` bytes are
+                # addressable; poisoned iff the highest covered offset
+                # reaches past them.
+                if min(cursor + GRANULE, end) - 1 - cursor >= shadow:
+                    return True
+            cursor += GRANULE
         return False
 
     def check_access(self, addr: int, size: int) -> bool:
@@ -130,9 +140,17 @@ class BinaryAsan:
     def poison_return_slot(self, addr: int) -> None:
         """Poison the 8-byte return-address slot at ``addr`` (on call)."""
         if self.protect_stack:
-            self.poison_region(addr, 8)
+            if addr % GRANULE == 0:
+                # Aligned single granule: the per-call fast path.
+                self.memory.write_shadow_byte(self.shadow_address(addr),
+                                              POISONED)
+            else:
+                self.poison_region(addr, 8)
 
     def unpoison_return_slot(self, addr: int) -> None:
         """Unpoison the return-address slot at ``addr`` (on return)."""
         if self.protect_stack:
-            self.unpoison_region(addr, 8)
+            if addr % GRANULE == 0:
+                self.memory.write_shadow_byte(self.shadow_address(addr), 0x00)
+            else:
+                self.unpoison_region(addr, 8)

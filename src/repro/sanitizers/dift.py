@@ -105,8 +105,23 @@ class BinaryDift:
                 self.controller.log_taint_write(shadow, old)
         self.memory.write_shadow_byte(shadow, tag & 0xFF)
 
+    def _contiguous_shadow(self, addr: int, size: int) -> bool:
+        """Whether the tag shadow of ``[addr, addr+size)`` is one flat range.
+
+        The bit-45 flip preserves contiguity as long as the range does not
+        cross a bit-45 boundary — always true for real user memory, checked
+        explicitly so wild speculative addresses fall back to the exact
+        per-byte path.
+        """
+        return addr >= 0 and (addr >> 45) == ((addr + size - 1) >> 45)
+
     def get_mem_tag(self, addr: int, size: int) -> int:
         """Union of the tags of ``size`` bytes at ``addr``."""
+        if size > 1 and self._contiguous_shadow(addr, size):
+            tag = 0
+            for byte in self.memory.read_shadow(self._tag_address(addr), size):
+                tag |= byte
+            return tag & ALL_TAGS
         tag = 0
         for offset in range(size):
             tag |= self.memory.read_shadow_byte(self._tag_address(addr + offset))
@@ -114,6 +129,12 @@ class BinaryDift:
 
     def set_mem_tag(self, addr: int, size: int, tag: int) -> None:
         """Set the tag of every byte in ``[addr, addr+size)``."""
+        in_sim = self.controller is not None and self.controller.in_simulation
+        if size > 1 and not in_sim and self._contiguous_shadow(addr, size):
+            # Outside simulation no taint logging is needed: one bulk write.
+            self.memory.write_shadow(self._tag_address(addr),
+                                     bytes([tag & 0xFF]) * size)
+            return
         for offset in range(size):
             self._write_tag_byte(addr + offset, tag)
 
@@ -129,6 +150,16 @@ class BinaryDift:
 
     def copy_mem_tags(self, dst: int, src: int, size: int) -> None:
         """Copy tags byte-by-byte (used by ``memcpy``-style externals)."""
+        in_sim = self.controller is not None and self.controller.in_simulation
+        if (
+            size > 1
+            and not in_sim
+            and self._contiguous_shadow(src, size)
+            and self._contiguous_shadow(dst, size)
+        ):
+            tags = self.memory.read_shadow(self._tag_address(src), size)
+            self.memory.write_shadow(self._tag_address(dst), tags)
+            return
         tags = [
             self.memory.read_shadow_byte(self._tag_address(src + i))
             for i in range(size)

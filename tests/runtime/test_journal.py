@@ -1,0 +1,229 @@
+"""Property-based tests for the copy-on-write rollback journal.
+
+Random interleavings of register writes, guest-memory writes, checkpoints
+and rollbacks must restore byte-identical machine state — and the
+journaling controller must agree with the legacy snapshot controller on
+every observable (restored state, rollback ``undone`` counts, statistics).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.machine import MachineState, StateJournal
+from repro.runtime.speculation import (
+    JournalingSpeculationController,
+    NestedSpeculationPolicy,
+    SpecFuzzNestingPolicy,
+    SpeculationController,
+)
+
+REGION_START = 0x1000
+REGION_SIZE = 0x2000
+
+
+class AlwaysNest(NestedSpeculationPolicy):
+    """Unconditionally enter speculation (up to a depth cap)."""
+
+    name = "always"
+
+    def __init__(self, max_depth: int = 8) -> None:
+        self.max_depth = max_depth
+
+    def should_enter(self, branch_address: int, depth: int) -> bool:
+        return depth < self.max_depth
+
+
+def _machine() -> MachineState:
+    machine = MachineState()
+    machine.memory.map_region(REGION_START, REGION_SIZE)
+    return machine
+
+
+def _state(machine: MachineState):
+    """Full observable machine state (registers, flags, mapped memory)."""
+    return (
+        list(machine.registers),
+        machine.flags.snapshot(),
+        machine.memory.read_bytes(REGION_START, REGION_SIZE),
+    )
+
+
+def _guest_write(machine, controller, addr: int, data: bytes) -> None:
+    """Write guest memory the way the emulator does for each controller.
+
+    Legacy controllers need the explicit memory log; journaling controllers
+    record the undo entry inside ``Memory.write_bytes`` itself.
+    """
+    if (
+        not controller.uses_machine_journal
+        and controller.in_simulation
+        and machine.memory.is_mapped(addr, len(data))
+    ):
+        controller.log_memory_write(addr, machine.memory.read_bytes(addr, len(data)))
+    machine.memory.write_bytes(addr, data)
+
+
+#: One operation: (kind, a, b) with kind in reg/mem/flags/checkpoint/rollback.
+_OPS = st.one_of(
+    st.tuples(st.just("reg"), st.integers(0, 15), st.integers(0, 2**64 - 1)),
+    st.tuples(st.just("mem"), st.integers(0, REGION_SIZE - 16),
+              st.binary(min_size=1, max_size=16)),
+    st.tuples(st.just("flags"), st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+    st.tuples(st.just("checkpoint"), st.just(0), st.just(0)),
+    st.tuples(st.just("rollback"), st.just(0), st.just(0)),
+)
+
+
+def _apply_ops(machine, controller, ops):
+    """Drive one controller through an op sequence.
+
+    Maintains the stack of full-state snapshots alongside the controller's
+    checkpoints; every rollback pops the innermost snapshot and pairs it
+    with the state actually restored.  Returns (pending snapshots,
+    (restored, expected) pairs, ``undone`` counts) for cross-checking.
+    """
+    snapshots = []
+    restored = []
+    undone_counts = []
+    for kind, a, b in ops:
+        if kind == "reg":
+            machine.set_reg(a, b)
+        elif kind == "mem":
+            _guest_write(machine, controller, REGION_START + a, b)
+        elif kind == "flags":
+            machine.flags.set_compare(a, b)
+        elif kind == "checkpoint":
+            if controller.maybe_enter(machine, branch_address=0x40,
+                                      resume_pc=0x44 + len(snapshots)):
+                snapshots.append(_state(machine))
+        elif kind == "rollback":
+            if controller.in_simulation:
+                undone_counts.append(controller.rollback(machine))
+                restored.append((_state(machine), snapshots.pop()))
+    return snapshots, restored, undone_counts
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_OPS, min_size=1, max_size=60))
+def test_journal_rollback_restores_byte_identical_state(ops):
+    """Rolling back always restores the exact state of the checkpoint."""
+    machine = _machine()
+    controller = JournalingSpeculationController(AlwaysNest())
+    snapshots, restored, _ = _apply_ops(machine, controller, ops)
+    # Every rollback must have restored the innermost snapshot.
+    for state, expected in restored:
+        assert state == expected
+    # Unwinding whatever simulation is still active restores the rest,
+    # innermost first.
+    while controller.in_simulation:
+        controller.rollback(machine)
+        assert _state(machine) == snapshots.pop()
+    assert not snapshots
+    assert machine.journal is None
+    assert machine.memory.journal is None
+    assert len(controller.journal) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_OPS, min_size=1, max_size=60))
+def test_journaling_controller_matches_legacy_snapshots(ops):
+    """Both controllers observe identical states and rollback costs."""
+    legacy_machine, fast_machine = _machine(), _machine()
+    legacy = SpeculationController(AlwaysNest())
+    fast = JournalingSpeculationController(AlwaysNest())
+    legacy_out = _apply_ops(legacy_machine, legacy, ops)
+    fast_out = _apply_ops(fast_machine, fast, ops)
+    assert fast_out == legacy_out
+    assert _state(fast_machine) == _state(legacy_machine)
+    assert legacy_machine.pc == fast_machine.pc
+    assert fast.stats.as_dict() == legacy.stats.as_dict()
+    assert fast.depth == legacy.depth
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 2**64 - 1)),
+             min_size=0, max_size=20),
+    st.lists(st.tuples(st.integers(0, REGION_SIZE - 8),
+                       st.binary(min_size=1, max_size=8)),
+             min_size=0, max_size=20),
+)
+def test_state_journal_nested_marks(reg_writes, mem_writes):
+    """Popping journal segments restores exactly to each nested mark."""
+    machine = _machine()
+    journal = StateJournal()
+    machine.attach_journal(journal)
+
+    before_outer = _state(machine)
+    outer_mark = journal.mark()
+    for index, value in reg_writes:
+        machine.set_reg(index, value)
+    for offset, data in mem_writes:
+        machine.memory.write_bytes(REGION_START + offset, data)
+
+    before_inner = _state(machine)
+    inner_mark = journal.mark()
+    for index, value in reg_writes:
+        machine.set_reg(index, value ^ 0xDEAD)
+    for offset, data in mem_writes:
+        machine.memory.write_bytes(REGION_START + offset, bytes(len(data)))
+
+    inner_undone = journal.rollback_to(inner_mark, machine)
+    assert _state(machine) == before_inner
+    assert inner_undone == len(mem_writes)
+
+    outer_undone = journal.rollback_to(outer_mark, machine)
+    assert _state(machine) == before_outer
+    assert outer_undone == len(mem_writes)
+    assert len(journal) == 0
+    machine.attach_journal(None)
+
+
+def test_nested_speculation_pops_journal_segments():
+    """Nested enter/rollback peels exactly one journal segment at a time."""
+    machine = _machine()
+    controller = JournalingSpeculationController(AlwaysNest())
+    machine.set_reg(3, 100)
+    machine.memory.write_int(REGION_START, 0xAAAA, 8)
+
+    assert controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    machine.set_reg(3, 200)
+    machine.memory.write_int(REGION_START, 0xBBBB, 8)
+
+    assert controller.maybe_enter(machine, branch_address=2, resume_pc=20)
+    machine.set_reg(3, 300)
+    machine.memory.write_int(REGION_START, 0xCCCC, 8)
+
+    undone = controller.rollback(machine)
+    assert undone == 1
+    assert controller.depth == 1
+    assert machine.pc == 20
+    assert machine.get_reg(3) == 200
+    assert machine.memory.read_int(REGION_START, 8) == 0xBBBB
+    assert machine.journal is not None  # outer simulation still active
+
+    undone = controller.rollback(machine)
+    assert undone == 1
+    assert controller.depth == 0
+    assert machine.pc == 10
+    assert machine.get_reg(3) == 100
+    assert machine.memory.read_int(REGION_START, 8) == 0xAAAA
+    assert machine.journal is None  # journal detached after the last pop
+
+
+def test_begin_run_clears_stale_journal():
+    """A run that dies mid-simulation must not leak journal state."""
+    machine = _machine()
+    controller = JournalingSpeculationController(SpecFuzzNestingPolicy())
+    assert controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    machine.set_reg(0, 42)
+    assert len(controller.journal) == 1
+
+    controller.begin_run()
+    assert not controller.in_simulation
+    assert len(controller.journal) == 0
+    assert machine.journal is None
+    # A fresh simulation starts from a clean journal.
+    assert controller.maybe_enter(machine, branch_address=1, resume_pc=10)
+    assert controller.checkpoints[-1].journal_mark == 0

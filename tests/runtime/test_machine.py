@@ -48,6 +48,59 @@ def test_snapshot_restore():
     assert flags.evaluate(ConditionCode.LT)
 
 
+def test_snapshot_restore_after_add_overflow():
+    """Restore must round-trip the carry/overflow bits set_add produces."""
+    flags = Flags()
+    # INT64_MAX + 1: signed overflow, no carry, negative result.
+    a, b = (1 << 63) - 1, 1
+    flags.set_add(a, b, (a + b) & ((1 << 64) - 1))
+    assert flags.overflow and flags.sign and not flags.carry and not flags.zero
+    snapshot = flags.snapshot()
+    flags.set_logic(0)  # clobber every bit (CF=OF=0, ZF=1)
+    flags.restore(snapshot)
+    assert (flags.zero, flags.sign, flags.carry, flags.overflow) == snapshot
+    # OF-sensitive condition codes: SF=OF=1 means the mathematically
+    # positive sum reads as "greater-or-equal" despite the negative result.
+    assert flags.evaluate(ConditionCode.GE)
+    assert not flags.evaluate(ConditionCode.LT)
+
+    # UINT64_MAX + 1: carry out, zero result, no signed overflow.
+    flags.set_add((1 << 64) - 1, 1, 0)
+    assert flags.carry and flags.zero and not flags.overflow
+    snapshot = flags.snapshot()
+    flags.set_compare(5, 3)
+    flags.restore(snapshot)
+    assert (flags.zero, flags.sign, flags.carry, flags.overflow) == snapshot
+    assert flags.evaluate(ConditionCode.BE)
+
+
+def test_snapshot_restore_after_sub_overflow():
+    """Restore must round-trip the flags of INT64_MIN - 1 (signed overflow)."""
+    flags = Flags()
+    int64_min = 1 << 63  # INT64_MIN as an unsigned 64-bit value
+    flags.set_sub(int64_min, 1, (int64_min - 1) & ((1 << 64) - 1))
+    # INT64_MIN - 1 overflows to INT64_MAX: positive result, OF set.
+    assert flags.overflow and not flags.sign and not flags.carry
+    snapshot = flags.snapshot()
+    flags.set_test(0, 0)
+    flags.restore(snapshot)
+    assert (flags.zero, flags.sign, flags.carry, flags.overflow) == snapshot
+    # Signed: INT64_MIN < 1 even though SF is clear — only OF carries this.
+    assert flags.evaluate(ConditionCode.LT)
+    assert not flags.evaluate(ConditionCode.GT)
+
+
+@given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+def test_add_flags_snapshot_restore_round_trip(a, b):
+    """Property: snapshot/restore is lossless for every set_add outcome."""
+    flags = Flags()
+    flags.set_add(a, b, (a + b) & ((1 << 64) - 1))
+    snapshot = flags.snapshot()
+    flags.set_sub(b, a, (b - a) & ((1 << 64) - 1))
+    flags.restore(snapshot)
+    assert flags.snapshot() == snapshot
+
+
 @given(st.integers(-2**63, 2**63 - 1), st.integers(-2**63, 2**63 - 1))
 def test_compare_matches_python_semantics(a, b):
     """Property: signed and unsigned condition codes agree with Python ints."""
