@@ -8,12 +8,23 @@ way the artifact's Appendix B.7.3 "three-hour approximation" does).
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Dict
 
 import pytest
 
 #: scale factor applied to fuzz iterations and perf-input sizes.
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+#: metrics recorded by benchmarks through the ``bench_record`` fixture,
+#: keyed by benchmark name; flushed to ``BENCH_<name>.json`` files at
+#: session end so the perf trajectory is machine-readable (CI uploads the
+#: files as artifacts).
+_BENCH_RESULTS: Dict[str, Dict[str, object]] = {}
+
+#: where the ``BENCH_<name>.json`` files land (default: working directory).
+BENCH_DIR = os.environ.get("REPRO_BENCH_DIR", ".")
 
 #: crafted-input size for the run-time experiments (Figures 1 and 7).
 PERF_INPUT_SIZE = 160 * SCALE
@@ -26,7 +37,32 @@ def pytest_configure(config):
     config.addinivalue_line("markers", "paper: regenerates a paper figure/table")
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per recorded benchmark."""
+    if not _BENCH_RESULTS:
+        return
+    os.makedirs(BENCH_DIR, exist_ok=True)
+    for name, metrics in sorted(_BENCH_RESULTS.items()):
+        payload = {"bench": name, "scale": SCALE, **metrics}
+        path = os.path.join(BENCH_DIR, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     """The active scale factor (exposed for reporting)."""
     return SCALE
+
+
+@pytest.fixture
+def bench_record():
+    """Record machine-readable metrics for the current benchmark.
+
+    Usage: ``bench_record("emulator_throughput", engine="fast",
+    exec_per_sec=1234.5, cycles=...)``.  All metrics recorded under one
+    name are merged into a single ``BENCH_<name>.json`` at session end.
+    """
+    def record(name: str, **metrics: object) -> None:
+        _BENCH_RESULTS.setdefault(name, {}).update(metrics)
+    return record

@@ -8,6 +8,8 @@ qualitative properties a matrix run must keep (determinism, per-group
 accounting) while measuring the orchestration overhead on a fast target.
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import SCALE
@@ -15,7 +17,7 @@ from repro.campaign import CampaignSpec, run_campaign
 
 
 @pytest.mark.paper
-def test_campaign_matrix_throughput(benchmark):
+def test_campaign_matrix_throughput(benchmark, bench_record):
     spec = CampaignSpec(
         targets=("gadgets",),
         tools=("teapot", "specfuzz"),
@@ -25,11 +27,30 @@ def test_campaign_matrix_throughput(benchmark):
         seed=2025,
         workers=1,
     )
-    summary = benchmark.pedantic(run_campaign, args=(spec,),
+    timing = {}
+
+    def timed_run(campaign_spec):
+        started = time.perf_counter()
+        result = run_campaign(campaign_spec)
+        timing["elapsed"] = time.perf_counter() - started
+        return result
+
+    summary = benchmark.pedantic(timed_run, args=(spec,),
                                  iterations=1, rounds=1)
 
     print("\nCampaign matrix summary:")
     print(summary.format_table())
+
+    elapsed = timing.get("elapsed", 0.0)
+    executions = summary.total_executions()
+    bench_record(
+        "campaign_matrix",
+        engine=spec.engine,
+        executions=executions,
+        exec_per_sec=round(executions / elapsed, 1) if elapsed else 0.0,
+        cycles=sum(group.total_cycles for group in summary.groups),
+        unique_gadgets=summary.total_unique_gadgets(),
+    )
 
     assert summary.rounds_completed == 2
     assert summary.total_executions() == 2 * 30 * SCALE

@@ -76,13 +76,20 @@ def _compare_engines(target_name: str, iterations: int, seed: int = 7,
           f"fast {max(fast_rates):8.1f} exec/s | "
           f"speedup {speedup:.2f}x "
           f"(chunks: {', '.join(f'{r:.2f}x' for r in ratios)})")
-    return speedup
+    return speedup, {
+        "legacy_exec_per_sec": round(max(legacy_rates), 1),
+        "fast_exec_per_sec": round(max(fast_rates), 1),
+        "speedup": round(speedup, 2),
+        "cycles_per_exec": round(legacy_digest[0] / iterations, 1),
+        "engine": "fast-vs-legacy",
+    }
 
 
 @pytest.mark.paper
-def test_kocher_fuzzing_loop_speedup():
+def test_kocher_fuzzing_loop_speedup(bench_record):
     """Fast engine fuzzes the Kocher samples ≥ 2× faster than legacy."""
-    speedup = _compare_engines("gadgets", iterations=400 * SCALE)
+    speedup, metrics = _compare_engines("gadgets", iterations=400 * SCALE)
+    bench_record("emulator_throughput_gadgets", **metrics)
     assert speedup >= 2.0, (
         f"fast engine only {speedup:.2f}x on the Kocher-sample fuzzing loop "
         f"(acceptance floor is 2.0x)"
@@ -90,10 +97,11 @@ def test_kocher_fuzzing_loop_speedup():
 
 
 @pytest.mark.paper
-def test_jsmn_fuzzing_loop_speedup():
+def test_jsmn_fuzzing_loop_speedup(bench_record):
     """The speedup carries over to a real target (jsmn)."""
-    speedup = _compare_engines("jsmn", iterations=8 * SCALE, seed=5,
-                               repetitions=2)
+    speedup, metrics = _compare_engines("jsmn", iterations=8 * SCALE, seed=5,
+                                        repetitions=2)
+    bench_record("emulator_throughput_jsmn", **metrics)
     assert speedup >= 1.5, (
         f"fast engine only {speedup:.2f}x on jsmn (floor is 1.5x)"
     )

@@ -13,9 +13,16 @@ from repro.analysis.experiments import run_figure7
 
 
 @pytest.mark.paper
-def test_figure7_normalized_runtime(benchmark):
+def test_figure7_normalized_runtime(benchmark, bench_record):
     rows = benchmark.pedantic(
         run_figure7, kwargs={"input_size": PERF_INPUT_SIZE}, iterations=1, rounds=1
+    )
+    bench_record(
+        "fig7_runtime",
+        engine="fast",
+        cycles={row.program: {"native": row.native_cycles, **row.tool_cycles}
+                for row in rows},
+        normalized={row.program: row.as_dict() for row in rows},
     )
     print("\nFigure 7 — normalized run time (native = 1x):")
     for row in rows:

@@ -4,10 +4,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="teapot-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Teapot: Efficiently Uncovering Spectre Gadgets "
-        "in COTS Binaries' (CGO 2025) with campaign-scale fuzzing"
+        "in COTS Binaries' (CGO 2025) with campaign-scale fuzzing and "
+        "report-guided hardening"
     ),
     license="MIT",
     package_dir={"": "src"},
@@ -16,6 +17,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",
+            "repro-harden=repro.hardening.cli:main",
         ],
     },
     classifiers=[

@@ -20,6 +20,8 @@ from repro.campaign.summary import CampaignSummary
 from repro.campaign.worker import instrumented_binary
 from repro.core.config import TeapotConfig
 from repro.core.teapot import TeapotRewriter, TeapotRuntime
+from repro.hardening.passes import STRATEGIES
+from repro.hardening.pipeline import HardeningResult, detect_reports, run_hardening
 from repro.minic.codegen import CompilerOptions, SwitchLowering
 from repro.minic.compiler import compile_source
 from repro.runtime.fastpath import resolve_engine
@@ -331,6 +333,85 @@ def run_table4(
             specfuzz_total=summary.row(name, "specfuzz", "vanilla").unique_gadgets,
             spectaint_total=summary.row(name, "spectaint", "vanilla").unique_gadgets,
         ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Hardening: targeted mitigation vs fence-everything (detect→patch→verify)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HardeningRow:
+    """One target's hardening account: per-strategy verified results.
+
+    The headline comparison of the detect→patch→verify workflow: targeted
+    mitigations (report-guided fences, SLH-style masking) must eliminate
+    every reported site just like the fence-everything baseline, at a
+    strictly lower run-time cost.
+    """
+
+    target: str
+    variant: str
+    results: Dict[str, HardeningResult] = field(default_factory=dict)
+
+    @property
+    def baseline_overhead(self) -> float:
+        """Overhead of the fence-every-branch baseline, when measured."""
+        baseline = self.results.get("fence-all")
+        return baseline.overhead if baseline is not None else 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row as {strategy: summary numbers} plus the target identity."""
+        out: Dict[str, object] = {"target": self.target, "variant": self.variant}
+        for strategy, result in self.results.items():
+            out[strategy] = {
+                "sites": len(result.sites_before),
+                "eliminated": len(result.eliminated),
+                "residual": len(result.residual),
+                "new": len(result.new_sites),
+                "overhead": round(result.overhead, 3),
+            }
+        return out
+
+
+def run_hardening_matrix(
+    targets: Sequence[str] = ("gadgets",),
+    strategies: Sequence[str] = STRATEGIES,
+    variant: str = "vanilla",
+    tool: str = "teapot",
+    iterations: int = 400,
+    seed: int = 1234,
+    engine: str = "fast",
+    perf_input_size: int = 200,
+) -> List[HardeningRow]:
+    """Harden every target with every strategy and verify by re-fuzzing.
+
+    The detection campaign runs once per target; all strategies patch from
+    the same report set, so their eliminated/residual/overhead numbers are
+    directly comparable.
+    """
+    rows: List[HardeningRow] = []
+    for name in targets:
+        row = HardeningRow(target=name, variant=variant)
+        # One detection campaign per target; every strategy patches from
+        # the same report set so the comparison is apples to apples.
+        reports = detect_reports(
+            name, variant=variant, tool=tool, iterations=iterations,
+            seed=seed, engine=engine,
+        )
+        for strategy in strategies:
+            row.results[strategy] = run_hardening(
+                target=name,
+                strategy=strategy,
+                variant=variant,
+                tool=tool,
+                iterations=iterations,
+                seed=seed,
+                engine=engine,
+                perf_input_size=perf_input_size,
+                reports=reports,
+            )
+        rows.append(row)
     return rows
 
 

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.spec import TOOLS, VARIANTS, CampaignSpec
-from repro.targets import runnable_targets
+from repro.targets import injectable_targets, runnable_targets
 
 
 def _parse_list(text: str, choices: Sequence[str], what: str) -> List[str]:
@@ -46,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-campaign",
         description="Parallel multi-target Spectre-gadget fuzzing campaigns.",
     )
+    parser.add_argument(
+        "--list-targets", action="store_true",
+        help="print the registered target names (and which support the "
+             "'injected' variant) and exit")
     parser.add_argument(
         "--targets", default="all",
         help="comma-separated target names, or 'all' for the whole suite "
@@ -90,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.list_targets:
+        injectable = set(injectable_targets())
+        print("runnable targets:")
+        for name in runnable_targets():
+            note = "  (supports --variants injected)" if name in injectable else ""
+            print(f"  {name}{note}")
+        return 0
 
     try:
         if args.targets.strip() == "all":

@@ -11,6 +11,7 @@ combination exactly once per campaign.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,11 +28,41 @@ from repro.targets.injection import compile_vanilla, inject_gadgets
 #: Per-process caches; keyed by (target, variant) and (target, variant, tool).
 _BINARY_CACHE: Dict[Tuple[str, str], TelfBinary] = {}
 _INSTRUMENTED_CACHE: Dict[Tuple[str, str, str], TelfBinary] = {}
+#: Prebuilt binaries substituted for the compiled build of a (target,
+#: variant) — the hardening verification loop re-fuzzes a rewritten binary
+#: through the ordinary campaign machinery this way (see
+#: :func:`binary_override`).
+_BINARY_OVERRIDES: Dict[Tuple[str, str], TelfBinary] = {}
+
+
+@contextmanager
+def binary_override(target_name: str, variant: str, binary: TelfBinary):
+    """Substitute a prebuilt binary for one (target, variant) combination.
+
+    While the context is active, :func:`compiled_binary` returns ``binary``
+    and :func:`instrumented_binary` instruments it afresh on every call
+    (bypassing the per-process memo, which would otherwise serve the
+    original build).  Intended for serial (``workers=1``) campaigns: a
+    pool forked before the override was installed will not see it.
+    """
+    key = (target_name, variant)
+    previous = _BINARY_OVERRIDES.get(key)
+    _BINARY_OVERRIDES[key] = binary
+    try:
+        yield
+    finally:
+        if previous is None:
+            _BINARY_OVERRIDES.pop(key, None)
+        else:
+            _BINARY_OVERRIDES[key] = previous
 
 
 def compiled_binary(target_name: str, variant: str) -> TelfBinary:
     """The (memoised) vanilla or injected build of a target."""
     key = (target_name, variant)
+    override = _BINARY_OVERRIDES.get(key)
+    if override is not None:
+        return override
     if key not in _BINARY_CACHE:
         target = get_target(target_name)
         if variant == "injected":
@@ -72,15 +103,22 @@ def instrumented_binary(target_name: str, tool: str, variant: str) -> TelfBinary
     SpecTaint analyses the original binary (DBI-style), so its
     "instrumented" binary is the plain compiled one.
     """
-    key = (target_name, variant, tool)
-    if key not in _INSTRUMENTED_CACHE:
+    def build() -> TelfBinary:
         binary = compiled_binary(target_name, variant)
         config = _tool_config(tool, variant)
         if tool == "teapot":
             binary = TeapotRewriter(config).instrument(binary)
         elif tool == "specfuzz":
             binary = SpecFuzzRewriter(config).instrument(binary)
-        _INSTRUMENTED_CACHE[key] = binary
+        return binary
+
+    if (target_name, variant) in _BINARY_OVERRIDES:
+        # Overridden builds are never memoised: the cache key cannot tell
+        # the override apart from the registry build.
+        return build()
+    key = (target_name, variant, tool)
+    if key not in _INSTRUMENTED_CACHE:
+        _INSTRUMENTED_CACHE[key] = build()
     return _INSTRUMENTED_CACHE[key]
 
 

@@ -1,0 +1,56 @@
+"""Hardening: report-guided mitigation synthesis and verification.
+
+This package closes the detect → patch → verify loop of the paper's
+workflow: a fuzzing campaign produces :class:`~repro.sanitizers.reports.
+GadgetReport` records, :mod:`repro.hardening.sites` resolves their program
+counters back to instruction positions in the *uninstrumented* binary,
+:mod:`repro.hardening.passes` synthesises a mitigation (targeted fences,
+SLH-style load masking, or the fence-every-branch baseline) through the
+ordinary rewriting pipeline, and :mod:`repro.hardening.pipeline` re-runs
+the campaign on the hardened binary to prove the reported sites are gone —
+while accounting the cycle overhead each strategy costs.
+"""
+
+from repro.hardening.passes import (
+    STRATEGIES,
+    FenceAllBranchesPass,
+    FenceAtSitePass,
+    HardeningError,
+    MaskLoadPass,
+    strategy_pass,
+)
+from repro.hardening.pipeline import (
+    HardeningResult,
+    detect_reports,
+    harden_module,
+    measure_cycles,
+    run_hardening,
+)
+from repro.hardening.sites import (
+    GadgetSite,
+    SiteResolver,
+    locate_site,
+    ordinal_translation,
+    resolve_sites,
+    snapshot_architectural,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "FenceAllBranchesPass",
+    "FenceAtSitePass",
+    "HardeningError",
+    "MaskLoadPass",
+    "strategy_pass",
+    "HardeningResult",
+    "detect_reports",
+    "harden_module",
+    "measure_cycles",
+    "run_hardening",
+    "GadgetSite",
+    "SiteResolver",
+    "locate_site",
+    "ordinal_translation",
+    "resolve_sites",
+    "snapshot_architectural",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.hardening``."""
+
+import sys
+
+from repro.hardening.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,447 @@
+"""Mitigation synthesis passes: fences and SLH-style load masking.
+
+Three strategies, all ordinary :class:`~repro.rewriting.passes.RewritePass`
+implementations over the *uninstrumented* module, so a hardened binary goes
+back through the same reassembler — and can afterwards be re-instrumented
+and re-fuzzed to verify the mitigation:
+
+:class:`FenceAtSitePass`
+    inserts an ``lfence`` immediately ahead of each reported gadget's
+    vulnerable load/store/branch.  Speculation reaching the site hits the
+    serializing instruction first, so the transmitting access can never
+    execute transiently (the targeted-patching workflow the paper's ranked
+    report output is meant to drive).
+
+:class:`MaskLoadPass`
+    speculative-load-hardening flavour: for every conditional branch that
+    dominates a reported load, the branch predicate is re-materialised as
+    an all-ones/all-zeroes mask (``(a - b) >> 63`` style, signed
+    compares) and accumulated into a speculation predicate slot; the
+    reported load's index register is ANDed with the predicate, so a
+    misspeculated execution accesses element 0 of the array instead of the
+    attacker-chosen out-of-bounds address.  Sites the mask cannot provably
+    cover (branch sites, loads without an index register, unsupported
+    compare shapes) fall back to a targeted fence.
+
+:class:`FenceAllBranchesPass`
+    the fence-everything baseline (SpecFuzz §2.1 mitigation discussion):
+    an ``lfence`` at the top of both successors of every conditional
+    branch, killing every speculative window at maximal run-time cost.
+    This is the overhead yardstick the targeted strategies must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.disasm.ir import BasicBlock, IRFunction, Module
+from repro.hardening.sites import GadgetSite, locate_site
+from repro.isa.instructions import (
+    ConditionCode,
+    Instruction,
+    Opcode,
+    is_load,
+    is_pseudo,
+    lfence,
+    load,
+    mov,
+    pop,
+    push,
+    store,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register
+from repro.loader.binary_format import DataObject
+from repro.rewriting.passes import RewritePass
+
+#: Name of the speculation predicate slot :class:`MaskLoadPass` allocates.
+PRED_SYMBOL = "__slh_pred__"
+
+#: The three mitigation strategies, in CLI/matrix order.
+STRATEGIES = ("fence", "mask", "fence-all")
+
+#: Condition codes the mask builder can re-materialise branchlessly.
+#: ``(x, y, complement)``: mask = all-ones iff ``x < y`` (signed,
+#: overflow-exact), complemented if asked — all signed compares; unsigned
+#: and equality shapes fall back to a fence.
+_MASKABLE_CCS: Dict[ConditionCode, Tuple[int, int, bool]] = {
+    ConditionCode.LT: (0, 1, False),   # a <  b  ->   lt(a, b)
+    ConditionCode.GE: (0, 1, True),    # a >= b  ->  ~lt(a, b)
+    ConditionCode.GT: (1, 0, False),   # a >  b  ->   lt(b, a)
+    ConditionCode.LE: (1, 0, True),    # a <= b  ->  ~lt(b, a)
+}
+
+
+class HardeningError(RuntimeError):
+    """Raised when a mitigation cannot be synthesised at all."""
+
+
+def strategy_pass(strategy: str, sites: Sequence[GadgetSite] = ()) -> RewritePass:
+    """Instantiate the pass implementing a named strategy."""
+    if strategy == "fence":
+        return FenceAtSitePass(sites)
+    if strategy == "mask":
+        return MaskLoadPass(sites)
+    if strategy == "fence-all":
+        return FenceAllBranchesPass()
+    raise HardeningError(
+        f"unknown hardening strategy {strategy!r}; expected one of {STRATEGIES}"
+    )
+
+
+def _fence(note: str) -> Instruction:
+    instr = lfence()
+    instr.comment = note
+    return instr
+
+
+def _scratch_registers(count: int, excluded: Set[Register]) -> List[Register]:
+    """Pick ``count`` registers to borrow (they are push/pop preserved)."""
+    picks: List[Register] = []
+    for reg in (Register.R11, Register.R10, Register.R9, Register.R8,
+                Register.R13, Register.R12, Register.R7, Register.R6,
+                Register.R5, Register.R4, Register.R3, Register.R2,
+                Register.R1, Register.R0):
+        if reg in excluded:
+            continue
+        picks.append(reg)
+        if len(picks) == count:
+            return picks
+    raise HardeningError("no scratch registers available for masking")
+
+
+class _SiteTargetedPass(RewritePass):
+    """Shared plumbing for passes driven by a list of gadget sites."""
+
+    def __init__(self, sites: Sequence[GadgetSite]) -> None:
+        super().__init__()
+        self.sites: List[GadgetSite] = list(sites)
+        #: per-site outcome ("fenced", "masked", "mask-fallback-fence",
+        #: "unresolved"), filled in by :meth:`run`.
+        self.site_outcomes: Dict[GadgetSite, str] = {}
+
+    def _resolve_all(self, module: Module):
+        """Locate every site *before* any insertion.
+
+        Site ordinals refer to the unmodified module; inserting even one
+        architectural instruction shifts the ordinals behind it, so all
+        lookups must happen up front and later insertions must address
+        instructions by identity.
+        """
+        located = []
+        for site in self.sites:
+            result = locate_site(module, site)
+            if result is None:
+                self.bump("sites_unresolved")
+                self.site_outcomes[site] = "unresolved"
+                continue
+            func, block, index = result
+            located.append((site, func, block, block.instructions[index]))
+        return located
+
+    def _insert_before(self, block: BasicBlock, target: Instruction,
+                       sequence: List[Instruction]) -> None:
+        index = next(
+            i for i, instr in enumerate(block.instructions) if instr is target
+        )
+        block.instructions[index:index] = sequence
+
+
+class FenceAtSitePass(_SiteTargetedPass):
+    """Insert an ``lfence`` directly ahead of each reported gadget site."""
+
+    name = "fence-at-site"
+
+    def run(self, module: Module) -> None:
+        for site, _, block, instr in self._resolve_all(module):
+            self._insert_before(
+                block, instr,
+                [_fence(f"harden: fence@{site.function}#{site.ordinal}")],
+            )
+            self.bump("fences_inserted")
+            self.site_outcomes[site] = "fenced"
+
+
+class FenceAllBranchesPass(RewritePass):
+    """Fence the top of both successors of every conditional branch."""
+
+    name = "fence-all-branches"
+
+    def run(self, module: Module) -> None:
+        for func in module.functions:
+            fenced: Set[str] = set()
+            for index, block in enumerate(func.blocks):
+                term = block.terminator
+                if term is None or term.opcode is not Opcode.JCC:
+                    continue
+                self.bump("branches_processed")
+                targets: List[BasicBlock] = []
+                taken = term.operands[0]
+                if isinstance(taken, Label) and func.has_block(taken.name):
+                    targets.append(func.block(taken.name))
+                else:
+                    self.bump("unresolved_targets")
+                if index + 1 < len(func.blocks):
+                    targets.append(func.blocks[index + 1])
+                for target in targets:
+                    if target.label in fenced:
+                        continue
+                    fenced.add(target.label)
+                    target.instructions.insert(0, _fence("harden: fence-all"))
+                    self.bump("fences_inserted")
+
+
+class MaskLoadPass(_SiteTargetedPass):
+    """SLH-style masking of reported loads under a speculation predicate.
+
+    FLAGS caveat: both inserted sequences (the guard's predicate
+    arithmetic and the AND at the load) clobber the flags register.  That
+    is sound here because flags are dead at every insertion point under
+    this toolchain's code shapes: the guard sequence sits at the entry of
+    a block whose single predecessor just consumed the flags with its
+    conditional branch, and every ``jcc`` is fed by a ``cmp`` in its own
+    block (``_feeding_compare`` refuses guards where that does not hold,
+    and the mini-C code generator never keeps flags live across a load).
+    A rewriter producing modules where flags survive a branch or a load
+    would need a liveness analysis before using this pass; the
+    behaviour-equivalence tests in ``tests/hardening/test_passes.py``
+    pin the assumption for every shipped workload.
+    """
+
+    name = "mask-loads"
+
+    def run(self, module: Module) -> None:
+        plans: List[Tuple[IRFunction, BasicBlock, Instruction, Register]] = []
+        fallbacks: List[Tuple[BasicBlock, Instruction, GadgetSite]] = []
+        guards: Dict[Tuple[str, str], Tuple[IRFunction, "_Guard"]] = {}
+        needs_pred = False
+
+        for site, func, block, instr in self._resolve_all(module):
+            plan = self._plan_mask(func, block, instr)
+            if plan is None:
+                fallbacks.append((block, instr, site))
+                self.bump("fallback_fences")
+                self.site_outcomes[site] = "mask-fallback-fence"
+                continue
+            site_guards, mask_reg = plan
+            needs_pred = True
+            plans.append((func, block, instr, mask_reg))
+            for guard in site_guards:
+                guards.setdefault((func.name, guard.protected.label),
+                                  (func, guard))
+            self.bump("loads_masked")
+            self.site_outcomes[site] = "masked"
+
+        for block, instr, site in fallbacks:
+            self._insert_before(
+                block, instr,
+                [_fence(f"harden: slh-fallback@{site.function}#{site.ordinal}")],
+            )
+        if needs_pred:
+            self._ensure_predicate_object(module)
+        for func, guard in guards.values():
+            guard.protected.instructions[0:0] = self._guard_sequence(guard)
+            self.bump("guards_instrumented")
+        for func, block, instr, mask_reg in plans:
+            self._insert_before(block, instr, self._mask_sequence(mask_reg))
+
+    # -- planning -----------------------------------------------------------
+    def _plan_mask(self, func: IRFunction, block: BasicBlock,
+                   instr: Instruction):
+        """Work out whether (and how) a site can be masked.
+
+        Returns ``(guards, index_register)`` or ``None`` when the site must
+        fall back to a fence.
+        """
+        if not is_load(instr) or instr.opcode is not Opcode.LOAD:
+            return None
+        mem = instr.memory_operand()
+        if mem is None or mem.index is None or mem.index.is_frame_relative:
+            return None
+        site_guards = self._dominating_guards(func, block)
+        if not site_guards:
+            return None
+        return site_guards, mem.index
+
+    def _dominating_guards(self, func: IRFunction,
+                           load_block: BasicBlock) -> List["_Guard"]:
+        """Every dominating conditional branch whose predicate is maskable."""
+        order = {blk.label: i for i, blk in enumerate(func.blocks)}
+        doms = _dominators(func)
+        preds = func.predecessors()
+        load_doms = doms.get(load_block.label, set())
+        guards: List[_Guard] = []
+        for block in func.blocks:  # layout order keeps emission deterministic
+            if block.label not in load_doms:
+                continue
+            if block is load_block:
+                continue  # a terminator branch comes after the load
+            term = block.terminator
+            if term is None or term.opcode is not Opcode.JCC:
+                continue
+            guard = self._guard_for_branch(
+                func, block, term, load_block, order, doms, preds
+            )
+            if guard is not None:
+                guards.append(guard)
+        return guards
+
+    def _guard_for_branch(self, func, branch_block, term, load_block,
+                          order, doms, preds) -> Optional["_Guard"]:
+        target = term.operands[0]
+        if not isinstance(target, Label) or not func.has_block(target.name):
+            return None
+        taken = func.block(target.name)
+        next_index = order[branch_block.label] + 1
+        if next_index >= len(func.blocks):
+            return None
+        fallthrough = func.blocks[next_index]
+
+        def covers(candidate: BasicBlock) -> bool:
+            return (candidate is load_block
+                    or candidate.label in doms.get(load_block.label, set()))
+
+        taken_covers = covers(taken)
+        fall_covers = covers(fallthrough)
+        if taken_covers == fall_covers:
+            return None  # join point or unreachable side: polarity unknown
+        protected = taken if taken_covers else fallthrough
+        condition = term.cc if taken_covers else term.cc.negate()
+        if condition not in _MASKABLE_CCS:
+            return None
+        # The predicate is re-materialised from the compare's operands at
+        # the protected block's entry; that is only sound when the compare
+        # directly feeds the branch and the block cannot be entered from
+        # anywhere else with stale register contents.
+        if preds.get(protected.label, set()) != {branch_block.label}:
+            return None
+        compare = self._feeding_compare(branch_block)
+        if compare is None:
+            return None
+        a, b = compare.operands
+        if not isinstance(a, (Reg, Imm)) or not isinstance(b, (Reg, Imm)):
+            return None
+        return _Guard(protected=protected, condition=condition, a=a, b=b)
+
+    @staticmethod
+    def _feeding_compare(block: BasicBlock) -> Optional[Instruction]:
+        """The ``cmp`` setting the branch's flags, if it immediately does."""
+        architectural = [i for i in block.instructions if not is_pseudo(i)]
+        if len(architectural) < 2:
+            return None
+        candidate = architectural[-2]
+        if candidate.opcode is not Opcode.CMP:
+            return None
+        return candidate
+
+    # -- emission -----------------------------------------------------------
+    @staticmethod
+    def _ensure_predicate_object(module: Module) -> None:
+        for obj in module.data_objects:
+            if obj.name == PRED_SYMBOL:
+                return
+        # All-ones: "not misspeculating" is the architectural invariant.
+        module.data_objects.append(
+            DataObject(PRED_SYMBOL, b"\xff" * 8, section=".data", align=8)
+        )
+
+    def _guard_sequence(self, guard: "_Guard") -> List[Instruction]:
+        """Accumulate this branch's predicate mask into the predicate slot.
+
+        The mask must agree with the branch's flag semantics *exactly* —
+        ``jl`` tests ``SF != OF``, so a plain ``sar64(x - y)`` would be
+        wrong on signed overflow (an attacker-supplied INT64_MIN index
+        would poison the predicate architecturally).  The overflow-exact
+        sign word is ``diff ^ ((x ^ y) & (diff ^ x))`` (Hacker's Delight
+        §2-12: the second term is the subtraction's OF in the sign bit,
+        and ``SF ^ OF`` is signed less-than).
+        """
+        x_pos, y_pos, complement = _MASKABLE_CCS[guard.condition]
+        operands = (guard.a, guard.b)
+        x, y = operands[x_pos], operands[y_pos]
+        excluded: Set[Register] = set()
+        for operand in operands:
+            if isinstance(operand, Reg):
+                excluded.add(operand.reg)
+        t, u, w = (Reg(r) for r in _scratch_registers(3, excluded))
+        pred = Mem(disp=Label(PRED_SYMBOL))
+        seq = [
+            push(t),
+            push(u),
+            push(w),
+            mov(t, x),
+            Instruction(Opcode.SUB, [t, y]),    # t = diff = x - y   (SF word)
+            mov(u, x),
+            Instruction(Opcode.XOR, [u, y]),    # u = x ^ y
+            mov(w, t),
+            Instruction(Opcode.XOR, [w, x]),    # w = diff ^ x
+            Instruction(Opcode.AND, [u, w]),    # u = OF word
+            Instruction(Opcode.XOR, [t, u]),    # t sign bit = SF ^ OF = x < y
+            Instruction(Opcode.SAR, [t, Imm(63)]),
+        ]
+        if complement:
+            seq.append(Instruction(Opcode.NOT, [t]))
+        seq.extend([
+            load(u, pred),
+            Instruction(Opcode.AND, [u, t]),
+            store(pred, u),
+            pop(w),
+            pop(u),
+            pop(t),
+        ])
+        for instr in seq:
+            instr.comment = "harden: slh-guard"
+        return seq
+
+    @staticmethod
+    def _mask_sequence(index_reg: Register) -> List[Instruction]:
+        """AND the load's index register with the speculation predicate."""
+        (t,) = (Reg(r) for r in _scratch_registers(1, {index_reg}))
+        seq = [
+            push(t),
+            load(t, Mem(disp=Label(PRED_SYMBOL))),
+            Instruction(Opcode.AND, [Reg(index_reg), t]),
+            pop(t),
+        ]
+        for instr in seq:
+            instr.comment = "harden: slh-mask"
+        return seq
+
+
+class _Guard:
+    """One dominating conditional branch protecting a masked load."""
+
+    def __init__(self, protected: BasicBlock, condition: ConditionCode,
+                 a, b) -> None:
+        self.protected = protected
+        self.condition = condition
+        self.a = a
+        self.b = b
+
+
+def _dominators(func: IRFunction) -> Dict[str, Set[str]]:
+    """Dominator sets per block label (iterative dataflow; CFGs are tiny)."""
+    if not func.blocks:
+        return {}
+    labels = [blk.label for blk in func.blocks]
+    preds = func.predecessors()
+    entry = labels[0]
+    all_labels = set(labels)
+    doms: Dict[str, Set[str]] = {label: set(all_labels) for label in labels}
+    doms[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            pred_labels = preds.get(label, set())
+            if pred_labels:
+                new = set.intersection(*(doms[p] for p in pred_labels))
+            else:
+                new = set()  # unreachable block: nothing dominates it
+            new.add(label)
+            if new != doms[label]:
+                doms[label] = new
+                changed = True
+    return doms

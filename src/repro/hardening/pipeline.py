@@ -1,0 +1,301 @@
+"""The detect → patch → verify pipeline.
+
+:func:`run_hardening` drives the whole loop for one (target, strategy)
+pair:
+
+1. **Detect** — run a deterministic fuzzing campaign against the
+   tool-instrumented build (reusing :mod:`repro.campaign`'s scheduler) and
+   collect the deduplicated gadget reports.
+2. **Map** — resolve every report PC back to a :class:`~repro.hardening.
+   sites.GadgetSite` of the uninstrumented module.
+3. **Patch** — disassemble the original binary, run the strategy's
+   rewriting pass, and reassemble the hardened binary.
+4. **Verify** — substitute the hardened binary for the target (``
+   binary_override``), re-run the *same* campaign, and classify each
+   original site as eliminated or residual (plus any new sites the re-fuzz
+   surfaced).
+5. **Account** — execute the original and hardened binaries natively (no
+   instrumentation) over the target's crafted performance input and report
+   the cycle overhead the mitigation costs a deployed binary.
+
+Everything is deterministic: same spec, same seed, same sites, same
+overhead, so results are directly comparable across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import (
+    binary_override,
+    compiled_binary,
+    instrumented_binary,
+)
+from repro.disasm.disassembler import disassemble
+from repro.disasm.ir import Module
+from repro.hardening.passes import strategy_pass
+from repro.hardening.sites import (
+    GadgetSite,
+    ordinal_translation,
+    resolve_sites,
+    snapshot_architectural,
+    translate_site,
+)
+from repro.loader.binary_format import TelfBinary
+from repro.rewriting.passes import PassManager
+from repro.rewriting.reassemble import reassemble
+from repro.runtime.fastpath import resolve_engine
+from repro.sanitizers.reports import GadgetReport
+from repro.targets import get_target
+
+
+def measure_cycles(binary: TelfBinary, input_data: bytes,
+                   engine: str = "fast") -> int:
+    """Cycle count of one native (uninstrumented) execution."""
+    emulator_cls, _ = resolve_engine(engine)
+    result = emulator_cls(binary).run(input_data)
+    if not result.ok:
+        raise RuntimeError(
+            f"native run failed: {result.status} {result.crash_reason}"
+        )
+    return result.cycles
+
+
+def harden_module(module: Module, strategy: str,
+                  sites: Iterable[GadgetSite]):
+    """Apply one strategy to a module in place.
+
+    Returns ``(pass_stats, site_outcomes, translation)`` where
+    ``translation`` maps each function's hardened architectural ordinals
+    back to the pre-hardening ones (see :mod:`repro.hardening.sites`).
+    """
+    ordered = sorted(sites, key=lambda s: (s.function, s.ordinal))
+    snapshot = snapshot_architectural(module)
+    mitigation = strategy_pass(strategy, ordered)
+    stats = PassManager().add(mitigation).run(module)
+    translation = ordinal_translation(module, snapshot)
+    outcomes = dict(getattr(mitigation, "site_outcomes", {}))
+    return stats, outcomes, translation
+
+
+def _site_dict(site: GadgetSite,
+               reports: Optional[List[GadgetReport]] = None,
+               outcome: Optional[str] = None) -> Dict[str, object]:
+    record = site.to_dict()
+    if reports:
+        record["channels"] = sorted({r.channel.value for r in reports})
+        record["attackers"] = sorted({r.attacker.value for r in reports})
+        record["pcs"] = sorted({r.pc for r in reports})
+    if outcome is not None:
+        record["mitigation"] = outcome
+    return record
+
+
+@dataclass
+class HardeningResult:
+    """Everything one detect → patch → verify run produced."""
+
+    target: str
+    variant: str
+    tool: str
+    strategy: str
+    engine: str
+    iterations: int
+    seed: int
+    #: pre-hardening unique gadget sites (with channels/pcs/mitigation).
+    sites_before: List[Dict[str, object]] = field(default_factory=list)
+    #: baseline sites absent from the verification re-fuzz.
+    eliminated: List[Dict[str, object]] = field(default_factory=list)
+    #: baseline sites the re-fuzz still reported (mitigation failed).
+    residual: List[Dict[str, object]] = field(default_factory=list)
+    #: sites the re-fuzz reported that did not exist before hardening.
+    new_sites: List[Dict[str, object]] = field(default_factory=list)
+    #: per-pass rewriting statistics (fences inserted, loads masked, ...).
+    pass_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: cycle accounting on the target's crafted performance input.
+    native_cycles: int = 0
+    hardened_cycles: int = 0
+    #: executions performed by the baseline and verification campaigns.
+    baseline_executions: int = 0
+    verify_executions: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Hardened / native run time on the performance input."""
+        if self.native_cycles == 0:
+            return 1.0
+        return self.hardened_cycles / self.native_cycles
+
+    @property
+    def all_eliminated(self) -> bool:
+        """Whether every reported site disappeared under re-fuzz."""
+        return bool(self.sites_before) and not self.residual
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready form (CLI output, CI artifacts)."""
+        return {
+            "target": self.target,
+            "variant": self.variant,
+            "tool": self.tool,
+            "strategy": self.strategy,
+            "engine": self.engine,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "sites_before": self.sites_before,
+            "eliminated": self.eliminated,
+            "residual": self.residual,
+            "new_sites": self.new_sites,
+            "pass_stats": self.pass_stats,
+            "native_cycles": self.native_cycles,
+            "hardened_cycles": self.hardened_cycles,
+            "overhead": round(self.overhead, 4),
+            "baseline_executions": self.baseline_executions,
+            "verify_executions": self.verify_executions,
+        }
+
+    def format_summary(self) -> str:
+        """A short human-readable account of the run."""
+        lines = [
+            f"{self.target}/{self.variant} [{self.tool}] strategy={self.strategy}",
+            f"  sites before: {len(self.sites_before)}  "
+            f"eliminated: {len(self.eliminated)}  "
+            f"residual: {len(self.residual)}  "
+            f"new: {len(self.new_sites)}",
+            f"  overhead: {self.overhead:.3f}x "
+            f"({self.hardened_cycles} vs {self.native_cycles} cycles)",
+        ]
+        for name, stats in self.pass_stats.items():
+            formatted = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+            lines.append(f"  pass {name}: {formatted or 'no-op'}")
+        return "\n".join(lines)
+
+
+def _campaign_spec(target: str, tool: str, variant: str, iterations: int,
+                   rounds: int, seed: int, engine: str) -> CampaignSpec:
+    return CampaignSpec(
+        targets=(target,),
+        tools=(tool,),
+        variants=(variant,),
+        iterations=iterations,
+        rounds=rounds,
+        shards=1,
+        seed=seed,
+        workers=1,
+        engine=engine,
+        skip_uninjectable=False,
+    )
+
+
+def detect_reports(
+    target: str,
+    variant: str = "vanilla",
+    tool: str = "teapot",
+    iterations: int = 400,
+    rounds: int = 1,
+    seed: int = 1234,
+    engine: str = "fast",
+) -> List[GadgetReport]:
+    """Run the detection campaign alone and return its unique reports.
+
+    Useful for comparing several strategies against one report set (the
+    matrix experiment does this) or for feeding ``--report-in`` workflows.
+    """
+    spec = _campaign_spec(target, tool, variant, iterations, rounds, seed,
+                          engine)
+    summary = run_campaign(spec)
+    return summary.row(target, tool, variant).collection.reports()
+
+
+def run_hardening(
+    target: str,
+    strategy: str,
+    variant: str = "vanilla",
+    tool: str = "teapot",
+    iterations: int = 400,
+    rounds: int = 1,
+    seed: int = 1234,
+    engine: str = "fast",
+    perf_input_size: int = 200,
+    reports: Optional[Iterable[GadgetReport]] = None,
+    progress=None,
+) -> HardeningResult:
+    """Run the full detect → patch → verify → account loop for one target.
+
+    ``reports`` short-circuits the detection campaign with pre-recorded
+    gadget reports (e.g. from a previous ``repro-campaign`` run); their PCs
+    must refer to the deterministic instrumented build of the same
+    (target, tool, variant), which is what every campaign fuzzes.
+    """
+    note = progress or (lambda message: None)
+    spec = _campaign_spec(target, tool, variant, iterations, rounds, seed,
+                          engine)
+    result = HardeningResult(
+        target=target, variant=variant, tool=tool, strategy=strategy,
+        engine=engine, iterations=iterations, seed=seed,
+    )
+
+    # 1. Detect.
+    if reports is None:
+        note(f"fuzzing baseline {target}/{variant} with {tool}")
+        baseline = run_campaign(spec)
+        row = baseline.row(target, tool, variant)
+        collection: Iterable[GadgetReport] = row.collection
+        result.baseline_executions = row.executions
+    else:
+        collection = list(reports)
+
+    # 2. Map.
+    instrumented = instrumented_binary(target, tool, variant)
+    site_reports = resolve_sites(instrumented, collection)
+    note(f"{len(site_reports)} unique gadget sites to harden")
+
+    # 3. Patch.
+    base_binary = compiled_binary(target, variant)
+    module = disassemble(base_binary)
+    stats, outcomes, translation = harden_module(
+        module, strategy, site_reports.keys()
+    )
+    result.pass_stats = stats
+    hardened = reassemble(module)
+    result.sites_before = [
+        _site_dict(site, site_reports[site], outcomes.get(site))
+        for site in sorted(site_reports, key=lambda s: (s.function, s.ordinal))
+    ]
+
+    # 4. Verify.
+    note(f"re-fuzzing hardened binary ({strategy})")
+    with binary_override(target, variant, hardened):
+        verification = run_campaign(spec)
+        verify_instrumented = instrumented_binary(target, tool, variant)
+    verify_row = verification.row(target, tool, variant)
+    result.verify_executions = verify_row.executions
+    verify_sites = resolve_sites(verify_instrumented, verify_row.collection)
+
+    baseline_keys = {site.key for site in site_reports}
+    surviving_keys = set()
+    for site, site_hits in verify_sites.items():
+        original = translate_site(site, translation)
+        if original is not None and original.key in baseline_keys:
+            surviving_keys.add(original.key)
+        else:
+            record = _site_dict(site, site_hits)
+            if original is not None:
+                record["original_ordinal"] = original.ordinal
+            result.new_sites.append(record)
+    for record in result.sites_before:
+        key = (record["function"], record["ordinal"])
+        if key in surviving_keys:
+            result.residual.append(record)
+        else:
+            result.eliminated.append(record)
+
+    # 5. Account.
+    perf_input = get_target(target).perf_input(perf_input_size)
+    result.native_cycles = measure_cycles(base_binary, perf_input, engine)
+    result.hardened_cycles = measure_cycles(hardened, perf_input, engine)
+    note(f"overhead {result.overhead:.3f}x, "
+         f"{len(result.eliminated)}/{len(result.sites_before)} sites eliminated")
+    return result

@@ -1,0 +1,238 @@
+"""Site mapping: report program counters back to IR instruction positions.
+
+Gadget reports carry the address of the *policy-check pseudo-op* that fired
+inside the instrumented binary — usually inside a ``$spec`` Shadow-Copy
+function, surrounded by coverage, DIFT and restore-point instrumentation.
+To patch the gadget we need the corresponding instruction of the original,
+uninstrumented module.  The mapping exploits an invariant every rewriting
+pass in this repository maintains: passes only *insert* instructions
+(pseudo-ops in place, trampoline blocks at the end of a function) and never
+remove or reorder the architectural ones.  The n-th architectural
+instruction of an instrumented function (Real or Shadow Copy) is therefore
+the n-th architectural instruction of the original function, so a site is
+identified by the stable key ``(function, architectural ordinal)``.
+
+The same idea also bridges *hardening* passes, which insert architectural
+instructions (fences, masking sequences) and thereby shift ordinals:
+:func:`snapshot_architectural` / :func:`ordinal_translation` record, per
+function, which hardened-module ordinal each original instruction moved
+to, so reports from the re-fuzz verification run can be compared against
+the pre-hardening sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.shadows import SHADOW_SUFFIX
+from repro.disasm.ir import BasicBlock, IRFunction, Module
+from repro.isa.encoding import decode_instruction
+from repro.isa.instructions import (
+    Instruction,
+    is_conditional_branch,
+    is_load,
+    is_pseudo,
+    is_store,
+)
+from repro.loader.binary_format import Symbol, TelfBinary
+from repro.sanitizers.reports import GadgetReport
+
+
+@dataclass(frozen=True)
+class GadgetSite:
+    """A gadget location stable across instrumentation: (function, ordinal).
+
+    ``function`` is the Real-Copy function name (any ``$spec`` suffix is
+    stripped during resolution) and ``ordinal`` the index of the vulnerable
+    instruction among the function's *architectural* (non-pseudo)
+    instructions in layout order.  ``kind`` records what the instruction is
+    so passes can choose a mitigation shape.
+    """
+
+    function: str
+    ordinal: int
+    kind: str  # "load" | "store" | "branch" | "other"
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Identity used to compare sites across binaries."""
+        return (self.function, self.ordinal)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (hardening reports, CLI output)."""
+        return {"function": self.function, "ordinal": self.ordinal,
+                "kind": self.kind}
+
+
+def real_function_name(name: str) -> str:
+    """Strip the Shadow-Copy suffix from a function name."""
+    if name.endswith(SHADOW_SUFFIX):
+        return name[: -len(SHADOW_SUFFIX)]
+    return name
+
+
+def site_kind(instr: Instruction) -> str:
+    """Classify the vulnerable instruction for mitigation selection."""
+    if is_conditional_branch(instr):
+        return "branch"
+    if is_load(instr):
+        return "load"
+    if is_store(instr):
+        return "store"
+    return "other"
+
+
+class SiteResolver:
+    """Maps report PCs of one binary to :class:`GadgetSite` keys.
+
+    Works on any binary this toolchain produces — vanilla, Teapot- or
+    SpecFuzz-instrumented, hardened, or hardened-then-instrumented —
+    because it only linearly decodes each function symbol's byte extent
+    (no CFG recovery, so instrumentation pseudo-ops are harmless).
+    """
+
+    def __init__(self, binary: TelfBinary) -> None:
+        self.binary = binary
+        self._decoded: Dict[str, List[Instruction]] = {}
+
+    def _function_instructions(self, symbol: Symbol) -> List[Instruction]:
+        if symbol.name not in self._decoded:
+            text = self.binary.text
+            instrs: List[Instruction] = []
+            offset = symbol.address - text.address
+            end = offset + symbol.size
+            while offset < end:
+                instr, length = decode_instruction(text.data, offset)
+                instr.address = text.address + offset
+                instrs.append(instr)
+                offset += length
+            self._decoded[symbol.name] = instrs
+        return self._decoded[symbol.name]
+
+    def resolve_pc(self, pc: int) -> Optional[GadgetSite]:
+        """The site of the first architectural instruction at/after ``pc``.
+
+        Report PCs point at the policy pseudo-op that guards the vulnerable
+        instruction, so the next architectural instruction *is* the
+        vulnerable load/store/branch.  Returns ``None`` for PCs outside any
+        function (e.g. reports from hand-built binaries without symbols).
+        """
+        symbol = self.binary.function_at(pc)
+        if symbol is None:
+            return None
+        ordinal = 0
+        for instr in self._function_instructions(symbol):
+            if is_pseudo(instr):
+                continue
+            if instr.address is not None and instr.address >= pc:
+                return GadgetSite(
+                    function=real_function_name(symbol.name),
+                    ordinal=ordinal,
+                    kind=site_kind(instr),
+                )
+            ordinal += 1
+        return None
+
+
+def resolve_sites(
+    binary: TelfBinary, reports: Iterable[GadgetReport]
+) -> Dict[GadgetSite, List[GadgetReport]]:
+    """Group reports by the :class:`GadgetSite` their PC resolves to.
+
+    ``binary`` must be the binary the reports' PCs refer to (the
+    instrumented one the campaign fuzzed).  Reports whose PC cannot be
+    resolved are dropped — they cannot be patched at a site.
+    """
+    resolver = SiteResolver(binary)
+    sites: Dict[GadgetSite, List[GadgetReport]] = {}
+    for report in reports:
+        site = resolver.resolve_pc(report.pc)
+        if site is not None:
+            sites.setdefault(site, []).append(report)
+    return sites
+
+
+def locate_site(
+    module: Module, site: GadgetSite
+) -> Optional[Tuple[IRFunction, BasicBlock, int]]:
+    """Find a site's instruction inside a disassembled module.
+
+    Returns ``(function, block, index-within-block)`` of the architectural
+    instruction at the site's ordinal, or ``None`` when the function does
+    not exist or the ordinal is out of range.
+    """
+    if not module.has_function(site.function):
+        return None
+    func = module.function(site.function)
+    ordinal = 0
+    for block in func.blocks:
+        for index, instr in enumerate(block.instructions):
+            if is_pseudo(instr):
+                continue
+            if ordinal == site.ordinal:
+                return func, block, index
+            ordinal += 1
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Ordinal translation across hardening (which inserts architectural code)
+# ---------------------------------------------------------------------------
+
+def snapshot_architectural(module: Module) -> Dict[str, Dict[int, int]]:
+    """Record each architectural instruction's ordinal, keyed by identity.
+
+    Taken *before* hardening passes run; because passes mutate blocks in
+    place and only insert fresh :class:`Instruction` objects, the original
+    objects survive and can be recognised by ``id()`` afterwards.
+    """
+    snapshot: Dict[str, Dict[int, int]] = {}
+    for func in module.functions:
+        ordinals: Dict[int, int] = {}
+        ordinal = 0
+        for instr in func.instructions():
+            if is_pseudo(instr):
+                continue
+            ordinals[id(instr)] = ordinal
+            ordinal += 1
+        snapshot[func.name] = ordinals
+    return snapshot
+
+
+def ordinal_translation(
+    module: Module, snapshot: Dict[str, Dict[int, int]]
+) -> Dict[str, Dict[int, int]]:
+    """Per-function map from *hardened* ordinal to *original* ordinal.
+
+    Instructions inserted by hardening passes have no original ordinal and
+    are absent from the map — a verification report landing on one is a
+    genuinely new site.
+    """
+    translation: Dict[str, Dict[int, int]] = {}
+    for func in module.functions:
+        original = snapshot.get(func.name, {})
+        mapping: Dict[int, int] = {}
+        ordinal = 0
+        for instr in func.instructions():
+            if is_pseudo(instr):
+                continue
+            old = original.get(id(instr))
+            if old is not None:
+                mapping[ordinal] = old
+            ordinal += 1
+        translation[func.name] = mapping
+    return translation
+
+
+def translate_site(
+    site: GadgetSite, translation: Dict[str, Dict[int, int]]
+) -> Optional[GadgetSite]:
+    """Rewrite a hardened-binary site into original-binary coordinates."""
+    mapping = translation.get(site.function)
+    if mapping is None:
+        return None
+    old = mapping.get(site.ordinal)
+    if old is None:
+        return None
+    return GadgetSite(function=site.function, ordinal=old, kind=site.kind)

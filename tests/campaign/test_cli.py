@@ -7,6 +7,20 @@ import pytest
 from repro.campaign.cli import main
 
 
+def test_cli_list_targets(capsys):
+    from repro.targets import injectable_targets, runnable_targets
+
+    exit_code = main(["--list-targets"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    for name in runnable_targets():
+        assert name in out
+    # Injectable targets are flagged; pure drivers (gadgets) are not.
+    for name in injectable_targets():
+        assert f"{name}  (supports --variants injected)" in out
+    assert "gadgets  (supports" not in out
+
+
 def test_cli_runs_a_small_campaign(capsys):
     exit_code = main([
         "--targets", "gadgets", "--iterations", "20", "--rounds", "2",

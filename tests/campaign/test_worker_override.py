@@ -1,0 +1,55 @@
+"""Binary overrides: substituting prebuilt binaries into campaign jobs."""
+
+from __future__ import annotations
+
+from repro.campaign.worker import (
+    binary_override,
+    clear_caches,
+    compiled_binary,
+    instrumented_binary,
+)
+from repro.disasm.disassembler import disassemble
+from repro.isa.instructions import lfence
+from repro.rewriting.reassemble import reassemble
+
+
+def _tweaked_copy(binary):
+    """A behaviourally equivalent but distinguishable rebuild."""
+    module = disassemble(binary)
+    module.function("main").blocks[0].instructions.insert(0, lfence())
+    return reassemble(module)
+
+
+def test_override_substitutes_and_restores():
+    clear_caches()
+    original = compiled_binary("gadgets", "vanilla")
+    replacement = _tweaked_copy(original)
+    with binary_override("gadgets", "vanilla", replacement):
+        assert compiled_binary("gadgets", "vanilla") is replacement
+    assert compiled_binary("gadgets", "vanilla") is original
+
+
+def test_override_bypasses_the_instrumented_memo():
+    clear_caches()
+    baseline = instrumented_binary("gadgets", "teapot", "vanilla")
+    replacement = _tweaked_copy(compiled_binary("gadgets", "vanilla"))
+    with binary_override("gadgets", "vanilla", replacement):
+        overridden = instrumented_binary("gadgets", "teapot", "vanilla")
+        # The instrumented build must derive from the override, not from
+        # the memoised registry build…
+        assert overridden is not baseline
+        assert overridden.text.data != baseline.text.data
+    # …and the memo must still serve the original afterwards.
+    assert instrumented_binary("gadgets", "teapot", "vanilla") is baseline
+
+
+def test_overrides_nest():
+    clear_caches()
+    original = compiled_binary("gadgets", "vanilla")
+    first = _tweaked_copy(original)
+    second = _tweaked_copy(first)
+    with binary_override("gadgets", "vanilla", first):
+        with binary_override("gadgets", "vanilla", second):
+            assert compiled_binary("gadgets", "vanilla") is second
+        assert compiled_binary("gadgets", "vanilla") is first
+    assert compiled_binary("gadgets", "vanilla") is original

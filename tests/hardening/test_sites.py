@@ -1,0 +1,116 @@
+"""Site mapping: report PCs back to stable (function, ordinal) keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
+from repro.core.config import TeapotConfig
+from repro.core.teapot import TeapotRewriter, TeapotRuntime
+from repro.disasm.disassembler import disassemble
+from repro.hardening.sites import (
+    GadgetSite,
+    SiteResolver,
+    locate_site,
+    ordinal_translation,
+    resolve_sites,
+    snapshot_architectural,
+    translate_site,
+)
+from repro.isa.instructions import Opcode, is_pseudo, lfence
+
+
+@pytest.fixture
+def teapot_reports(spectre_victim_binary, oob_input):
+    config = TeapotConfig()
+    instrumented = TeapotRewriter(config).instrument(spectre_victim_binary)
+    runtime = TeapotRuntime(instrumented, config=config)
+    result = runtime.run(oob_input)
+    assert result.reports, "the OOB input must trigger gadget reports"
+    return instrumented, result.reports
+
+
+def test_shadow_copy_pcs_resolve_to_the_real_function(teapot_reports):
+    instrumented, reports = teapot_reports
+    # Reports fire inside victim$spec; sites must name the real function.
+    assert any(
+        instrumented.function_at(r.pc).name.endswith("$spec") for r in reports
+    )
+    sites = resolve_sites(instrumented, reports)
+    assert sites
+    for site in sites:
+        assert not site.function.endswith("$spec")
+    assert {site.function for site in sites} == {"victim"}
+
+
+def test_sites_locate_memory_instructions_in_the_vanilla_module(
+        spectre_victim_binary, teapot_reports):
+    instrumented, reports = teapot_reports
+    module = disassemble(spectre_victim_binary)
+    for site in resolve_sites(instrumented, reports):
+        located = locate_site(module, site)
+        assert located is not None
+        _, block, index = located
+        instr = block.instructions[index]
+        if site.kind == "load":
+            assert instr.opcode is Opcode.LOAD
+            assert instr.memory_operand() is not None
+
+
+def test_site_keys_are_invariant_across_instrumentation_tools(
+        spectre_victim_binary, teapot_reports, oob_input):
+    """The same gadget maps to the same key under Teapot and SpecFuzz.
+
+    Teapot reports fire in the two-copy Shadow world, SpecFuzz reports in
+    its single-copy guarded world — the architectural-ordinal key must not
+    care which instrumentation produced the PC.
+    """
+    instrumented, reports = teapot_reports
+    teapot_keys = {site.key for site in resolve_sites(instrumented, reports)
+                   if site.kind == "load"}
+
+    sf_config = SpecFuzzConfig()
+    sf_binary = SpecFuzzRewriter(sf_config).instrument(spectre_victim_binary)
+    sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
+    sf_result = sf_runtime.run(oob_input)
+    assert sf_result.reports
+    sf_keys = {site.key for site in resolve_sites(sf_binary, sf_result.reports)}
+
+    assert teapot_keys, "expected at least one load site from teapot"
+    assert teapot_keys <= sf_keys, (
+        "SpecFuzz flags every speculative OOB access, so its site keys must "
+        "cover Teapot's"
+    )
+
+
+def test_unmappable_pc_is_dropped(spectre_victim_binary):
+    resolver = SiteResolver(spectre_victim_binary)
+    assert resolver.resolve_pc(0x1) is None
+
+
+def test_ordinal_translation_tracks_inserted_instructions(
+        spectre_victim_binary):
+    module = disassemble(spectre_victim_binary)
+    snapshot = snapshot_architectural(module)
+
+    victim = module.function("victim")
+    # Insert an architectural instruction near the top of the function;
+    # every later ordinal shifts by one.
+    victim.blocks[0].instructions.insert(1, lfence())
+
+    translation = ordinal_translation(module, snapshot)
+    mapping = translation["victim"]
+    assert mapping[0] == 0
+    # Ordinal 1 is now the inserted fence: absent from the map.
+    assert 1 not in mapping
+    arch_count = sum(1 for i in victim.instructions() if not is_pseudo(i))
+    for new_ordinal in range(2, arch_count):
+        assert mapping[new_ordinal] == new_ordinal - 1
+
+    site = GadgetSite(function="victim", ordinal=5, kind="load")
+    back = translate_site(site, translation)
+    assert back == GadgetSite(function="victim", ordinal=4, kind="load")
+    # A site on the inserted instruction has no original coordinates.
+    assert translate_site(
+        GadgetSite(function="victim", ordinal=1, kind="other"), translation
+    ) is None
