@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The unified facade: detect → patch → verify in one Pipeline chain.
+
+Everything `examples/fuzz_workload.py` and `examples/harden_target.py`
+do with subsystem imports, expressed through `repro.api` alone — plus a
+third-party target plugged in through the registry, to show that new
+workloads need zero core-code changes.
+
+Usage:  python examples/api_pipeline.py [target] [iterations]
+        target defaults to 'gadgets'; iterations to 400.
+
+Equivalent CLI:
+        repro fuzz --target gadgets --iterations 400 --json run.json
+        repro harden --target gadgets --strategy all --iterations 400
+"""
+
+import sys
+
+import repro.api as api
+
+#: A brand-new workload: one Spectre-V1-shaped bounds-checked lookup.
+_PLUGIN_SOURCE = r"""
+int secrets[16];
+
+int main() {
+    byte buf[8];
+    int n = read_input(buf, 8);
+    if (n < 1) {
+        return 0;
+    }
+    int index = buf[0];
+    if (index < 16) {
+        return secrets[index];
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "gadgets"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+
+    # --- one chained run: fuzz, patch, re-fuzz, account -------------------
+    run = (api.pipeline(target=target, seed=1234,
+                        progress=lambda m: print(f"  {m}"))
+           .fuzz(iterations=iterations)
+           .harden("mask")
+           .refuzz()
+           .report())
+    print()
+    print(run.format_summary())
+    hardening = run.hardening_result
+    verdict = ("all reported sites eliminated" if hardening.all_eliminated
+               else f"{len(hardening.residual)} residual site(s)!")
+    print(f"  -> {verdict} at {hardening.overhead:.3f}x overhead\n")
+
+    # --- the artifact round-trips as versioned JSON -----------------------
+    rebuilt = api.RunResult.from_dict(run.to_dict())
+    assert rebuilt.to_dict() == run.to_dict()
+    print(f"RunResult artifact: schema v{run.schema_version}, "
+          f"{len(run.stages)} stages, "
+          f"{len(run.gadget_reports())} gadget reports\n")
+
+    # --- plug in a third-party target and fuzz it the same way ------------
+    api.register_target(api.TargetProgram(
+        name="demo-lookup", source=_PLUGIN_SOURCE, seeds=[b"\x04"],
+        description="example plugin workload"))
+    plugin_run = api.pipeline(target="demo-lookup").fuzz(200).report()
+    found = plugin_run.stage("fuzz").payload["unique_gadgets"]
+    print(f"plugin target 'demo-lookup': {found} gadget site(s) found "
+          f"in 200 executions")
+
+
+if __name__ == "__main__":
+    main()

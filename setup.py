@@ -4,11 +4,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="teapot-repro",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of 'Teapot: Efficiently Uncovering Spectre Gadgets "
-        "in COTS Binaries' (CGO 2025) with campaign-scale fuzzing and "
-        "report-guided hardening"
+        "in COTS Binaries' (CGO 2025) with campaign-scale fuzzing, "
+        "report-guided hardening, and a unified repro.api pipeline facade"
     ),
     license="MIT",
     package_dir={"": "src"},
@@ -16,8 +16,10 @@ setup(
     python_requires=">=3.9",
     entry_points={
         "console_scripts": [
-            "repro-campaign=repro.campaign.cli:main",
-            "repro-harden=repro.hardening.cli:main",
+            "repro=repro.api.cli:main",
+            # Deprecated shims; use `repro campaign` / `repro harden`.
+            "repro-campaign=repro.campaign.cli:deprecated_main",
+            "repro-harden=repro.hardening.cli:deprecated_main",
         ],
     },
     classifiers=[

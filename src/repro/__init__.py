@@ -7,7 +7,18 @@ Teapot rewriter (Speculation Shadows), the SpecFuzz and SpecTaint
 baselines, a coverage-guided fuzzer and the experiment harness that
 regenerates every figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the stable public surface::
+
+    import repro.api as api
+
+    run = (api.pipeline(target="jsmn")
+           .fuzz(iterations=400)
+           .harden("mask")
+           .refuzz()
+           .report())
+    print(run.format_summary())
+
+The low-level toolchain remains importable for experimentation::
 
     from repro import compile_source, TeapotRewriter, TeapotRuntime
 
@@ -40,8 +51,9 @@ from repro.fuzzing import Fuzzer, FuzzTarget
 from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
 from repro.targets import get_target, inject_gadgets, compile_vanilla, runnable_targets
 from repro.campaign import CampaignScheduler, CampaignSpec, run_campaign
+from repro import api
 
-__version__ = "0.2.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "compile_source",
@@ -75,5 +87,6 @@ __all__ = [
     "CampaignScheduler",
     "CampaignSpec",
     "run_campaign",
+    "api",
     "__version__",
 ]

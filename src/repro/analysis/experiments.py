@@ -12,22 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
-from repro.baselines.spectaint import SpecTaintAnalyzer, SpecTaintConfig
-from repro.campaign.scheduler import run_campaign
+import repro.api as api
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.summary import CampaignSummary
 from repro.campaign.worker import instrumented_binary
 from repro.core.config import TeapotConfig
 from repro.core.teapot import TeapotRewriter, TeapotRuntime
 from repro.hardening.passes import STRATEGIES
-from repro.hardening.pipeline import HardeningResult, detect_reports, run_hardening
+from repro.hardening.pipeline import HardeningResult
 from repro.minic.codegen import CompilerOptions, SwitchLowering
 from repro.minic.compiler import compile_source
-from repro.runtime.fastpath import resolve_engine
 from repro.analysis.metrics import DetectionScore, classify_reports
 from repro.targets import get_target
-from repro.targets.injection import InjectedTarget, compile_vanilla, inject_gadgets
+from repro.targets.injection import inject_gadgets
 
 #: SpecTaint's Table 3 numbers as reported in the SpecTaint paper (the
 #: artifact could not be re-run; see paper §7.2 and Appendix B.8.2).
@@ -60,15 +57,6 @@ class RuntimeRow:
         return {tool: round(self.normalized(tool), 1) for tool in self.tool_cycles}
 
 
-def _measure_native(binary, perf_input: bytes, engine: str = "fast") -> int:
-    emulator_cls, _ = resolve_engine(engine)
-    emulator = emulator_cls(binary)
-    result = emulator.run(perf_input)
-    if not result.ok:
-        raise RuntimeError(f"native run failed: {result.status} {result.crash_reason}")
-    return result.cycles
-
-
 def run_figure7(
     programs: Sequence[str] = ("jsmn", "libyaml", "libhtp", "brotli", "openssl"),
     input_size: int = 200,
@@ -80,33 +68,23 @@ def run_figure7(
     Nested speculation and all heuristics are disabled for every tool, as in
     the paper's §7.1 setup.  ``engine`` selects the emulator engine; the
     reported cycle counts are engine-invariant.
+
+    One :meth:`repro.api.Pipeline.bench` stage per program — the facade
+    implements the exact §7.1 measurement, so the rows are bit-identical
+    with the pre-facade harness.
     """
     rows: List[RuntimeRow] = []
     for name in programs:
-        target = get_target(name)
-        binary = compile_vanilla(target)
-        perf_input = target.perf_input(input_size)
-        row = RuntimeRow(program=name,
-                         native_cycles=_measure_native(binary, perf_input, engine))
-
-        if "teapot" in tools:
-            config = TeapotConfig(engine=engine).without_nesting()
-            instrumented = TeapotRewriter(config).instrument(binary)
-            runtime = TeapotRuntime(instrumented, config=config)
-            result = runtime.run(perf_input)
-            row.tool_cycles["teapot"] = result.cycles
-        if "specfuzz" in tools:
-            sf_config = SpecFuzzConfig(engine=engine).without_nesting()
-            sf_binary = SpecFuzzRewriter(sf_config).instrument(binary)
-            sf_runtime = SpecFuzzRuntime(sf_binary, config=sf_config)
-            result = sf_runtime.run(perf_input)
-            row.tool_cycles["specfuzz"] = result.cycles
-        if "spectaint" in tools:
-            st_config = SpecTaintConfig().without_nesting()
-            analyzer = SpecTaintAnalyzer(binary, config=st_config)
-            result = analyzer.run(perf_input)
-            row.tool_cycles["spectaint"] = result.cycles
-        rows.append(row)
+        run = (api.pipeline(target=name, engine=engine)
+               .bench(input_size=input_size,
+                      tools=tuple(t for t in api.BENCH_TOOLS if t in tools))
+               .report())
+        payload = run.stage("bench").payload
+        rows.append(RuntimeRow(
+            program=name,
+            native_cycles=payload["native_cycles"],
+            tool_cycles=dict(payload["tool_cycles"]),
+        ))
     return rows
 
 
@@ -245,7 +223,7 @@ def run_table3(
         skip_uninjectable=False,
         engine=engine,
     )
-    summary = run_campaign(spec)
+    summary = api.pipeline().campaign(spec=spec).report().summary
 
     rows: List[InjectionRow] = []
     for name in programs:
@@ -321,7 +299,7 @@ def run_table4(
         derive_seeds=False,
         engine=engine,
     )
-    summary = run_campaign(spec)
+    summary = api.pipeline().campaign(spec=spec).report().summary
 
     rows: List[VanillaRow] = []
     for name in programs:
@@ -388,29 +366,31 @@ def run_hardening_matrix(
 
     The detection campaign runs once per target; all strategies patch from
     the same report set, so their eliminated/residual/overhead numbers are
-    directly comparable.
+    directly comparable.  Every step goes through the :mod:`repro.api`
+    Pipeline — one ``fuzz`` detection run per target, then one
+    ``reports → harden → refuzz`` chain per strategy — and produces the
+    same :class:`HardeningResult` rows as the classic
+    :func:`repro.hardening.pipeline.run_hardening` entry point.
     """
     rows: List[HardeningRow] = []
     for name in targets:
         row = HardeningRow(target=name, variant=variant)
         # One detection campaign per target; every strategy patches from
         # the same report set so the comparison is apples to apples.
-        reports = detect_reports(
-            name, variant=variant, tool=tool, iterations=iterations,
-            seed=seed, engine=engine,
-        )
+        detection = (api.pipeline(target=name, variant=variant, tool=tool,
+                                  engine=engine, seed=seed)
+                     .fuzz(iterations=iterations)
+                     .report())
+        reports = detection.gadget_reports()
         for strategy in strategies:
-            row.results[strategy] = run_hardening(
-                target=name,
-                strategy=strategy,
-                variant=variant,
-                tool=tool,
-                iterations=iterations,
-                seed=seed,
-                engine=engine,
-                perf_input_size=perf_input_size,
-                reports=reports,
-            )
+            verified = (api.pipeline(target=name, variant=variant, tool=tool,
+                                     engine=engine, seed=seed,
+                                     perf_input_size=perf_input_size)
+                        .reports(reports)
+                        .harden(strategy)
+                        .refuzz(iterations=iterations)
+                        .report())
+            row.results[strategy] = verified.hardening_result
         rows.append(row)
     return rows
 
@@ -436,7 +416,8 @@ def run_matrix(
 
     This is the library-level equivalent of ``python -m repro.campaign``:
     sharded corpora with cross-worker sync every round, report dedup
-    across workers, and optional checkpoint/resume.
+    across workers, and optional checkpoint/resume — routed through the
+    :meth:`repro.api.Pipeline.campaign` stage.
     """
     from repro.targets import runnable_targets
 
@@ -451,4 +432,7 @@ def run_matrix(
         workers=workers,
         engine=engine,
     )
-    return run_campaign(spec, checkpoint_path=checkpoint_path, resume=resume)
+    run = (api.pipeline()
+           .campaign(spec=spec, checkpoint=checkpoint_path, resume=resume)
+           .report())
+    return run.summary

@@ -1,0 +1,221 @@
+"""``repro`` (``python -m repro.api``): the single CLI over the facade.
+
+Subcommands::
+
+    repro fuzz --target jsmn --iterations 400 --json run.json
+    repro campaign --targets all --workers 4 --iterations 200
+    repro harden --target gadgets --strategy mask --iterations 400
+    repro report --in run.json
+    repro bench --target jsmn --input-size 200
+    repro targets --json
+
+``fuzz``, ``report``, ``bench`` and ``targets`` are implemented directly
+over :mod:`repro.api`'s Pipeline builder and :class:`~repro.api.result.
+RunResult` artifact; ``campaign`` and ``harden`` forward to the
+subsystem CLIs (whose standalone ``repro-campaign``/``repro-harden``
+scripts are now deprecated shims of these subcommands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+import repro.api as api
+
+#: Subcommands forwarded verbatim to the subsystem CLIs.
+_FORWARDED = {
+    "campaign": ("repro.campaign.cli",
+                 "run a multi-target fuzzing campaign matrix"),
+    "harden": ("repro.hardening.cli",
+               "detect, patch, and verify one target"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spectre-gadget detection, campaigns, and hardening "
+                    "over one pipeline API (see docs/api.md).",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz one target and write a RunResult artifact")
+    fuzz.add_argument("--target", required=True,
+                      help=f"target ({', '.join(api.target_names())})")
+    fuzz.add_argument("--tool", default="teapot",
+                      help="detector tool (default: teapot)")
+    fuzz.add_argument("--variant", default="vanilla",
+                      help="binary variant (default: vanilla)")
+    fuzz.add_argument("--engine", default="fast",
+                      help=f"emulator engine ({', '.join(api.engine_names())})")
+    fuzz.add_argument("--iterations", type=int, default=400)
+    fuzz.add_argument("--rounds", type=int, default=1)
+    fuzz.add_argument("--shards", type=int, default=1)
+    fuzz.add_argument("--workers", type=int, default=1)
+    fuzz.add_argument("--seed", type=int, default=1234)
+    fuzz.add_argument("--max-input-size", type=int, default=1024)
+    fuzz.add_argument("--checkpoint", metavar="PATH", default=None)
+    fuzz.add_argument("--resume", action="store_true")
+    fuzz.add_argument("--json", metavar="PATH", default=None,
+                      help="write the RunResult artifact ('-' for stdout)")
+    fuzz.add_argument("--quiet", action="store_true")
+
+    for name, (_, help_text) in _FORWARDED.items():
+        fwd = sub.add_parser(name, help=help_text, add_help=False)
+        fwd.add_argument("rest", nargs=argparse.REMAINDER)
+
+    report = sub.add_parser(
+        "report", help="inspect a RunResult artifact written by --json")
+    report.add_argument("--in", dest="path", required=True, metavar="PATH",
+                        help="RunResult JSON file")
+    report.add_argument("--json", action="store_true",
+                        help="re-emit the validated artifact as JSON")
+    report.add_argument("--reports", action="store_true",
+                        help="also list the unique gadget reports")
+
+    bench = sub.add_parser(
+        "bench", help="native-vs-instrumented cycle comparison (Figure 7 "
+                      "methodology)")
+    bench.add_argument("--target", required=True)
+    bench.add_argument("--variant", default="vanilla")
+    bench.add_argument("--engine", default="fast")
+    bench.add_argument("--input-size", type=int, default=200)
+    bench.add_argument("--tools", default=",".join(api.BENCH_TOOLS),
+                       help="comma-separated tools to measure "
+                            f"(default: {','.join(api.BENCH_TOOLS)})")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="write the RunResult artifact ('-' for stdout)")
+    bench.add_argument("--quiet", action="store_true")
+
+    targets = sub.add_parser(
+        "targets", help="list registered targets and capability flags")
+    targets.add_argument("--json", action="store_true",
+                         help="machine-readable listing (runnable/"
+                              "injectable flags)")
+    return parser
+
+
+def _emit_result(run: "api.RunResult", json_arg: Optional[str],
+                 quiet: bool) -> None:
+    """Print the run summary and write the artifact where asked.
+
+    With ``--json -`` the artifact owns stdout and the human summary
+    moves to stderr, so piping stays machine-clean.
+    """
+    if json_arg and json_arg != "-":
+        run.save(json_arg)
+    summary_stream = sys.stderr if json_arg == "-" else sys.stdout
+    if not quiet or json_arg != "-":
+        print(run.format_summary(), file=summary_stream)
+    if json_arg == "-":
+        print(run.to_json())
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (
+        lambda message: print(f"[repro] {message}", file=sys.stderr))
+    try:
+        run = (api.pipeline(
+                   target=args.target, variant=args.variant, tool=args.tool,
+                   engine=args.engine, seed=args.seed, workers=args.workers,
+                   max_input_size=args.max_input_size, progress=progress)
+               .fuzz(iterations=args.iterations, rounds=args.rounds,
+                     shards=args.shards, checkpoint=args.checkpoint,
+                     resume=args.resume)
+               .report())
+    except (api.PipelineError, api.UnknownPluginError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _emit_result(run, args.json, args.quiet)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        run = api.RunResult.load(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load {args.path}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(run.to_json())
+        return 0
+    print(run.format_summary())
+    if args.reports:
+        for report in run.gadget_reports():
+            print(f"  {report.category}  pc={report.pc:#x}  "
+                  f"depth={report.depth}  [{report.tool}]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (
+        lambda message: print(f"[repro] {message}", file=sys.stderr))
+    tools = tuple(t.strip() for t in args.tools.split(",") if t.strip())
+    try:
+        run = (api.pipeline(target=args.target, variant=args.variant,
+                            engine=args.engine, progress=progress)
+               .bench(input_size=args.input_size, tools=tools)
+               .report())
+    except (api.PipelineError, api.UnknownPluginError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _emit_result(run, args.json, args.quiet)
+    if args.json != "-":
+        payload = run.stage("bench").payload
+        for tool, factor in sorted(payload["normalized"].items()):
+            print(f"  {tool}: {factor:.1f}x native")
+    return 0
+
+
+def _cmd_targets(args: argparse.Namespace) -> int:
+    listing = api.target_listing()
+    if args.json:
+        print(json.dumps(listing, indent=1, sort_keys=True))
+        return 0
+    print("registered targets:")
+    for record in listing:
+        flags = ["runnable"]
+        if record["injectable"]:
+            flags.append(f"injectable ({record['attack_points']} attack "
+                         f"points)")
+        description = f"  — {record['description']}" if record["description"] else ""
+        print(f"  {record['name']:<10} [{', '.join(flags)}]{description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The campaign/harden subcommands forward verbatim (including --help)
+    # to the subsystem CLIs, re-branded with the `repro <sub>` prog.
+    if argv and argv[0] in _FORWARDED:
+        module_name, _ = _FORWARDED[argv[0]]
+        module = __import__(module_name, fromlist=["main"])
+        return module.main(argv[1:], prog=f"repro {argv[0]}")
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "fuzz": _cmd_fuzz,
+        "report": _cmd_report,
+        "bench": _cmd_bench,
+        "targets": _cmd_targets,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # The reader went away (`... | head`); any --json artifact is
+        # already on disk, so exit quietly like the campaign CLI does.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

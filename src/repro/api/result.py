@@ -1,0 +1,197 @@
+"""The unified run artifact: one schema for every pipeline outcome.
+
+A :class:`RunResult` is what every :class:`repro.api.Pipeline` run
+returns and what the ``repro`` CLI writes with ``--json``: a versioned,
+JSON-round-trippable record whose stages embed the existing artifact
+formats unchanged — a fuzz stage carries a
+:meth:`repro.fuzzing.fuzzer.CampaignResult.to_dict` record plus the
+campaign group row, a harden/refuzz pair carries the fields of
+:meth:`repro.hardening.pipeline.HardeningResult.to_dict`, a campaign
+stage carries a full :meth:`repro.campaign.summary.CampaignSummary.
+to_dict`, and a bench stage carries a ``BENCH_*.json``-style metrics
+record.  Consumers check ``schema_version`` and ``kind`` before trusting
+a file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sanitizers.reports import GadgetReport
+
+#: Bump on any backwards-incompatible change to the artifact layout.
+SCHEMA_VERSION = 1
+
+#: Artifact type tag written into (and required from) every JSON file.
+RESULT_KIND = "repro.api/run-result"
+
+
+class ResultSchemaError(ValueError):
+    """Raised when a loaded artifact is not a compatible RunResult."""
+
+
+@dataclass
+class StageRecord:
+    """One executed pipeline stage: its kind, label and JSON payload."""
+
+    kind: str
+    label: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "label": self.label,
+                "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "StageRecord":
+        kind = record.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ResultSchemaError(
+                f"stage record without a 'kind' tag: {record!r}")
+        return cls(kind=kind, label=str(record.get("label", "")),
+                   payload=dict(record.get("payload", {})))
+
+
+@dataclass
+class RunResult:
+    """Everything one pipeline run produced, stage by stage.
+
+    ``context`` records the pipeline's identity (target, variant, tool,
+    engine, seed); ``stages`` the executed stages in order.  Runtime-only
+    companions (the live :class:`~repro.campaign.summary.CampaignSummary`,
+    :class:`~repro.hardening.pipeline.HardeningResult` objects, report
+    lists) ride along in non-serialized attributes set by the session.
+    """
+
+    context: Dict[str, object] = field(default_factory=dict)
+    stages: List[StageRecord] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        #: live CampaignSummary of the last fuzz/campaign stage (not
+        #: serialized; ``None`` after ``from_dict``).
+        self.summary = None
+        #: live HardeningResult of the last harden+refuzz pair (not
+        #: serialized; ``None`` after ``from_dict``).
+        self.hardening_result = None
+
+    # -- stage access -------------------------------------------------------
+    def add_stage(self, kind: str, label: str,
+                  payload: Dict[str, object]) -> StageRecord:
+        record = StageRecord(kind=kind, label=label, payload=payload)
+        self.stages.append(record)
+        return record
+
+    def stage(self, kind: str) -> StageRecord:
+        """The last executed stage of one kind (raises ``KeyError``)."""
+        for record in reversed(self.stages):
+            if record.kind == kind:
+                return record
+        raise KeyError(
+            f"no {kind!r} stage in this run; executed: "
+            f"{', '.join(s.kind for s in self.stages) or '(none)'}")
+
+    def has_stage(self, kind: str) -> bool:
+        return any(record.kind == kind for record in self.stages)
+
+    def gadget_reports(self) -> List[GadgetReport]:
+        """The unique gadget reports of the last report-bearing stage."""
+        for record in reversed(self.stages):
+            if "reports" in record.payload:
+                return [GadgetReport.from_dict(r)
+                        for r in record.payload["reports"]]
+        return []
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready form (the on-disk artifact layout)."""
+        return {
+            "kind": RESULT_KIND,
+            "schema_version": self.schema_version,
+            "context": dict(self.context),
+            "stages": [record.to_dict() for record in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            ResultSchemaError: wrong ``kind`` tag or a ``schema_version``
+                newer than this library understands.
+        """
+        if record.get("kind") != RESULT_KIND:
+            raise ResultSchemaError(
+                f"not a {RESULT_KIND} artifact (kind={record.get('kind')!r})")
+        version = int(record.get("schema_version", 0))
+        if version < 1 or version > SCHEMA_VERSION:
+            raise ResultSchemaError(
+                f"unsupported schema_version {version} "
+                f"(this library understands 1..{SCHEMA_VERSION})")
+        return cls(
+            context=dict(record.get("context", {})),
+            stages=[StageRecord.from_dict(s)
+                    for s in record.get("stages", [])],
+            schema_version=version,
+        )
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the artifact as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunResult":
+        """Read an artifact written by :meth:`save` (or ``--json``)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- rendering ----------------------------------------------------------
+    def format_summary(self) -> str:
+        """A short human-readable account of the whole run."""
+        head = " ".join(
+            f"{key}={self.context[key]}"
+            for key in ("target", "variant", "tool", "engine", "seed")
+            if self.context.get(key) is not None
+        )
+        lines = [f"pipeline run: {head or '(campaign matrix)'}"]
+        for record in self.stages:
+            payload = record.payload
+            if record.kind == "fuzz":
+                lines.append(
+                    f"  fuzz: {payload.get('executions', 0)} executions, "
+                    f"{payload.get('unique_gadgets', 0)} unique gadget "
+                    f"sites ({payload.get('raw_reports', 0)} raw)")
+            elif record.kind == "reports":
+                lines.append(f"  reports: {payload.get('count', 0)} "
+                             f"pre-recorded gadget reports")
+            elif record.kind == "harden":
+                lines.append(
+                    f"  harden[{payload.get('strategy')}]: "
+                    f"{payload.get('sites', 0)} sites patched, overhead "
+                    f"{payload.get('overhead', 1.0):.3f}x")
+            elif record.kind == "refuzz":
+                lines.append(
+                    f"  refuzz: {len(payload.get('eliminated', []))} "
+                    f"eliminated, {len(payload.get('residual', []))} "
+                    f"residual, {len(payload.get('new_sites', []))} new")
+            elif record.kind == "campaign":
+                summary = payload.get("summary", {})
+                lines.append(
+                    f"  campaign: {len(summary.get('groups', []))} groups, "
+                    f"{summary.get('rounds_completed', 0)} rounds")
+            elif record.kind == "bench":
+                tools = ", ".join(
+                    f"{tool}={cycles}" for tool, cycles in
+                    sorted(payload.get("tool_cycles", {}).items()))
+                lines.append(
+                    f"  bench: native={payload.get('native_cycles', 0)} "
+                    f"cycles{'; ' + tools if tools else ''}")
+            else:
+                lines.append(f"  {record.kind}: {record.label}")
+        return "\n".join(lines)

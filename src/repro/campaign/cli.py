@@ -41,9 +41,9 @@ def _parse_list(text: str, choices: Sequence[str], what: str) -> List[str]:
     return values
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-campaign",
+        prog=prog,
         description="Parallel multi-target Spectre-gadget fuzzing campaigns.",
     )
     parser.add_argument(
@@ -91,11 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
+def main(argv: Optional[Sequence[str]] = None,
+         prog: str = "repro-campaign") -> int:
+    parser = build_parser(prog=prog)
     args = parser.parse_args(argv)
 
     if args.list_targets:
+        print("note: --list-targets is deprecated; use `repro targets` "
+              "(--json for machine-readable output)", file=sys.stderr)
         injectable = set(injectable_targets())
         print("runnable targets:")
         for name in runnable_targets():
@@ -173,6 +176,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # artifact are already safe on disk, so exit quietly.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+
+
+def deprecated_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the deprecated ``repro-campaign`` console script."""
+    print("repro-campaign is deprecated; use `repro campaign` "
+          "(same arguments) — see docs/api.md", file=sys.stderr)
+    return main(argv)
 
 
 if __name__ == "__main__":

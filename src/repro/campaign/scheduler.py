@@ -28,12 +28,14 @@ from repro.campaign.store import CampaignState, GroupKey
 from repro.campaign.summary import CampaignSummary, summarize
 from repro.campaign.worker import WorkerResult, execute_task
 from repro.fuzzing.corpus import Corpus
+from repro.plugins import SCHEDULER_REGISTRY, register_scheduler
 from repro.targets import get_target
 
 Task = Tuple[JobSpec, Optional[List[bytes]]]
 ProgressFn = Callable[[str], None]
 
 
+@register_scheduler("pool")
 class CampaignScheduler:
     """Runs a whole campaign matrix with corpus sync and checkpointing."""
 
@@ -180,13 +182,35 @@ class CampaignScheduler:
             self._pool = None
 
 
+@register_scheduler("serial")
+class SerialCampaignScheduler(CampaignScheduler):
+    """A scheduler that never creates a process pool.
+
+    Results are identical to :class:`CampaignScheduler` (the pool never
+    affects outcomes, only wall-clock time); this variant exists for
+    sandboxes where ``multiprocessing`` must not even be attempted, and as
+    the smallest possible example of a scheduler plugin.
+    """
+
+    def _ensure_pool(self):
+        return None
+
+
 def run_campaign(
     spec: CampaignSpec,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    scheduler: str = "pool",
 ) -> CampaignSummary:
-    """Convenience wrapper: schedule and run one campaign."""
-    scheduler = CampaignScheduler(spec, checkpoint_path=checkpoint_path,
-                                  progress=progress)
-    return scheduler.run(resume=resume)
+    """Convenience wrapper: schedule and run one campaign.
+
+    ``scheduler`` names a plugin from
+    :data:`repro.plugins.SCHEDULER_REGISTRY` (``"pool"`` — the default
+    multiprocessing scheduler — or ``"serial"``, plus any
+    ``@register_scheduler`` plugin).
+    """
+    scheduler_cls = SCHEDULER_REGISTRY.get(scheduler)
+    runner = scheduler_cls(spec, checkpoint_path=checkpoint_path,
+                           progress=progress)
+    return runner.run(resume=resume)

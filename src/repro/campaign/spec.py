@@ -126,11 +126,12 @@ class CampaignSpec:
             if variant not in VARIANTS:
                 raise ValueError(
                     f"unknown variant {variant!r}; expected one of {VARIANTS}")
-        from repro.runtime.fastpath import ENGINES
+        from repro.runtime.fastpath import engine_names
 
-        if self.engine not in ENGINES:
+        if self.engine not in engine_names():
             raise ValueError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {engine_names()}")
 
     # -- matrix expansion ---------------------------------------------------
     def groups(self) -> List[Tuple[str, str, str]]:

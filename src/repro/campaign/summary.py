@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.campaign.store import CampaignState, group_key_str
+from repro.fuzzing.fuzzer import CampaignResult
 from repro.sanitizers.reports import ReportCollection
 
 
@@ -20,12 +21,14 @@ class GroupSummary:
     crashes: int = 0
     hangs: int = 0
     total_cycles: int = 0
+    total_steps: int = 0
     corpus_size: int = 0
     normal_coverage: int = 0
     speculative_coverage: int = 0
     unique_gadgets: int = 0
     raw_reports: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
+    spec_stats: Dict[str, int] = field(default_factory=dict)
     #: the deduplicated reports themselves (not serialized by ``to_dict``;
     #: the experiment harness classifies them against ground truth).
     collection: ReportCollection = field(default_factory=ReportCollection)
@@ -43,13 +46,38 @@ class GroupSummary:
             "crashes": self.crashes,
             "hangs": self.hangs,
             "total_cycles": self.total_cycles,
+            "total_steps": self.total_steps,
             "corpus_size": self.corpus_size,
             "normal_coverage": self.normal_coverage,
             "speculative_coverage": self.speculative_coverage,
             "unique_gadgets": self.unique_gadgets,
             "raw_reports": self.raw_reports,
             "by_category": dict(sorted(self.by_category.items())),
+            "spec_stats": dict(sorted(self.spec_stats.items())),
         }
+
+    def as_campaign_result(self) -> CampaignResult:
+        """This group's outcome as a :class:`~repro.fuzzing.fuzzer.
+        CampaignResult` — the same aggregate a single in-process
+        :meth:`Fuzzer.run_chunk` loop would have produced, so campaign and
+        plain-fuzzer outputs share one serialization (``to_dict``).  The
+        report collection is copied, so merging into the result never
+        mutates this summary."""
+        reports = ReportCollection()
+        reports.extend(self.collection)
+        reports.total_raw = self.collection.total_raw
+        return CampaignResult(
+            executions=self.executions,
+            total_cycles=self.total_cycles,
+            total_steps=self.total_steps,
+            crashes=self.crashes,
+            hangs=self.hangs,
+            corpus_size=self.corpus_size,
+            normal_coverage=self.normal_coverage,
+            speculative_coverage=self.speculative_coverage,
+            reports=reports,
+            spec_stats=dict(self.spec_stats),
+        )
 
 
 @dataclass
@@ -133,12 +161,14 @@ def summarize(state: CampaignState) -> CampaignSummary:
             crashes=stats.crashes,
             hangs=stats.hangs,
             total_cycles=stats.total_cycles,
+            total_steps=stats.total_steps,
             corpus_size=len(corpus) if corpus is not None else 0,
             normal_coverage=stats.normal_coverage,
             speculative_coverage=stats.speculative_coverage,
             unique_gadgets=len(collection),
             raw_reports=collection.total_raw,
             by_category=collection.count_by_category(),
+            spec_stats=dict(stats.spec_stats),
             collection=collection,
         ))
     return summary

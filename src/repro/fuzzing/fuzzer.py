@@ -108,6 +108,45 @@ class CampaignResult:
         for key, value in other.spec_stats.items():
             self.spec_stats[key] = self.spec_stats.get(key, 0) + value
 
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready form (mirrors ``ExecutionResult``'s fields the
+        way ``Corpus``/``GadgetReport`` serialize theirs), so campaign
+        artifacts — e.g. :class:`repro.api.RunResult` — can embed a whole
+        fuzzing outcome without bespoke glue."""
+        return {
+            "executions": self.executions,
+            "total_cycles": self.total_cycles,
+            "total_steps": self.total_steps,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "corpus_size": self.corpus_size,
+            "normal_coverage": self.normal_coverage,
+            "speculative_coverage": self.speculative_coverage,
+            "spec_stats": dict(sorted(self.spec_stats.items())),
+            "reports": self.reports.to_dicts(),
+            "raw_reports": self.reports.total_raw,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a result from :meth:`to_dict` output (exact round-trip)."""
+        return cls(
+            executions=int(record.get("executions", 0)),
+            total_cycles=int(record.get("total_cycles", 0)),
+            total_steps=int(record.get("total_steps", 0)),
+            crashes=int(record.get("crashes", 0)),
+            hangs=int(record.get("hangs", 0)),
+            corpus_size=int(record.get("corpus_size", 0)),
+            normal_coverage=int(record.get("normal_coverage", 0)),
+            speculative_coverage=int(record.get("speculative_coverage", 0)),
+            reports=ReportCollection.from_dicts(
+                record.get("reports", []),
+                total_raw=int(record.get("raw_reports", 0)),
+            ),
+            spec_stats={str(k): int(v)
+                        for k, v in record.get("spec_stats", {}).items()},
+        )
+
 
 class Fuzzer:
     """Deterministic coverage-guided fuzzer."""

@@ -17,14 +17,19 @@ from repro.hardening.passes import (
     FenceAtSitePass,
     HardeningError,
     MaskLoadPass,
+    strategy_names,
     strategy_pass,
 )
 from repro.hardening.pipeline import (
     HardeningResult,
+    PatchOutcome,
+    VerifyOutcome,
     detect_reports,
     harden_module,
     measure_cycles,
+    patch_binary,
     run_hardening,
+    verify_patch,
 )
 from repro.hardening.sites import (
     GadgetSite,
@@ -41,12 +46,17 @@ __all__ = [
     "FenceAtSitePass",
     "HardeningError",
     "MaskLoadPass",
+    "strategy_names",
     "strategy_pass",
     "HardeningResult",
+    "PatchOutcome",
+    "VerifyOutcome",
     "detect_reports",
     "harden_module",
     "measure_cycles",
+    "patch_binary",
     "run_hardening",
+    "verify_patch",
     "GadgetSite",
     "SiteResolver",
     "locate_site",

@@ -22,7 +22,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.campaign.spec import TOOLS, VARIANTS
-from repro.hardening.passes import STRATEGIES
+from repro.hardening.passes import STRATEGIES, strategy_names
 from repro.hardening.pipeline import detect_reports, run_hardening
 from repro.sanitizers.reports import GadgetReport
 from repro.targets import runnable_targets
@@ -44,17 +44,18 @@ def load_reports(path: str) -> List[GadgetReport]:
     return [GadgetReport.from_dict(record) for record in payload]
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser(prog: str = "repro-harden") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-harden",
+        prog=prog,
         description="Report-guided mitigation synthesis with re-fuzz "
                     "verification and cycle-overhead accounting.",
     )
     parser.add_argument("--target", required=True,
                         help=f"target to harden ({', '.join(runnable_targets())})")
     parser.add_argument("--strategy", default="fence",
-                        help=f"mitigation strategy ({', '.join(STRATEGIES)}) "
-                             "or 'all' to compare every strategy")
+                        help="mitigation strategy "
+                             f"({', '.join(strategy_names())}) or 'all' to "
+                             "compare the built-in strategies")
     parser.add_argument("--variant", choices=VARIANTS, default="vanilla",
                         help="binary variant to fuzz and patch "
                              "(default: vanilla)")
@@ -83,8 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
+def main(argv: Optional[Sequence[str]] = None,
+         prog: str = "repro-harden") -> int:
+    parser = build_parser(prog=prog)
     args = parser.parse_args(argv)
 
     if args.target not in runnable_targets():
@@ -92,11 +94,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"choose from {', '.join(runnable_targets())}")
     if args.strategy == "all":
         strategies: Sequence[str] = STRATEGIES
-    elif args.strategy in STRATEGIES:
+    elif args.strategy in strategy_names():
+        # The registry includes third-party ``@register_pass`` plugins.
         strategies = (args.strategy,)
     else:
         parser.error(f"unknown strategy {args.strategy!r}; "
-                     f"choose from {', '.join(STRATEGIES + ('all',))}")
+                     f"choose from {', '.join(strategy_names())} or 'all'")
 
     reports = None
     if args.report_in:
@@ -162,6 +165,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # gate on "the patches actually worked".
     failed = any(result.residual for result in results)
     return 1 if failed else 0
+
+
+def deprecated_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the deprecated ``repro-harden`` console script."""
+    print("repro-harden is deprecated; use `repro harden` "
+          "(same arguments) — see docs/api.md", file=sys.stderr)
+    return main(argv)
 
 
 if __name__ == "__main__":

@@ -52,13 +52,21 @@ from repro.isa.instructions import (
 from repro.isa.operands import Imm, Label, Mem, Reg
 from repro.isa.registers import Register
 from repro.loader.binary_format import DataObject
+from repro.plugins import PASS_REGISTRY, UnknownPluginError, register_pass
 from repro.rewriting.passes import RewritePass
 
 #: Name of the speculation predicate slot :class:`MaskLoadPass` allocates.
 PRED_SYMBOL = "__slh_pred__"
 
-#: The three mitigation strategies, in CLI/matrix order.
+#: The three built-in mitigation strategies, in CLI/matrix order.  The
+#: full (built-in + plugin) set lives in
+#: :data:`repro.plugins.PASS_REGISTRY`; see :func:`strategy_names`.
 STRATEGIES = ("fence", "mask", "fence-all")
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """Every registered strategy name (built-ins plus ``@register_pass``)."""
+    return tuple(PASS_REGISTRY.names())
 
 #: Condition codes the mask builder can re-materialise branchlessly.
 #: ``(x, y, complement)``: mask = all-ones iff ``x < y`` (signed,
@@ -77,16 +85,18 @@ class HardeningError(RuntimeError):
 
 
 def strategy_pass(strategy: str, sites: Sequence[GadgetSite] = ()) -> RewritePass:
-    """Instantiate the pass implementing a named strategy."""
-    if strategy == "fence":
-        return FenceAtSitePass(sites)
-    if strategy == "mask":
-        return MaskLoadPass(sites)
-    if strategy == "fence-all":
-        return FenceAllBranchesPass()
-    raise HardeningError(
-        f"unknown hardening strategy {strategy!r}; expected one of {STRATEGIES}"
-    )
+    """Instantiate the pass implementing a named strategy.
+
+    Strategies are plugins: the factory registered under ``strategy`` in
+    :data:`repro.plugins.PASS_REGISTRY` is called with the gadget-site
+    sequence.  Unknown names raise :class:`HardeningError` listing every
+    registered strategy.
+    """
+    try:
+        factory = PASS_REGISTRY.get(strategy)
+    except UnknownPluginError as error:
+        raise HardeningError(str(error)) from None
+    return factory(sites)
 
 
 def _fence(note: str) -> Instruction:
@@ -147,6 +157,7 @@ class _SiteTargetedPass(RewritePass):
         block.instructions[index:index] = sequence
 
 
+@register_pass("fence")
 class FenceAtSitePass(_SiteTargetedPass):
     """Insert an ``lfence`` directly ahead of each reported gadget site."""
 
@@ -162,10 +173,16 @@ class FenceAtSitePass(_SiteTargetedPass):
             self.site_outcomes[site] = "fenced"
 
 
+@register_pass("fence-all")
 class FenceAllBranchesPass(RewritePass):
     """Fence the top of both successors of every conditional branch."""
 
     name = "fence-all-branches"
+
+    def __init__(self, sites: Sequence[GadgetSite] = ()) -> None:
+        # The baseline ignores the reported sites (it fences everything);
+        # accepting them keeps every strategy factory call-compatible.
+        super().__init__()
 
     def run(self, module: Module) -> None:
         for func in module.functions:
@@ -191,6 +208,7 @@ class FenceAllBranchesPass(RewritePass):
                     self.bump("fences_inserted")
 
 
+@register_pass("mask")
 class MaskLoadPass(_SiteTargetedPass):
     """SLH-style masking of reported loads under a speculation predicate.
 

@@ -95,6 +95,112 @@ def _site_dict(site: GadgetSite,
 
 
 @dataclass
+class PatchOutcome:
+    """The product of the patch step: a hardened binary plus bookkeeping.
+
+    Produced by :func:`patch_binary` and consumed by :func:`verify_patch`;
+    :func:`run_hardening` and the :mod:`repro.api` pipeline both build
+    their results from this pair, so the two entry points cannot drift.
+    """
+
+    target: str
+    variant: str
+    tool: str
+    strategy: str
+    #: per-site report lists keyed by resolved gadget site.
+    site_reports: Dict[GadgetSite, List[GadgetReport]]
+    #: per-site mitigation outcome ("fenced", "masked", ...).
+    outcomes: Dict[GadgetSite, str]
+    #: hardened-ordinal -> original-ordinal translation per function.
+    translation: Dict[str, Dict[int, int]]
+    #: per-pass rewriting statistics.
+    pass_stats: Dict[str, Dict[str, int]]
+    base_binary: TelfBinary
+    hardened: TelfBinary
+
+    @property
+    def sites_before(self) -> List[Dict[str, object]]:
+        """JSON records of the pre-hardening sites, in stable order."""
+        return [
+            _site_dict(site, self.site_reports[site], self.outcomes.get(site))
+            for site in sorted(self.site_reports,
+                               key=lambda s: (s.function, s.ordinal))
+        ]
+
+
+@dataclass
+class VerifyOutcome:
+    """The product of the re-fuzz verification of one hardened binary."""
+
+    eliminated: List[Dict[str, object]] = field(default_factory=list)
+    residual: List[Dict[str, object]] = field(default_factory=list)
+    new_sites: List[Dict[str, object]] = field(default_factory=list)
+    executions: int = 0
+
+
+def patch_binary(target: str, strategy: str, variant: str = "vanilla",
+                 tool: str = "teapot",
+                 reports: Iterable[GadgetReport] = ()) -> PatchOutcome:
+    """Map reports to sites and synthesise one strategy's hardened binary.
+
+    The report PCs must refer to the deterministic instrumented build of
+    the same (target, tool, variant) — which is what every campaign
+    fuzzes.
+    """
+    instrumented = instrumented_binary(target, tool, variant)
+    site_reports = resolve_sites(instrumented, reports)
+    base_binary = compiled_binary(target, variant)
+    module = disassemble(base_binary)
+    stats, outcomes, translation = harden_module(
+        module, strategy, site_reports.keys()
+    )
+    return PatchOutcome(
+        target=target, variant=variant, tool=tool, strategy=strategy,
+        site_reports=site_reports, outcomes=outcomes,
+        translation=translation, pass_stats=stats,
+        base_binary=base_binary, hardened=reassemble(module),
+    )
+
+
+def verify_patch(patch: PatchOutcome, spec: CampaignSpec,
+                 scheduler: str = "pool") -> VerifyOutcome:
+    """Re-fuzz a hardened binary and classify every baseline site.
+
+    Substitutes the hardened binary for the target's compiled build
+    (``binary_override``), re-runs the campaign described by ``spec``
+    (through the named scheduler plugin) and sorts the baseline sites
+    into eliminated/residual — plus any new sites the re-fuzz surfaced
+    (ordinal-translated back where possible).
+    """
+    with binary_override(patch.target, patch.variant, patch.hardened):
+        verification = run_campaign(spec, scheduler=scheduler)
+        verify_instrumented = instrumented_binary(
+            patch.target, patch.tool, patch.variant)
+    verify_row = verification.row(patch.target, patch.tool, patch.variant)
+    verify_sites = resolve_sites(verify_instrumented, verify_row.collection)
+    outcome = VerifyOutcome(executions=verify_row.executions)
+
+    baseline_keys = {site.key for site in patch.site_reports}
+    surviving_keys = set()
+    for site, site_hits in verify_sites.items():
+        original = translate_site(site, patch.translation)
+        if original is not None and original.key in baseline_keys:
+            surviving_keys.add(original.key)
+        else:
+            record = _site_dict(site, site_hits)
+            if original is not None:
+                record["original_ordinal"] = original.ordinal
+            outcome.new_sites.append(record)
+    for record in patch.sites_before:
+        key = (record["function"], record["ordinal"])
+        if key in surviving_keys:
+            outcome.residual.append(record)
+        else:
+            outcome.eliminated.append(record)
+    return outcome
+
+
+@dataclass
 class HardeningResult:
     """Everything one detect → patch → verify run produced."""
 
@@ -247,55 +353,27 @@ def run_hardening(
     else:
         collection = list(reports)
 
-    # 2. Map.
-    instrumented = instrumented_binary(target, tool, variant)
-    site_reports = resolve_sites(instrumented, collection)
-    note(f"{len(site_reports)} unique gadget sites to harden")
-
-    # 3. Patch.
-    base_binary = compiled_binary(target, variant)
-    module = disassemble(base_binary)
-    stats, outcomes, translation = harden_module(
-        module, strategy, site_reports.keys()
-    )
-    result.pass_stats = stats
-    hardened = reassemble(module)
-    result.sites_before = [
-        _site_dict(site, site_reports[site], outcomes.get(site))
-        for site in sorted(site_reports, key=lambda s: (s.function, s.ordinal))
-    ]
+    # 2+3. Map and patch.
+    patch = patch_binary(target, strategy, variant=variant, tool=tool,
+                         reports=collection)
+    result.pass_stats = patch.pass_stats
+    result.sites_before = patch.sites_before
+    note(f"{len(patch.site_reports)} unique gadget sites to harden")
 
     # 4. Verify.
     note(f"re-fuzzing hardened binary ({strategy})")
-    with binary_override(target, variant, hardened):
-        verification = run_campaign(spec)
-        verify_instrumented = instrumented_binary(target, tool, variant)
-    verify_row = verification.row(target, tool, variant)
-    result.verify_executions = verify_row.executions
-    verify_sites = resolve_sites(verify_instrumented, verify_row.collection)
-
-    baseline_keys = {site.key for site in site_reports}
-    surviving_keys = set()
-    for site, site_hits in verify_sites.items():
-        original = translate_site(site, translation)
-        if original is not None and original.key in baseline_keys:
-            surviving_keys.add(original.key)
-        else:
-            record = _site_dict(site, site_hits)
-            if original is not None:
-                record["original_ordinal"] = original.ordinal
-            result.new_sites.append(record)
-    for record in result.sites_before:
-        key = (record["function"], record["ordinal"])
-        if key in surviving_keys:
-            result.residual.append(record)
-        else:
-            result.eliminated.append(record)
+    verification = verify_patch(patch, spec)
+    result.verify_executions = verification.executions
+    result.eliminated = verification.eliminated
+    result.residual = verification.residual
+    result.new_sites = verification.new_sites
 
     # 5. Account.
     perf_input = get_target(target).perf_input(perf_input_size)
-    result.native_cycles = measure_cycles(base_binary, perf_input, engine)
-    result.hardened_cycles = measure_cycles(hardened, perf_input, engine)
+    result.native_cycles = measure_cycles(patch.base_binary, perf_input,
+                                          engine)
+    result.hardened_cycles = measure_cycles(patch.hardened, perf_input,
+                                            engine)
     note(f"overhead {result.overhead:.3f}x, "
          f"{len(result.eliminated)}/{len(result.sites_before)} sites eliminated")
     return result

@@ -51,6 +51,7 @@ from repro.runtime.errors import (
     ProgramCrash,
     ProgramExit,
 )
+from repro.plugins import ENGINE_REGISTRY, register_engine
 from repro.runtime.machine import MASK64, to_signed, to_unsigned
 from repro.sanitizers.dift import ALL_TAGS
 
@@ -364,8 +365,15 @@ def _write_tag_range(d, m, addr: int, size: int, tag: int, flip: int) -> None:
         page[page_off] = tag
 
 
-#: Engine names accepted by ``resolve_engine`` (and every ``engine=`` knob).
-ENGINES = ("fast", "legacy")
+def engine_names():
+    """Every name accepted by ``resolve_engine`` and the ``engine=`` knobs.
+
+    Engines live in the :data:`repro.plugins.ENGINE_REGISTRY` plugin
+    registry; this module registers the two built-ins (``fast``,
+    ``legacy``) at the bottom and third-party engines join via
+    ``@repro.api.register_engine``.
+    """
+    return tuple(ENGINE_REGISTRY.names())
 
 
 def resolve_engine(name: str):
@@ -375,18 +383,10 @@ def resolve_engine(name: str):
     copy-on-write :class:`~repro.runtime.speculation.JournalingSpeculationController`;
     ``"legacy"`` pairs the generic :class:`~repro.runtime.emulator.Emulator`
     with the snapshot
-    :class:`~repro.runtime.speculation.SpeculationController`.
+    :class:`~repro.runtime.speculation.SpeculationController`.  Additional
+    engines come from the plugin registry (``@register_engine``).
     """
-    from repro.runtime.speculation import (
-        JournalingSpeculationController,
-        SpeculationController,
-    )
-
-    if name == "fast":
-        return FastEmulator, JournalingSpeculationController
-    if name == "legacy":
-        return Emulator, SpeculationController
-    raise ValueError(f"unknown emulator engine {name!r}; expected one of {ENGINES}")
+    return ENGINE_REGISTRY.get(name)()
 
 
 class FastEmulator(Emulator):
@@ -1341,3 +1341,23 @@ class FastEmulator(Emulator):
         result.cycles = cyc[0]
         result.arch_instructions = arc[0]
         return result
+
+
+# ---------------------------------------------------------------------------
+# Engine registrations (the built-in plugins behind ``engine="..."`` knobs)
+# ---------------------------------------------------------------------------
+
+@register_engine("fast")
+def _fast_engine_plugin():
+    """Decoded-trace dispatch paired with copy-on-write journal rollback."""
+    from repro.runtime.speculation import JournalingSpeculationController
+
+    return FastEmulator, JournalingSpeculationController
+
+
+@register_engine("legacy")
+def _legacy_engine_plugin():
+    """The generic reference interpreter with full-snapshot checkpoints."""
+    from repro.runtime.speculation import SpeculationController
+
+    return Emulator, SpeculationController

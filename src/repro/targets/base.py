@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.loader.binary_format import TelfBinary
 from repro.minic.codegen import CompilerOptions, SwitchLowering
 from repro.minic.compiler import compile_source
+from repro.plugins import PluginRegistry
 
 
 @dataclass
@@ -56,34 +57,22 @@ class TargetProgram:
         return f"/*@ATTACK_POINT:{marker_id}@*/"
 
 
-class TargetRegistry:
-    """Registry of the evaluation's workload programs."""
+class TargetRegistry(PluginRegistry):
+    """Registry of the evaluation's workload programs.
+
+    A :class:`~repro.plugins.PluginRegistry` keyed by ``target.name`` —
+    duplicate registrations raise, unknown lookups raise an error listing
+    every registered target, and third-party workloads plug in through
+    :func:`repro.plugins.register_target` (re-exported by ``repro.api``).
+    """
 
     def __init__(self) -> None:
-        self._targets: Dict[str, TargetProgram] = {}
+        super().__init__("target")
 
-    def register(self, target: TargetProgram) -> TargetProgram:
+    def register(self, target: TargetProgram,
+                 replace: bool = False) -> TargetProgram:
         """Register a target (used by the per-target modules at import time)."""
-        if target.name in self._targets:
-            raise ValueError(f"target {target.name!r} already registered")
-        self._targets[target.name] = target
-        return target
-
-    def get(self, name: str) -> TargetProgram:
-        """Look up a target by name.
-
-        Raises:
-            KeyError: if no target has that name.
-        """
-        if name not in self._targets:
-            raise KeyError(
-                f"unknown target {name!r}; available: {', '.join(self.names())}"
-            )
-        return self._targets[name]
-
-    def names(self) -> List[str]:
-        """Registered target names, sorted."""
-        return sorted(self._targets)
+        return super().register(target.name, target, replace=replace)
 
 
 #: The global registry populated by importing :mod:`repro.targets`.

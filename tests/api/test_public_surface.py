@@ -1,0 +1,64 @@
+"""Pin the public surface of ``repro.api``.
+
+The CI ``api-surface`` job runs this module; a drifted ``__all__`` —
+something added, removed or renamed — must fail here first, so surface
+changes are always deliberate and reviewed.  Update ``EXPECTED_SURFACE``
+together with ``docs/api.md`` when the facade intentionally grows.
+"""
+
+import repro.api
+
+EXPECTED_SURFACE = sorted([
+    # pipeline builder
+    "BENCH_TOOLS",
+    "Pipeline",
+    "PipelineError",
+    "Session",
+    "pipeline",
+    # run artifact
+    "RESULT_KIND",
+    "SCHEMA_VERSION",
+    "ResultSchemaError",
+    "RunResult",
+    "StageRecord",
+    # plugin registries
+    "ENGINE_REGISTRY",
+    "PASS_REGISTRY",
+    "SCHEDULER_REGISTRY",
+    "DuplicatePluginError",
+    "PluginError",
+    "PluginRegistry",
+    "UnknownPluginError",
+    "engine_names",
+    "register_engine",
+    "register_pass",
+    "register_scheduler",
+    "register_target",
+    "scheduler_names",
+    "strategy_names",
+    "target_names",
+    "target_registry",
+    "target_listing",
+    # building blocks a plugin author needs
+    "AttackPoint",
+    "CampaignSpec",
+    "GadgetReport",
+    "HardeningResult",
+    "TargetProgram",
+])
+
+
+def test_public_surface_matches_snapshot():
+    assert sorted(repro.api.__all__) == EXPECTED_SURFACE
+
+
+def test_every_exported_name_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None, name
+
+
+def test_schema_version_is_pinned():
+    # Bumping the artifact schema is a compatibility event: update the
+    # loader's accepted range and docs/api.md alongside this constant.
+    assert repro.api.SCHEMA_VERSION == 1
+    assert repro.api.RESULT_KIND == "repro.api/run-result"
