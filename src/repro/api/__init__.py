@@ -48,6 +48,7 @@ from repro.campaign.spec import CampaignSpec
 from repro.hardening.pipeline import HardeningResult
 from repro.plugins import (
     ENGINE_REGISTRY,
+    MODEL_REGISTRY,
     PASS_REGISTRY,
     SCHEDULER_REGISTRY,
     DuplicatePluginError,
@@ -55,7 +56,9 @@ from repro.plugins import (
     PluginRegistry,
     UnknownPluginError,
     engine_names,
+    model_names,
     register_engine,
+    register_model,
     register_pass,
     register_scheduler,
     register_target,
@@ -65,6 +68,7 @@ from repro.plugins import (
     target_registry,
 )
 from repro.sanitizers.reports import GadgetReport
+from repro.specmodels import SpeculationModel
 from repro.targets.base import AttackPoint, TargetProgram
 
 
@@ -72,8 +76,9 @@ def target_listing() -> List[Dict[str, object]]:
     """Machine-readable listing of every registered target.
 
     One record per target with its capability flags — ``runnable``
-    (campaigns can fuzz it) and ``injectable`` (supports the Table-3
-    ``injected`` variant) — which is what ``repro targets --json``
+    (campaigns can fuzz it), ``injectable`` (supports the Table-3
+    ``injected`` variant) and ``variants`` (the speculation variants with
+    known planted gadgets) — which is what ``repro targets --json``
     prints.
     """
     registry = target_registry()
@@ -86,6 +91,7 @@ def target_listing() -> List[Dict[str, object]]:
             "injectable": bool(target.attack_points),
             "attack_points": len(target.attack_points),
             "seeds": len(target.seeds),
+            "variants": sorted(target.variants),
             "description": target.description,
         })
     return records
@@ -106,6 +112,7 @@ __all__ = [
     "StageRecord",
     # plugin registries
     "ENGINE_REGISTRY",
+    "MODEL_REGISTRY",
     "PASS_REGISTRY",
     "SCHEDULER_REGISTRY",
     "DuplicatePluginError",
@@ -113,7 +120,9 @@ __all__ = [
     "PluginRegistry",
     "UnknownPluginError",
     "engine_names",
+    "model_names",
     "register_engine",
+    "register_model",
     "register_pass",
     "register_scheduler",
     "register_target",
@@ -127,5 +136,6 @@ __all__ = [
     "CampaignSpec",
     "GadgetReport",
     "HardeningResult",
+    "SpeculationModel",
     "TargetProgram",
 ]

@@ -53,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="binary variant (default: vanilla)")
     fuzz.add_argument("--engine", default="fast",
                       help=f"emulator engine ({', '.join(api.engine_names())})")
+    fuzz.add_argument("--variants", default="pht",
+                      help="comma-separated speculation variants to simulate "
+                           f"({', '.join(api.model_names())}; default: pht)")
     fuzz.add_argument("--iterations", type=int, default=400)
     fuzz.add_argument("--rounds", type=int, default=1)
     fuzz.add_argument("--shards", type=int, default=1)
@@ -119,11 +122,14 @@ def _emit_result(run: "api.RunResult", json_arg: Optional[str],
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     progress = None if args.quiet else (
         lambda message: print(f"[repro] {message}", file=sys.stderr))
+    spec_variants = tuple(
+        item.strip() for item in args.variants.split(",") if item.strip())
     try:
         run = (api.pipeline(
                    target=args.target, variant=args.variant, tool=args.tool,
                    engine=args.engine, seed=args.seed, workers=args.workers,
                    max_input_size=args.max_input_size, progress=progress)
+               .variants(*spec_variants)
                .fuzz(iterations=args.iterations, rounds=args.rounds,
                      shards=args.shards, checkpoint=args.checkpoint,
                      resume=args.resume)

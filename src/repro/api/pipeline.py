@@ -47,6 +47,7 @@ from repro.hardening.pipeline import (
 from repro.plugins import (
     SCHEDULER_REGISTRY,
     engine_names,
+    model_names,
     strategy_names,
     target_registry,
 )
@@ -127,6 +128,7 @@ class Pipeline:
         self._perf_input_size = perf_input_size
         self._progress: ProgressFn = progress or (lambda message: None)
         self._stages: List[_Stage] = []
+        self._spec_variants: Tuple[str, ...] = ("pht",)
         if target is not None:
             self.target(target)
         self.variant(variant)
@@ -163,6 +165,24 @@ class Pipeline:
                 f"unknown emulator engine {name!r}; "
                 f"available: {', '.join(engine_names())}")
         self._engine = name
+        return self
+
+    def variants(self, *names: str) -> "Pipeline":
+        """Select the speculation variants to simulate.
+
+        Each name is a registered speculation model (``pht``, ``btb``,
+        ``rsb``, ``stl``, or an ``@register_model`` plugin); fuzz/refuzz
+        stages fan their campaign over every listed variant and reports
+        stay attributed per variant.
+        """
+        if not names:
+            raise PipelineError("variants() needs at least one model name")
+        for name in names:
+            if name not in model_names():
+                raise PipelineError(
+                    f"unknown speculation variant {name!r}; "
+                    f"available: {', '.join(model_names())}")
+        self._spec_variants = tuple(names)
         return self
 
     def seed(self, value: int) -> "Pipeline":
@@ -280,6 +300,7 @@ class Pipeline:
                 max_input_size=self._max_input_size,
                 workers=self._workers,
                 engine=self._engine,
+                spec_variants=self._spec_variants,
             )
         self._stages.append(_Stage("campaign", {
             "spec": spec, "checkpoint": checkpoint, "resume": bool(resume),
@@ -343,6 +364,7 @@ class Session:
             "seed": builder._seed,
             "workers": builder._workers,
             "perf_input_size": builder._perf_input_size,
+            "spec_variants": list(builder._spec_variants),
         })
         #: gadget reports available to a harden stage.
         self._reports: Optional[List[GadgetReport]] = None
@@ -385,6 +407,7 @@ class Session:
             workers=b._workers,
             engine=b._engine,
             skip_uninjectable=False,
+            spec_variants=b._spec_variants,
         )
 
     def _run_fuzz(self, iterations: int, rounds: int, shards: int,
@@ -409,6 +432,7 @@ class Session:
             "fingerprint": summary.fingerprint,
             "unique_gadgets": row.unique_gadgets,
             "by_category": dict(sorted(row.by_category.items())),
+            "by_variant": dict(sorted(row.by_variant.items())),
         })
         self.result.add_stage("fuzz", f"{b._target}/{b._tool}", payload)
 

@@ -24,7 +24,7 @@ lowering options instead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import TeapotConfig
 from repro.core.trampolines import TrampolinePass
@@ -68,6 +68,9 @@ class SpecFuzzConfig:
     max_steps: int = 5_000_000
     #: emulator engine ("fast" or "legacy"); results are engine-invariant.
     engine: str = "fast"
+    #: speculation variants to simulate.  The real SpecFuzz is PHT-only;
+    #: the model subsystem extends the baseline past the original tool.
+    variants: Tuple[str, ...] = ("pht",)
 
     def without_nesting(self) -> "SpecFuzzConfig":
         """Copy with nested speculation disabled (for the §7.1 comparison)."""
@@ -79,6 +82,12 @@ class SpecFuzzConfig:
         """A copy of this configuration running on a different engine."""
         copy = SpecFuzzConfig(**self.__dict__)
         copy.engine = engine
+        return copy
+
+    def with_variants(self, *variants: str) -> "SpecFuzzConfig":
+        """A copy of this configuration simulating different variants."""
+        copy = SpecFuzzConfig(**self.__dict__)
+        copy.variants = tuple(variants)
         return copy
 
 
@@ -204,6 +213,12 @@ class SpecFuzzRuntime:
         self.controller = controller_cls(policy, rob_budget=self.config.rob_budget)
         self.detection_policy = SpecFuzzPolicy()
         self.coverage = CoverageRuntime()
+        if tuple(self.config.variants) == ("pht",):
+            self.spec_models = None
+        else:
+            from repro.specmodels import build_models
+
+            self.spec_models = build_models(self.config.variants)
         self.emulator = emulator_cls(
             self.binary,
             externals=self.externals,
@@ -212,6 +227,7 @@ class SpecFuzzRuntime:
             policy=self.detection_policy,
             coverage=self.coverage,
             max_steps=self.config.max_steps,
+            spec_models=self.spec_models,
         )
 
     def run(self, input_data: bytes, argv=None) -> ExecutionResult:
@@ -228,6 +244,15 @@ class SpecFuzzRuntime:
         return SpecFuzzRuntime(
             self.binary,
             config=self.config.with_engine(engine),
+            externals=self.externals,
+            cost_model=self.cost_model,
+        )
+
+    def with_variants(self, *variants: str) -> "SpecFuzzRuntime":
+        """A fresh runtime simulating a different speculation-variant set."""
+        return SpecFuzzRuntime(
+            self.binary,
+            config=self.config.with_variants(*variants),
             externals=self.externals,
             cost_model=self.cost_model,
         )

@@ -62,6 +62,10 @@ def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
         help=f"comma-separated binary variants ({', '.join(VARIANTS)}); "
              "'injected' reproduces the Table 3 build and is skipped for "
              "targets without attack points")
+    parser.add_argument(
+        "--spec-variants", default="pht",
+        help="comma-separated speculation variants to simulate (pht, btb, "
+             "rsb, stl, or any registered model; default: pht)")
     parser.add_argument("--iterations", type=int, default=200,
                         help="total executions per (target, tool, variant) "
                              "group (default: 200)")
@@ -113,6 +117,10 @@ def main(argv: Optional[Sequence[str]] = None,
             targets = _parse_list(args.targets, runnable_targets(), "target")
         tools = _parse_list(args.tools, TOOLS, "tool")
         variants = _parse_list(args.variants, VARIANTS, "variant")
+        from repro.plugins import model_names
+
+        spec_variants = _parse_list(args.spec_variants, model_names(),
+                                    "speculation variant")
     except argparse.ArgumentTypeError as error:
         parser.error(str(error))
     shards = args.shards if args.shards > 0 else max(1, args.workers)
@@ -139,6 +147,7 @@ def main(argv: Optional[Sequence[str]] = None,
             max_input_size=args.max_input_size,
             workers=max(1, args.workers),
             engine=args.engine,
+            spec_variants=tuple(spec_variants),
         )
     except ValueError as error:
         parser.error(str(error))

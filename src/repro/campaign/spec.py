@@ -61,17 +61,30 @@ class JobSpec:
     #: emulator engine ("fast"/"legacy"); execution detail, never affects
     #: results (the engines are differentially tested to be identical).
     engine: str = "fast"
+    #: speculation variant this job simulates ("pht", "btb", "rsb", "stl").
+    #: The third matrix axis: each variant of a group gets its own jobs.
+    spec_variant: str = "pht"
 
     @property
     def group(self) -> Tuple[str, str, str]:
-        """The campaign group this job contributes to."""
+        """The campaign group this job contributes to.
+
+        Deliberately *excludes* the speculation variant: all variants of a
+        (target, tool, binary-variant) cell share one corpus and one report
+        collection — reports stay distinguishable because ``variant`` is
+        part of every :class:`~repro.sanitizers.reports.GadgetReport` site.
+        Keeping the group key 3-shaped also keeps old campaign checkpoints
+        loadable.
+        """
         return (self.target, self.tool, self.variant)
 
     @property
     def job_id(self) -> str:
         """Human-readable identity, e.g. ``jsmn/teapot/vanilla r0 s1/4``."""
+        suffix = "" if self.spec_variant == "pht" else f" [{self.spec_variant}]"
         return (f"{self.target}/{self.tool}/{self.variant} "
-                f"r{self.round_index} s{self.shard + 1}/{self.shard_count}")
+                f"r{self.round_index} s{self.shard + 1}/{self.shard_count}"
+                f"{suffix}")
 
 
 @dataclass(frozen=True)
@@ -109,6 +122,13 @@ class CampaignSpec:
     #: excluded from the checkpoint fingerprint and a campaign may be
     #: resumed on a different engine.
     engine: str = "fast"
+    #: Speculation variants: the third matrix axis (alongside target and
+    #: tool) — every group fans into one job set per variant.  Excluded
+    #: from the checkpoint fingerprint like ``engine``, so a checkpointed
+    #: PHT campaign can be resumed with more variants (the extra variants'
+    #: jobs simply add reports/executions on top); per-variant results stay
+    #: separable because every report site carries its variant.
+    spec_variants: Tuple[str, ...] = ("pht",)
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -132,6 +152,23 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}; "
                 f"expected one of {engine_names()}")
+        if not self.spec_variants:
+            raise ValueError("spec_variants must name at least one variant")
+        from repro.plugins import model_names
+
+        for spec_variant in self.spec_variants:
+            if spec_variant not in model_names():
+                raise ValueError(
+                    f"unknown speculation variant {spec_variant!r}; "
+                    f"expected one of {tuple(model_names())}")
+        if (
+            all(tool == "spectaint" for tool in self.tools)
+            and "pht" not in self.spec_variants
+        ):
+            # SpecTaint is PHT-only: this matrix would expand to zero jobs.
+            raise ValueError(
+                "spectaint simulates conditional-branch (pht) misprediction "
+                "only; add 'pht' to spec_variants or include another tool")
 
     # -- matrix expansion ---------------------------------------------------
     def groups(self) -> List[Tuple[str, str, str]]:
@@ -157,27 +194,42 @@ class CampaignSpec:
         return split_evenly(self.iterations, self.rounds)[round_index]
 
     def jobs_for_round(self, round_index: int) -> List[JobSpec]:
-        """Expand the matrix into the jobs of one corpus-sync round."""
+        """Expand the matrix into the jobs of one corpus-sync round.
+
+        Every (target, tool, variant) group fans into one job set per
+        speculation variant.  PHT jobs keep the exact seed derivation of
+        the single-variant world, so a PHT-only campaign is bit-identical
+        to historic runs; other variants mix their name into the seed.
+        The SpecTaint baseline models a PHT-only tool and gets no jobs for
+        other variants.
+        """
         jobs: List[JobSpec] = []
         per_shard = split_evenly(self.round_iterations(round_index), self.shards)
         for target, tool, variant in self.groups():
-            for shard in range(self.shards):
-                if per_shard[shard] == 0:
+            for spec_variant in self.spec_variants:
+                if tool == "spectaint" and spec_variant != "pht":
                     continue
-                if self.derive_seeds:
-                    seed = derive_seed(self.seed, target, tool, variant,
-                                       round_index, shard)
-                else:
-                    seed = self.seed
-                jobs.append(JobSpec(
-                    target=target, tool=tool, variant=variant,
-                    shard=shard, shard_count=self.shards,
-                    round_index=round_index,
-                    iterations=per_shard[shard],
-                    seed=seed,
-                    max_input_size=self.max_input_size,
-                    engine=self.engine,
-                ))
+                for shard in range(self.shards):
+                    if per_shard[shard] == 0:
+                        continue
+                    if not self.derive_seeds:
+                        seed = self.seed
+                    elif spec_variant == "pht":
+                        seed = derive_seed(self.seed, target, tool, variant,
+                                           round_index, shard)
+                    else:
+                        seed = derive_seed(self.seed, target, tool, variant,
+                                           spec_variant, round_index, shard)
+                    jobs.append(JobSpec(
+                        target=target, tool=tool, variant=variant,
+                        shard=shard, shard_count=self.shards,
+                        round_index=round_index,
+                        iterations=per_shard[shard],
+                        seed=seed,
+                        max_input_size=self.max_input_size,
+                        engine=self.engine,
+                        spec_variant=spec_variant,
+                    ))
         return jobs
 
     # -- serialization ------------------------------------------------------
@@ -196,6 +248,7 @@ class CampaignSpec:
             "derive_seeds": self.derive_seeds,
             "skip_uninjectable": self.skip_uninjectable,
             "engine": self.engine,
+            "spec_variants": list(self.spec_variants),
         }
 
     @classmethod
@@ -214,6 +267,7 @@ class CampaignSpec:
             derive_seeds=bool(record.get("derive_seeds", True)),
             skip_uninjectable=bool(record.get("skip_uninjectable", True)),
             engine=str(record.get("engine", "fast")),
+            spec_variants=tuple(record.get("spec_variants", ("pht",))),
         )
 
     def fingerprint(self) -> str:
@@ -222,11 +276,16 @@ class CampaignSpec:
         ``workers`` and ``engine`` are deliberately excluded: resuming a
         4-worker campaign with 1 worker, or a fast-engine campaign on the
         legacy engine (or vice versa), is valid and yields identical
-        results.
+        results.  ``spec_variants`` is excluded too — not because it is
+        result-neutral (it is not) but so a checkpointed campaign can be
+        *grown* across variant sets: resuming with more variants replays
+        the finished rounds from the checkpoint and only adds the new
+        variants' findings going forward.
         """
         record = self.to_dict()
         record.pop("workers")
         record.pop("engine")
+        record.pop("spec_variants")
         text = "|".join(f"{key}={record[key]}" for key in sorted(record))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 

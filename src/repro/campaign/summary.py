@@ -28,6 +28,8 @@ class GroupSummary:
     unique_gadgets: int = 0
     raw_reports: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
+    #: unique gadget sites per speculation variant ("pht", "btb", ...).
+    by_variant: Dict[str, int] = field(default_factory=dict)
     spec_stats: Dict[str, int] = field(default_factory=dict)
     #: the deduplicated reports themselves (not serialized by ``to_dict``;
     #: the experiment harness classifies them against ground truth).
@@ -53,6 +55,7 @@ class GroupSummary:
             "unique_gadgets": self.unique_gadgets,
             "raw_reports": self.raw_reports,
             "by_category": dict(sorted(self.by_category.items())),
+            "by_variant": dict(sorted(self.by_variant.items())),
             "spec_stats": dict(sorted(self.spec_stats.items())),
         }
 
@@ -168,6 +171,7 @@ def summarize(state: CampaignState) -> CampaignSummary:
             unique_gadgets=len(collection),
             raw_reports=collection.total_raw,
             by_category=collection.count_by_category(),
+            by_variant=collection.count_by_variant(),
             spec_stats=dict(stats.spec_stats),
             collection=collection,
         ))

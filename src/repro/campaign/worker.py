@@ -74,7 +74,8 @@ def compiled_binary(target_name: str, variant: str) -> TelfBinary:
     return _BINARY_CACHE[key]
 
 
-def _tool_config(tool: str, variant: str, engine: str = "fast"):
+def _tool_config(tool: str, variant: str, engine: str = "fast",
+                 spec_variant: str = "pht"):
     """The detector configuration for one (tool, variant) combination.
 
     The ``injected`` variant reproduces the Table 3 methodology for Teapot:
@@ -83,15 +84,18 @@ def _tool_config(tool: str, variant: str, engine: str = "fast"):
 
     ``engine`` selects the emulator engine for the tools that support it
     (teapot and specfuzz); SpecTaint models a DBI system with its own
-    emulator subclass and always runs on the legacy engine.
+    emulator subclass and always runs on the legacy engine.  ``spec_variant``
+    selects the speculation model the job simulates; SpecTaint is PHT-only
+    (the campaign spec never emits other variants for it).
     """
+    variants = (spec_variant,)
     if tool == "teapot":
         if variant == "injected":
             return TeapotConfig(massage_enabled=False, taint_sources_enabled=False,
-                                engine=engine)
-        return TeapotConfig(engine=engine)
+                                engine=engine, variants=variants)
+        return TeapotConfig(engine=engine, variants=variants)
     if tool == "specfuzz":
-        return SpecFuzzConfig(engine=engine)
+        return SpecFuzzConfig(engine=engine, variants=variants)
     if tool == "spectaint":
         return SpecTaintConfig()
     raise ValueError(f"unknown tool {tool!r}")
@@ -123,9 +127,9 @@ def instrumented_binary(target_name: str, tool: str, variant: str) -> TelfBinary
 
 
 def build_runtime(target_name: str, tool: str, variant: str,
-                  engine: str = "fast"):
+                  engine: str = "fast", spec_variant: str = "pht"):
     """A fresh runtime (coverage maps and all) for one job."""
-    config = _tool_config(tool, variant, engine)
+    config = _tool_config(tool, variant, engine, spec_variant)
     binary = instrumented_binary(target_name, tool, variant)
     if tool == "teapot":
         return TeapotRuntime(binary, config=config)
@@ -172,7 +176,8 @@ def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResu
     """
     if seeds is None:
         seeds = list(get_target(job.target).seeds)
-    runtime = build_runtime(job.target, job.tool, job.variant, job.engine)
+    runtime = build_runtime(job.target, job.tool, job.variant, job.engine,
+                            job.spec_variant)
     fuzzer = Fuzzer(
         FuzzTarget(runtime),
         seeds=list(seeds),

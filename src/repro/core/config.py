@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 
 @dataclass
@@ -48,11 +49,21 @@ class TeapotConfig:
     #: checkpoints).  Both produce bit-identical results — see
     #: ``docs/emulator.md`` and the differential test harness.
     engine: str = "fast"
+    #: speculation variants to simulate ("pht", "btb", "rsb", "stl", or any
+    #: ``@register_model`` plugin).  The default matches the paper:
+    #: conditional-branch misprediction only.  See ``docs/variants.md``.
+    variants: Tuple[str, ...] = ("pht",)
 
     def with_engine(self, engine: str) -> "TeapotConfig":
         """A copy of this configuration running on a different engine."""
         copy = TeapotConfig(**self.__dict__)
         copy.engine = engine
+        return copy
+
+    def with_variants(self, *variants: str) -> "TeapotConfig":
+        """A copy of this configuration simulating different variants."""
+        copy = TeapotConfig(**self.__dict__)
+        copy.variants = tuple(variants)
         return copy
 
     def without_nesting(self) -> "TeapotConfig":

@@ -102,6 +102,7 @@ class TeapotRuntime:
         self.controller = controller_cls(policy, rob_budget=self.config.rob_budget)
         self.detection_policy = KasperPolicy(massage_enabled=self.config.massage_enabled)
         self.coverage = CoverageRuntime()
+        self.spec_models = self._build_spec_models()
         self.emulator = emulator_cls(
             self.binary,
             externals=self.externals,
@@ -112,7 +113,21 @@ class TeapotRuntime:
             max_steps=self.config.max_steps,
             stack_protect=self.config.protect_stack,
             taint_sources_enabled=self.config.taint_sources_enabled,
+            spec_models=self.spec_models,
         )
+
+    def _build_spec_models(self):
+        """Fresh speculation-model instances for ``config.variants``.
+
+        ``None`` for the default PHT-only configuration, which keeps the
+        emulator's classic zero-overhead path (and bit-identical golden
+        outputs).
+        """
+        if tuple(self.config.variants) == ("pht",):
+            return None
+        from repro.specmodels import build_models
+
+        return build_models(self.config.variants)
 
     def run(self, input_data: bytes, argv=None) -> ExecutionResult:
         """Execute the instrumented binary over one input."""
@@ -128,6 +143,15 @@ class TeapotRuntime:
         return TeapotRuntime(
             self.binary,
             config=self.config.with_engine(engine),
+            externals=self.externals,
+            cost_model=self.cost_model,
+        )
+
+    def with_variants(self, *variants: str) -> "TeapotRuntime":
+        """A fresh runtime simulating a different speculation-variant set."""
+        return TeapotRuntime(
+            self.binary,
+            config=self.config.with_variants(*variants),
             externals=self.externals,
             cost_model=self.cost_model,
         )

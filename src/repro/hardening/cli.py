@@ -70,6 +70,10 @@ def build_parser(prog: str = "repro-harden") -> argparse.ArgumentParser:
                         help="campaign seed (default: 1234)")
     parser.add_argument("--engine", choices=("fast", "legacy"), default="fast",
                         help="emulator engine (default: fast)")
+    parser.add_argument("--variants", default="pht", dest="spec_variants",
+                        help="comma-separated speculation variants both "
+                             "campaigns simulate (pht, btb, rsb, stl; "
+                             "default: pht)")
     parser.add_argument("--perf-size", type=int, default=200,
                         help="crafted performance-input size for the "
                              "overhead account (default: 200)")
@@ -92,6 +96,14 @@ def main(argv: Optional[Sequence[str]] = None,
     if args.target not in runnable_targets():
         parser.error(f"unknown target {args.target!r}; "
                      f"choose from {', '.join(runnable_targets())}")
+    from repro.campaign.cli import _parse_list
+    from repro.plugins import model_names
+
+    try:
+        spec_variants = tuple(_parse_list(args.spec_variants, model_names(),
+                                          "speculation variant"))
+    except argparse.ArgumentTypeError as error:
+        parser.error(str(error))
     if args.strategy == "all":
         strategies: Sequence[str] = STRATEGIES
     elif args.strategy in strategy_names():
@@ -125,6 +137,7 @@ def main(argv: Optional[Sequence[str]] = None,
                 args.target, variant=args.variant, tool=args.tool,
                 iterations=args.iterations, rounds=args.rounds,
                 seed=args.seed, engine=args.engine,
+                spec_variants=spec_variants,
             )
         except (ValueError, RuntimeError, KeyError) as error:
             print(f"error: {error}", file=sys.stderr)
@@ -144,6 +157,7 @@ def main(argv: Optional[Sequence[str]] = None,
                 perf_input_size=args.perf_size,
                 reports=reports,
                 progress=progress,
+                spec_variants=spec_variants,
             )
         except (ValueError, RuntimeError, KeyError) as error:
             print(f"error: {error}", file=sys.stderr)

@@ -25,7 +25,7 @@ overhead, so results are directly comparable across strategies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.spec import CampaignSpec
@@ -89,9 +89,47 @@ def _site_dict(site: GadgetSite,
         record["channels"] = sorted({r.channel.value for r in reports})
         record["attackers"] = sorted({r.attacker.value for r in reports})
         record["pcs"] = sorted({r.pc for r in reports})
+        record["variants"] = sorted({r.variant for r in reports})
     if outcome is not None:
         record["mitigation"] = outcome
     return record
+
+
+def _variant_breakdown(*site_lists) -> Dict[str, Dict[str, int]]:
+    """Per-variant counts over (eliminated, residual, new) site records.
+
+    A site reported by several speculation variants counts once under each
+    — a fence that kills the PHT path of a load but leaves its STL path
+    must show up as residual *for stl* and eliminated *for pht*.  Residual
+    records therefore carry ``residual_variants`` (the variants the verify
+    re-fuzz actually still reported, recorded by :func:`verify_patch`);
+    baseline variants outside that set count as eliminated.
+    """
+    labels = ("eliminated", "residual", "new")
+    breakdown: Dict[str, Dict[str, int]] = {}
+
+    def bump(variant: str, label: str) -> None:
+        cell = breakdown.setdefault(variant, {key: 0 for key in labels})
+        cell[label] += 1
+
+    eliminated, residual, new = site_lists
+    for record in eliminated:
+        for variant in record.get("variants", ["pht"]):
+            bump(variant, "eliminated")
+    for record in residual:
+        baseline = record.get("variants", ["pht"])
+        surviving = set(record.get("residual_variants", baseline))
+        for variant in baseline:
+            bump(variant, "residual" if variant in surviving
+                 else "eliminated")
+        # A variant that only *appeared* at the site under re-fuzz still
+        # counts as residual (the site demonstrably leaks through it).
+        for variant in sorted(surviving.difference(baseline)):
+            bump(variant, "residual")
+    for record in new:
+        for variant in record.get("variants", ["pht"]):
+            bump(variant, "new")
+    return breakdown
 
 
 @dataclass
@@ -181,11 +219,12 @@ def verify_patch(patch: PatchOutcome, spec: CampaignSpec,
     outcome = VerifyOutcome(executions=verify_row.executions)
 
     baseline_keys = {site.key for site in patch.site_reports}
-    surviving_keys = set()
+    surviving: Dict[Tuple[str, int], set] = {}
     for site, site_hits in verify_sites.items():
         original = translate_site(site, patch.translation)
         if original is not None and original.key in baseline_keys:
-            surviving_keys.add(original.key)
+            surviving.setdefault(original.key, set()).update(
+                report.variant for report in site_hits)
         else:
             record = _site_dict(site, site_hits)
             if original is not None:
@@ -193,8 +232,12 @@ def verify_patch(patch: PatchOutcome, spec: CampaignSpec,
             outcome.new_sites.append(record)
     for record in patch.sites_before:
         key = (record["function"], record["ordinal"])
-        if key in surviving_keys:
-            outcome.residual.append(record)
+        if key in surviving:
+            # Record which variants the re-fuzz actually still reported,
+            # so the per-variant breakdown can count the others eliminated.
+            residual_record = dict(record)
+            residual_record["residual_variants"] = sorted(surviving[key])
+            outcome.residual.append(residual_record)
         else:
             outcome.eliminated.append(record)
     return outcome
@@ -240,6 +283,12 @@ class HardeningResult:
         """Whether every reported site disappeared under re-fuzz."""
         return bool(self.sites_before) and not self.residual
 
+    @property
+    def by_variant(self) -> Dict[str, Dict[str, int]]:
+        """Eliminated/residual/new site counts per speculation variant."""
+        return _variant_breakdown(self.eliminated, self.residual,
+                                  self.new_sites)
+
     def to_dict(self) -> Dict[str, object]:
         """Stable JSON-ready form (CLI output, CI artifacts)."""
         return {
@@ -254,6 +303,7 @@ class HardeningResult:
             "eliminated": self.eliminated,
             "residual": self.residual,
             "new_sites": self.new_sites,
+            "by_variant": self.by_variant,
             "pass_stats": self.pass_stats,
             "native_cycles": self.native_cycles,
             "hardened_cycles": self.hardened_cycles,
@@ -273,6 +323,15 @@ class HardeningResult:
             f"  overhead: {self.overhead:.3f}x "
             f"({self.hardened_cycles} vs {self.native_cycles} cycles)",
         ]
+        breakdown = self.by_variant
+        if len(breakdown) > 1:
+            parts = [
+                f"{variant}: {cell['eliminated']}/"
+                f"{cell['eliminated'] + cell['residual']} eliminated"
+                + (f", {cell['new']} new" if cell["new"] else "")
+                for variant, cell in sorted(breakdown.items())
+            ]
+            lines.append("  per variant: " + "  ".join(parts))
         for name, stats in self.pass_stats.items():
             formatted = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
             lines.append(f"  pass {name}: {formatted or 'no-op'}")
@@ -280,7 +339,8 @@ class HardeningResult:
 
 
 def _campaign_spec(target: str, tool: str, variant: str, iterations: int,
-                   rounds: int, seed: int, engine: str) -> CampaignSpec:
+                   rounds: int, seed: int, engine: str,
+                   spec_variants=("pht",)) -> CampaignSpec:
     return CampaignSpec(
         targets=(target,),
         tools=(tool,),
@@ -292,6 +352,7 @@ def _campaign_spec(target: str, tool: str, variant: str, iterations: int,
         workers=1,
         engine=engine,
         skip_uninjectable=False,
+        spec_variants=tuple(spec_variants),
     )
 
 
@@ -303,6 +364,7 @@ def detect_reports(
     rounds: int = 1,
     seed: int = 1234,
     engine: str = "fast",
+    spec_variants=("pht",),
 ) -> List[GadgetReport]:
     """Run the detection campaign alone and return its unique reports.
 
@@ -310,7 +372,7 @@ def detect_reports(
     matrix experiment does this) or for feeding ``--report-in`` workflows.
     """
     spec = _campaign_spec(target, tool, variant, iterations, rounds, seed,
-                          engine)
+                          engine, spec_variants)
     summary = run_campaign(spec)
     return summary.row(target, tool, variant).collection.reports()
 
@@ -327,6 +389,7 @@ def run_hardening(
     perf_input_size: int = 200,
     reports: Optional[Iterable[GadgetReport]] = None,
     progress=None,
+    spec_variants=("pht",),
 ) -> HardeningResult:
     """Run the full detect → patch → verify → account loop for one target.
 
@@ -334,10 +397,13 @@ def run_hardening(
     gadget reports (e.g. from a previous ``repro-campaign`` run); their PCs
     must refer to the deterministic instrumented build of the same
     (target, tool, variant), which is what every campaign fuzzes.
+    ``spec_variants`` selects the speculation variants both the detection
+    and the verification campaigns simulate; the result's ``by_variant``
+    breaks eliminated/residual/new down per variant.
     """
     note = progress or (lambda message: None)
     spec = _campaign_spec(target, tool, variant, iterations, rounds, seed,
-                          engine)
+                          engine, spec_variants)
     result = HardeningResult(
         target=target, variant=variant, tool=tool, strategy=strategy,
         engine=engine, iterations=iterations, seed=seed,

@@ -142,6 +142,11 @@ PASS_REGISTRY = PluginRegistry("hardening strategy")
 #: Populated by :mod:`repro.campaign.scheduler`.
 SCHEDULER_REGISTRY = PluginRegistry("campaign scheduler")
 
+#: Speculation models: name -> zero-arg factory returning a fresh
+#: :class:`repro.specmodels.base.SpeculationModel` instance.  Populated by
+#: :mod:`repro.specmodels` (pht, btb, rsb, stl).
+MODEL_REGISTRY = PluginRegistry("speculation model")
+
 
 def target_registry():
     """The workload-target registry (importing it populates the built-ins)."""
@@ -243,6 +248,25 @@ def register_scheduler(name: str, scheduler_cls: Optional[type] = None,
     return decorator(scheduler_cls)
 
 
+def register_model(name: str, factory: Optional[Callable] = None,
+                   replace: bool = False):
+    """Register a speculation model under ``name``.
+
+    The plugin is a zero-argument factory returning a fresh (stateful)
+    :class:`~repro.specmodels.base.SpeculationModel`; a model class whose
+    constructor takes no required arguments can be decorated directly::
+
+        @register_model("btb")
+        class BtbModel(SpeculationModel): ...
+    """
+    def decorator(fn):
+        return MODEL_REGISTRY.register(name, fn, replace=replace)
+
+    if factory is None:
+        return decorator
+    return decorator(factory)
+
+
 def engine_names() -> List[str]:
     """Registered emulator-engine names (import the runtime to populate)."""
     import repro.runtime.fastpath  # noqa: F401  (registers built-ins)
@@ -262,6 +286,13 @@ def scheduler_names() -> List[str]:
     import repro.campaign.scheduler  # noqa: F401  (registers built-ins)
 
     return SCHEDULER_REGISTRY.names()
+
+
+def model_names() -> List[str]:
+    """Registered speculation-model names (import populates built-ins)."""
+    import repro.specmodels  # noqa: F401  (registers pht/btb/rsb/stl)
+
+    return MODEL_REGISTRY.names()
 
 
 def target_names() -> List[str]:

@@ -90,6 +90,7 @@ class Emulator:
         max_steps: int = 5_000_000,
         stack_protect: bool = True,
         taint_sources_enabled: bool = True,
+        spec_models=None,
     ) -> None:
         self.binary = binary
         self.layout = binary.layout
@@ -102,6 +103,17 @@ class Emulator:
         self.stack_protect = stack_protect
         self.taint_sources_enabled = taint_sources_enabled
         self.has_shadows = binary.metadata.get(SHADOW_METADATA_KEY) == "1"
+        #: active speculation models; ``None`` keeps the classic behaviour
+        #: (conditional-branch misprediction only) without instantiating
+        #: any model object — the hot paths stay untouched.
+        self.spec_models = tuple(spec_models) if spec_models is not None else ()
+        self._pht_enabled = (
+            spec_models is None
+            or any(model.name == "pht" for model in self.spec_models)
+        )
+        self._dynamic_models = tuple(
+            model for model in self.spec_models if model.dynamic
+        )
 
         # Per-run state (created in run()).
         self.machine: Optional[MachineState] = None
@@ -122,6 +134,7 @@ class Emulator:
         self._decode_text()
         self._index_shadow_functions()
         self._dispatch = self._build_dispatch()
+        self._install_model_hooks()
 
     # ------------------------------------------------------------------ setup
     def _decode_text(self) -> None:
@@ -152,6 +165,259 @@ class Emulator:
             if start <= addr < end:
                 return True
         return False
+
+    # ------------------------------------------------------------ speculation models
+    def _install_model_hooks(self) -> None:
+        """Route dispatch entries through the model-aware handlers.
+
+        Only installed when *dynamic* speculation models (BTB/RSB/STL, i.e.
+        anything beyond the checkpoint-driven PHT default) are active, so
+        the classic configuration pays nothing.  The fast engine builds
+        fallback thunks for exactly these opcodes, which funnels both
+        engines through the handlers below — one implementation, zero
+        drift.
+        """
+        dyn = self._dynamic_models
+        self._indirect_models = tuple(m for m in dyn if m.predicts_indirect)
+        self._ret_models = tuple(m for m in dyn if m.predicts_return)
+        self._load_models = tuple(m for m in dyn if m.predicts_stale_load)
+        self._call_observers = tuple(m for m in dyn if m.observes_calls)
+        self._store_observers = tuple(m for m in dyn if m.observes_stores)
+        self._model_opcodes = frozenset().union(
+            *(m.source_opcodes for m in dyn)) if dyn else frozenset()
+        if not dyn:
+            self._spec_alias_map: Dict[int, int] = {}
+            return
+        self._spec_alias_map = self._build_spec_alias()
+        dispatch = self._dispatch
+        if self._indirect_models or self._call_observers:
+            dispatch[Opcode.ICALL] = self._op_icall_model
+        if self._indirect_models:
+            dispatch[Opcode.IJMP] = self._op_ijmp_model
+        if self._ret_models:
+            dispatch[Opcode.RET] = self._op_ret_model
+        if self._call_observers:
+            dispatch[Opcode.CALL] = self._op_call_model
+        if self._store_observers:
+            dispatch[Opcode.STORE] = self._op_store_model
+        if self._load_models:
+            dispatch[Opcode.LOAD] = self._op_load_model
+
+    def _build_spec_alias(self) -> Dict[int, int]:
+        """Map every Real-Copy address to its Shadow-Copy counterpart.
+
+        Dynamic models mispredict to Real-Copy addresses (stale branch
+        targets, stale return sites, the bypassing load itself); redirecting
+        to the Shadow-Copy counterpart instead keeps the simulated wrong
+        path inside instrumented code, exactly where a ``checkpoint``
+        trampoline would have led.  The mapping uses the same invariant as
+        :mod:`repro.hardening.sites`: rewriting passes only insert
+        instructions, so the n-th *architectural* instruction of ``f`` is
+        the n-th architectural instruction of ``f$spec`` (the shadow's
+        appended trampoline blocks come after the common prefix).  Every
+        address — pseudo-ops included — maps to the shadow address of the
+        next architectural instruction at or after it.  Empty (identity)
+        for single-copy binaries.
+        """
+        alias: Dict[int, int] = {}
+        if not self.has_shadows:
+            return alias
+        symbols = {sym.name: sym for sym in self.binary.function_symbols()}
+        for name, sym in symbols.items():
+            if name.endswith("$spec"):
+                continue
+            spec = symbols.get(name + "$spec")
+            if spec is None:
+                continue
+            spec_arch = [
+                addr for addr in self._symbol_addresses(spec)
+                if self.instructions[addr].opcode not in _PSEUDO_SET
+            ]
+            arch_index = 0
+            pending = []
+            for addr in self._symbol_addresses(sym):
+                pending.append(addr)
+                if self.instructions[addr].opcode in _PSEUDO_SET:
+                    continue
+                if arch_index < len(spec_arch):
+                    target = spec_arch[arch_index]
+                    for waiting in pending:
+                        alias[waiting] = target
+                pending = []
+                arch_index += 1
+        return alias
+
+    def _symbol_addresses(self, sym) -> List[int]:
+        """Decoded instruction addresses of one function, in layout order."""
+        addresses = []
+        addr = sym.address
+        end = sym.address + sym.size
+        while addr < end and addr in self.instructions:
+            addresses.append(addr)
+            addr = self.next_address[addr]
+        return addresses
+
+    def _spec_alias(self, addr: int) -> int:
+        """Shadow-Copy counterpart of ``addr`` (identity if none exists)."""
+        return self._spec_alias_map.get(addr, addr)
+
+    def _model_mispredict(self, instr, models, actual: int) -> Optional[int]:
+        """Ask the given models for a misprediction at this site.
+
+        Returns the *Real-Copy* wrong target once a model predicted one and
+        the nesting policy admitted the (possibly nested) simulation, or
+        ``None`` when the site retires correctly.  Model state is only
+        *read* here — architectural observation happens on the retire path,
+        so squashed mispredictions never corrupt the histories.
+        """
+        controller = self.controller
+        depth = controller.depth
+        for model in models:
+            if depth and not model.nests:
+                continue
+            candidates = model.mispredicted_targets(self, instr, actual)
+            if not candidates:
+                continue
+            wrong = model.choose_target(instr.address, candidates)
+            if not controller.maybe_enter(
+                self.machine, branch_address=instr.address,
+                resume_pc=instr.address, dift=self.dift, model=model.name,
+            ):
+                continue
+            self._extra_cycles += model.entry_cost
+            return wrong
+        return None
+
+    def _op_icall_model(self, instr):
+        """Indirect call with BTB misprediction and RSB observation.
+
+        The architectural retire delegates to :meth:`_op_icall` (like every
+        other model hook), so escape checks and call mechanics cannot
+        drift; the operand read in the prologue is side-effect-free and
+        repeats inside the base handler.
+        """
+        controller = self.controller
+        if controller is not None:
+            target = to_unsigned(self.machine.read_operand(instr.operands[0]))
+            if not controller.consume_skip(instr.address):
+                wrong = self._model_mispredict(
+                    instr, self._indirect_models, target)
+                if wrong is not None:
+                    # A mispredicted call still pushes its return address,
+                    # then control follows the stale target (its shadow
+                    # counterpart, so the wrong path stays instrumented).
+                    return self._do_call(instr, self._spec_alias(wrong))
+            if not controller.in_simulation:
+                for model in self._indirect_models:
+                    model.on_indirect(self, instr, target)
+                for model in self._call_observers:
+                    model.on_call(self, instr, self._next(instr))
+        return self._op_icall(instr)
+
+    def _op_ijmp_model(self, instr):
+        """Indirect jump with BTB misprediction (retire via _op_ijmp)."""
+        controller = self.controller
+        if controller is not None:
+            operand = instr.operands[0]
+            if isinstance(operand, Mem):
+                addr = self.machine.effective_address(operand)
+                target = self.machine.memory.read_int(addr, 8)
+            else:
+                target = self.machine.read_operand(operand)
+            target = to_unsigned(target)
+            if not controller.consume_skip(instr.address):
+                wrong = self._model_mispredict(
+                    instr, self._indirect_models, target)
+                if wrong is not None:
+                    return self._spec_alias(wrong)
+            if not controller.in_simulation:
+                for model in self._indirect_models:
+                    model.on_indirect(self, instr, target)
+        return self._op_ijmp(instr)
+
+    def _op_call_model(self, instr):
+        """Direct call observed by return-stack models."""
+        controller = self.controller
+        if controller is None or not controller.in_simulation:
+            for model in self._call_observers:
+                model.on_call(self, instr, self._next(instr))
+        return self._op_call(instr)
+
+    def _op_ret_model(self, instr):
+        """Return with RSB misprediction to stale return-stack entries."""
+        controller = self.controller
+        machine = self.machine
+        if controller is not None and machine.memory.is_mapped(machine.sp, 8):
+            actual = machine.memory.read_int(machine.sp, 8)
+            if not controller.consume_skip(instr.address):
+                wrong = self._model_mispredict(instr, self._ret_models, actual)
+                if wrong is not None:
+                    # The mispredicted return pops the stack architecturally
+                    # (journaled) but follows the stale prediction.
+                    sp = machine.sp
+                    if self.asan is not None:
+                        self.asan.unpoison_return_slot(sp)
+                    machine.sp = sp + 8
+                    return self._spec_alias(wrong)
+            if not controller.in_simulation:
+                for model in self._ret_models:
+                    model.pop()
+        return self._op_ret(instr)
+
+    def _op_store_model(self, instr):
+        """Store recorded into the STL models' bypass windows."""
+        controller = self.controller
+        if controller is None or not controller.in_simulation:
+            mem = instr.operands[0]
+            addr = self.machine.effective_address(mem)
+            for model in self._store_observers:
+                model.on_store(self, instr, addr, instr.size)
+        return self._op_store(instr)
+
+    def _op_load_model(self, instr):
+        """Load with store-to-load bypass: speculatively read stale memory."""
+        controller = self.controller
+        if controller is not None and not controller.consume_skip(instr.address):
+            addr = self.machine.effective_address(instr.operands[1])
+            redirected = self._model_stale_load(instr, addr)
+            if redirected is not None:
+                return redirected
+        return self._op_load(instr)
+
+    def _model_stale_load(self, instr, addr: int) -> Optional[int]:
+        """Enter an STL simulation: rewind the store, re-issue the load.
+
+        The matched store's range is rewritten to its pre-store bytes (and
+        stale DIFT tags) through the normal journaled/logged write paths,
+        then control re-enters at the load's Shadow-Copy counterpart —
+        which reads the stale memory with ordinary tag propagation and
+        policy checks.  Rollback restores the committed store.
+        """
+        controller = self.controller
+        depth = controller.depth
+        size = instr.size
+        memory = self.machine.memory
+        for model in self._load_models:
+            if depth and not model.nests:
+                continue
+            index = model.find(addr, size)
+            if index is None:
+                continue
+            if not memory.is_mapped(addr, size):
+                continue
+            if not controller.maybe_enter(
+                self.machine, branch_address=instr.address,
+                resume_pc=instr.address, dift=self.dift, model=model.name,
+            ):
+                continue
+            stale, stale_tags = model.take(index)
+            self._extra_cycles += model.entry_cost
+            self._guest_write(addr, stale)
+            if self.dift is not None and stale_tags is not None:
+                for offset, tag in enumerate(stale_tags):
+                    self.dift.set_mem_tag(addr + offset, 1, tag)
+            return self._spec_alias(instr.address)
+        return None
 
     # ------------------------------------------------------------------ input
     def consume_input(self, max_len: int) -> bytes:
@@ -228,6 +494,8 @@ class Emulator:
             self.policy.attach(self.asan, self.dift)
         if self.controller is not None:
             self.controller.begin_run()
+        for model in self.spec_models:
+            model.begin_run()
         if self.coverage is not None:
             self.coverage.reset_execution_state()
 
@@ -278,6 +546,21 @@ class Emulator:
                 break
             instr = instructions.get(pc)
             if instr is None:
+                if (
+                    self._dynamic_models
+                    and controller is not None
+                    and controller.in_simulation
+                ):
+                    # A model-driven wrong path computed a non-code target;
+                    # like any speculative fault this squashes the
+                    # simulation instead of crashing the run.
+                    undone = controller.rollback(machine, dift,
+                                                 reason="exception")
+                    cycles += cost_model.rollback_cost(undone)
+                    if self.coverage is not None:
+                        self.coverage.flush_speculative()
+                    self._after_exception_rollback()
+                    continue
                 result.status = "crash"
                 result.crash_reason = f"jump to non-code address {pc:#x}"
                 break
@@ -689,7 +972,9 @@ class Emulator:
     # ------------------------------------------------------------------ instrumentation ops
     def _op_checkpoint(self, instr):
         resume_pc = self._next(instr)
-        if self.controller is None:
+        if self.controller is None or not self._pht_enabled:
+            # The PHT variant is switched off: checkpoints are inert and
+            # conditional branches always retire correctly.
             return resume_pc
         entered = self.controller.maybe_enter(
             self.machine, branch_address=resume_pc, resume_pc=resume_pc,

@@ -444,6 +444,14 @@ class FastEmulator(Emulator):
     # -- thunk construction ----------------------------------------------------
     def _make_thunk(self, instr: Instruction) -> Callable:
         opcode = instr.opcode
+        if self._model_opcodes and opcode in self._model_opcodes and any(
+            model.speculation_sources(instr) for model in self._dynamic_models
+        ):
+            # Speculation-model source site (indirect branch, ret, store,
+            # load, ... of an active dynamic model): run the shared legacy
+            # handler, where the model hooks live, so both engines execute
+            # model semantics through one implementation.
+            return self._make_fallback(instr)
         em = self
         controller = self.controller
         cps = controller.checkpoints if controller is not None else None
@@ -487,6 +495,12 @@ class FastEmulator(Emulator):
             tgt = _imm_target(instr)
             if tgt is None:
                 return self._make_fallback(instr)
+            if not self._pht_enabled:
+                # PHT variant switched off: the checkpoint is inert.
+                def thunk(m, cyc=cyc, cost=cost, nxt=nxt):
+                    cyc[0] += cost
+                    return nxt
+                return thunk
 
             def thunk(m, em=em, controller=controller, cyc=cyc, cost=cost,
                       nxt=nxt, tgt=tgt):
@@ -1300,6 +1314,21 @@ class FastEmulator(Emulator):
                 break
             thunk = trace_get(pc)
             if thunk is None:
+                if (
+                    self._dynamic_models
+                    and controller is not None
+                    and controller.in_simulation
+                ):
+                    # Speculative wrong path reached non-code (stale model
+                    # target): squash the simulation, exactly like the
+                    # legacy engine.
+                    undone = controller.rollback(machine, self.dift,
+                                                 reason="exception")
+                    cyc[0] += cost_model.rollback_cost(undone)
+                    if self.coverage is not None:
+                        self.coverage.flush_speculative()
+                    self._after_exception_rollback()
+                    continue
                 result.status = "crash"
                 result.crash_reason = f"jump to non-code address {pc:#x}"
                 break

@@ -40,6 +40,8 @@ class Checkpoint:
     register_tags: Optional[Tuple[int, ...]]
     flags_tag: int
     instruction_count_at_entry: int
+    #: speculation model that opened this simulation ("pht", "btb", ...).
+    model: str = "pht"
 
 
 class JournalCheckpoint:
@@ -64,6 +66,7 @@ class JournalCheckpoint:
         "taint_log_index",
         "register_tags",
         "flags_tag",
+        "model",
     )
 
     def __init__(
@@ -75,6 +78,7 @@ class JournalCheckpoint:
         taint_log_index: int,
         register_tags: Optional[Tuple[int, ...]],
         flags_tag: int,
+        model: str = "pht",
     ) -> None:
         self.branch_address = branch_address
         self.resume_pc = resume_pc
@@ -83,6 +87,7 @@ class JournalCheckpoint:
         self.taint_log_index = taint_log_index
         self.register_tags = register_tags
         self.flags_tag = flags_tag
+        self.model = model
 
 
 class NestedSpeculationPolicy(abc.ABC):
@@ -220,10 +225,14 @@ class SpeculationStats:
     budget_rollbacks: int = 0
     max_depth_reached: int = 0
     simulated_instructions: int = 0
+    #: entries per *non-default* speculation model ("btb", "rsb", "stl",
+    #: third-party).  Kept separate so PHT-only runs serialize exactly as
+    #: they always did (the golden tables pin those dictionaries).
+    model_entries: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary."""
-        return {
+        record = {
             "simulations_started": self.simulations_started,
             "nested_simulations": self.nested_simulations,
             "rollbacks": self.rollbacks,
@@ -233,6 +242,9 @@ class SpeculationStats:
             "max_depth_reached": self.max_depth_reached,
             "simulated_instructions": self.simulated_instructions,
         }
+        for model, count in sorted(self.model_entries.items()):
+            record[f"entered_{model}"] = count
+        return record
 
 
 class SpeculationController:
@@ -257,6 +269,11 @@ class SpeculationController:
         self.taint_log: List[Tuple[int, int]] = []
         self.spec_instruction_count = 0
         self.stats = SpeculationStats()
+        #: site a dynamic speculation model must not immediately re-enter
+        #: at: set on every rollback of a dynamic-model checkpoint (whose
+        #: ``resume_pc`` is the entry instruction itself) and consumed by
+        #: the emulator's model hooks via :meth:`consume_skip`.
+        self.skip_site: Optional[int] = None
 
     # -- state queries ---------------------------------------------------------
     @property
@@ -274,6 +291,27 @@ class SpeculationController:
         """Addresses of the mispredicted branches currently being simulated
         (outermost first)."""
         return tuple(cp.branch_address for cp in self.checkpoints)
+
+    @property
+    def current_model(self) -> str:
+        """Speculation model of the innermost active simulation.
+
+        ``"pht"`` outside simulation, so report attribution always has a
+        value (the classic single-variant behaviour).
+        """
+        return self.checkpoints[-1].model if self.checkpoints else "pht"
+
+    def consume_skip(self, site: int) -> bool:
+        """Whether ``site`` is the just-rolled-back dynamic entry site.
+
+        A dynamic model's rollback resumes *at* the entry instruction, so
+        its hook would fire again and re-enter forever; the first
+        architectural re-execution consumes the skip instead.
+        """
+        if self.skip_site == site:
+            self.skip_site = None
+            return True
+        return False
 
     def budget_exceeded(self) -> bool:
         """Whether the ROB instruction budget has been exhausted."""
@@ -293,15 +331,18 @@ class SpeculationController:
         self.memlog.clear()
         self.taint_log.clear()
         self.spec_instruction_count = 0
+        self.skip_site = None
 
     # -- entry -------------------------------------------------------------------
     def maybe_enter(self, machine, branch_address: int, resume_pc: int,
-                    dift=None) -> bool:
-        """Decide whether to enter simulation for a conditional branch.
+                    dift=None, model: str = "pht") -> bool:
+        """Decide whether to enter simulation for a speculation source.
 
         If the nesting policy approves, a checkpoint of the current program
         state is pushed and ``True`` is returned — the caller (the emulator's
-        ``checkpoint`` handler) then redirects control to the trampoline.
+        ``checkpoint`` handler, or a dynamic model hook) then redirects
+        control to the mispredicted path.  ``model`` tags the checkpoint
+        with the originating speculation variant.
         """
         if not self.policy.should_enter(branch_address, self.depth):
             return False
@@ -310,6 +351,9 @@ class SpeculationController:
             self.stats.simulations_started += 1
         else:
             self.stats.nested_simulations += 1
+        if model != "pht":
+            entries = self.stats.model_entries
+            entries[model] = entries.get(model, 0) + 1
         register_tags = None
         flags_tag = 0
         if dift is not None:
@@ -326,6 +370,7 @@ class SpeculationController:
                 register_tags=register_tags,
                 flags_tag=flags_tag,
                 instruction_count_at_entry=self.spec_instruction_count,
+                model=model,
             )
         )
         self.stats.max_depth_reached = max(self.stats.max_depth_reached, self.depth)
@@ -380,6 +425,11 @@ class SpeculationController:
 
         machine.flags.restore(checkpoint.flags)
         machine.pc = checkpoint.resume_pc
+        # Dynamic models resume *at* their entry instruction; arm the skip
+        # so its hook lets the architectural re-execution retire.
+        self.skip_site = (
+            checkpoint.resume_pc if checkpoint.model != "pht" else None
+        )
         if dift is not None and checkpoint.register_tags is not None:
             dift.restore_register_tags(checkpoint.register_tags)
             dift.flags_tag = checkpoint.flags_tag
@@ -400,6 +450,7 @@ class SpeculationController:
         self.memlog.clear()
         self.taint_log.clear()
         self.spec_instruction_count = 0
+        self.skip_site = None
         self.stats = SpeculationStats()
         self.policy.reset()
 
@@ -443,7 +494,7 @@ class JournalingSpeculationController(SpeculationController):
 
     # -- entry -------------------------------------------------------------------
     def maybe_enter(self, machine, branch_address: int, resume_pc: int,
-                    dift=None) -> bool:
+                    dift=None, model: str = "pht") -> bool:
         """Decide whether to enter simulation; push a journal-mark checkpoint."""
         if not self.policy.should_enter(branch_address, self.depth):
             return False
@@ -455,6 +506,9 @@ class JournalingSpeculationController(SpeculationController):
             machine.attach_journal(self.journal)
         else:
             self.stats.nested_simulations += 1
+        if model != "pht":
+            entries = self.stats.model_entries
+            entries[model] = entries.get(model, 0) + 1
         register_tags = None
         flags_tag = 0
         if dift is not None:
@@ -469,6 +523,7 @@ class JournalingSpeculationController(SpeculationController):
                 len(self.taint_log),
                 register_tags,
                 flags_tag,
+                model,
             )
         )
         self.stats.max_depth_reached = max(self.stats.max_depth_reached, self.depth)

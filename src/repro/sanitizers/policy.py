@@ -72,6 +72,7 @@ class DetectionPolicy:
         branch_addresses: Tuple[int, ...],
         depth: int,
         description: str = "",
+        variant: str = "pht",
     ) -> GadgetReport:
         report = GadgetReport(
             tool=self.tool_name,
@@ -81,9 +82,17 @@ class DetectionPolicy:
             branch_addresses=branch_addresses,
             depth=depth,
             description=description,
+            variant=variant,
         )
         self.reports.append(report)
         return report
+
+    @staticmethod
+    def _variant(context) -> str:
+        """Speculation variant of the innermost simulation of ``context``
+        (the speculation controller); ``"pht"`` for controllers predating
+        the model subsystem."""
+        return getattr(context, "current_model", "pht")
 
     def drain_reports(self) -> List[GadgetReport]:
         """Return and clear the accumulated reports."""
@@ -143,6 +152,7 @@ class KasperPolicy(DetectionPolicy):
         pc = instr.address if instr.address is not None else 0
         branches = context.branch_addresses
         depth = context.depth
+        variant = self._variant(context)
 
         # Secret used to compose a dereferenced pointer -> cache transmitter.
         if addr_tag & TAG_ANY_SECRET:
@@ -153,6 +163,7 @@ class KasperPolicy(DetectionPolicy):
                 branches,
                 depth,
                 "secret-dependent pointer dereference",
+                variant=variant,
             )
 
         in_bounds = self.asan.check_access(addr, size)
@@ -169,6 +180,7 @@ class KasperPolicy(DetectionPolicy):
                     branches,
                     depth,
                     "attacker-direct out-of-bounds load",
+                    variant=variant,
                 )
             elif addr_tag & TAG_MASSAGE:
                 # Wild pointer constructed from a speculative OOB value: any
@@ -181,6 +193,7 @@ class KasperPolicy(DetectionPolicy):
                     branches,
                     depth,
                     "attacker-indirect (massaged) pointer load",
+                    variant=variant,
                 )
             elif self.massage_enabled and not in_bounds:
                 # Speculative OOB with an untainted pointer: the outcome is
@@ -198,6 +211,7 @@ class KasperPolicy(DetectionPolicy):
                 context.branch_addresses,
                 context.depth,
                 "secret-dependent branch (port contention)",
+                variant=self._variant(context),
             )
 
 
@@ -218,6 +232,7 @@ class SpecFuzzPolicy(DetectionPolicy):
                 context.branch_addresses,
                 context.depth,
                 "speculative out-of-bounds access",
+                variant=self._variant(context),
             )
         return 0
 
@@ -246,6 +261,7 @@ class SpecTaintPolicy(DetectionPolicy):
                 context.branch_addresses,
                 context.depth,
                 "secret-dependent pointer dereference (no bounds check)",
+                variant=self._variant(context),
             )
         if not is_write and addr_tag & TAG_USER:
             # Without heap/stack layout knowledge the tool must assume every

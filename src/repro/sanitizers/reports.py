@@ -3,7 +3,8 @@
 A :class:`GadgetReport` is what the detection policies hand to the fuzzer
 when an integrity check fires during speculation simulation (paper §6.2.3).
 Reports are deduplicated by *gadget site* — the program counter of the
-transmitting instruction together with the channel and attacker class —
+transmitting instruction together with the channel, the attacker class and
+the speculation variant (PHT/BTB/RSB/STL) whose simulation surfaced it —
 because fuzzing revisits the same gadget many times.
 """
 
@@ -41,11 +42,20 @@ class GadgetReport:
     branch_addresses: Tuple[int, ...]
     depth: int
     description: str = ""
+    #: speculation variant whose simulation surfaced the gadget ("pht",
+    #: "btb", "rsb", "stl", or a third-party model name).
+    variant: str = "pht"
 
     @property
-    def site(self) -> Tuple[str, str, int]:
-        """Deduplication key: (channel, attacker, transmitting pc)."""
-        return (self.channel.value, self.attacker.value, self.pc)
+    def site(self) -> Tuple[str, str, int, str]:
+        """Deduplication key: (channel, attacker, transmitting pc, variant).
+
+        The variant is part of the site: a PHT gadget and an STL gadget at
+        the same program counter are different findings (they need
+        different mitigations) and must never be silently merged.
+        """
+        return (self.channel.value, self.attacker.value, self.pc,
+                self.variant)
 
     @property
     def category(self) -> str:
@@ -62,11 +72,17 @@ class GadgetReport:
             "branch_addresses": list(self.branch_addresses),
             "depth": self.depth,
             "description": self.description,
+            "variant": self.variant,
         }
 
     @classmethod
     def from_dict(cls, record: Dict[str, object]) -> "GadgetReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Records written before the multi-variant world carry no
+        ``variant`` field; they were all produced by conditional-branch
+        simulation, so the field defaults to ``"pht"``.
+        """
         return cls(
             tool=str(record["tool"]),
             channel=Channel(record["channel"]),
@@ -75,6 +91,7 @@ class GadgetReport:
             branch_addresses=tuple(record.get("branch_addresses", ())),
             depth=int(record.get("depth", 0)),
             description=str(record.get("description", "")),
+            variant=str(record.get("variant", "pht")),
         )
 
 
@@ -150,6 +167,13 @@ class ReportCollection:
         counts: Dict[str, int] = {}
         for report in self._by_site.values():
             counts[report.category] = counts.get(report.category, 0) + 1
+        return counts
+
+    def count_by_variant(self) -> Dict[str, int]:
+        """Unique gadget counts per speculation variant."""
+        counts: Dict[str, int] = {}
+        for report in self._by_site.values():
+            counts[report.variant] = counts.get(report.variant, 0) + 1
         return counts
 
     def count(

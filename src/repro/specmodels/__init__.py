@@ -1,0 +1,48 @@
+"""Pluggable speculation models: Spectre-PHT/BTB/RSB/STL variants.
+
+Importing this package registers the four built-in models in
+:data:`repro.plugins.MODEL_REGISTRY`; third-party variants join through
+``@repro.plugins.register_model`` (re-exported by :mod:`repro.api`).  See
+``docs/variants.md`` for model semantics and the extension contract.
+"""
+
+from typing import Sequence, Tuple
+
+from repro.plugins import MODEL_REGISTRY
+from repro.specmodels.base import SpeculationModel
+from repro.specmodels.pht import PhtModel
+from repro.specmodels.btb import BtbModel
+from repro.specmodels.rsb import RsbModel
+from repro.specmodels.stl import StlModel
+
+#: The default variant set: the paper's conditional-branch primitive only.
+DEFAULT_VARIANTS: Tuple[str, ...] = ("pht",)
+
+
+def build_models(names: Sequence[str]) -> Tuple[SpeculationModel, ...]:
+    """Fresh, stateful model instances for one runtime.
+
+    Models carry mutable history (BTB targets, RSB slots, STL store
+    windows), so every runtime gets its own instances.  Order follows the
+    requested ``names`` (duplicates removed, first occurrence wins);
+    unknown names raise the registry's error listing the valid options.
+    """
+    models = []
+    seen = set()
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        models.append(MODEL_REGISTRY.get(name)())
+    return tuple(models)
+
+
+__all__ = [
+    "DEFAULT_VARIANTS",
+    "SpeculationModel",
+    "PhtModel",
+    "BtbModel",
+    "RsbModel",
+    "StlModel",
+    "build_models",
+]

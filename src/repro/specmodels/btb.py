@@ -1,0 +1,89 @@
+"""Spectre-BTB: indirect-branch target misprediction (variant 2).
+
+The branch target buffer is modelled as a small, bounded **target-history
+table**: every executed indirect call/jump records its resolved target,
+most recent first, with older entries evicted once the table is full.
+When an indirect transfer resolves to target *t* while the table still
+holds *different* (stale) targets, the model predicts one of those stale
+targets instead — the attacker-influenced case is a victim function left
+in the table by earlier (trained) executions.
+
+The table is deliberately **global** rather than per-site: real BTBs are
+indexed by (partial) branch address and alias heavily, which is exactly
+what cross-site Spectre-BTB training exploits.  It also survives across
+program runs inside one fuzzing campaign, mirroring a BTB that is not
+flushed between processes.
+
+Successive mispredictions at one site rotate through the stale candidates
+(deterministically), so fuzzing explores every target the history holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.plugins import register_model
+from repro.specmodels.base import SpeculationModel
+
+#: Bounded size of the target-history table.
+DEFAULT_HISTORY_SIZE = 8
+
+
+@register_model("btb")
+class BtbModel(SpeculationModel):
+    """Indirect call/jump misprediction from a bounded target history."""
+
+    name = "btb"
+    nests = True
+    entry_cost = 3
+    source_opcodes = frozenset({Opcode.ICALL, Opcode.IJMP})
+    predicts_indirect = True
+
+    def __init__(self, history_size: int = DEFAULT_HISTORY_SIZE) -> None:
+        self.history_size = history_size
+        #: resolved indirect targets, most recent first, deduplicated.
+        self.history: List[int] = []
+        #: per-site entry counters used to rotate through stale candidates.
+        self._rotations: Dict[int, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def begin_run(self) -> None:
+        """The BTB persists across runs (it is not flushed between
+        processes on real hardware); nothing to clear."""
+
+    def reset(self) -> None:
+        self.history.clear()
+        self._rotations.clear()
+
+    # -- history ------------------------------------------------------------
+    def on_indirect(self, emulator, instr: Instruction, target: int) -> None:
+        """Architecturally resolved indirect target: train the table."""
+        self.observe_target(target)
+
+    def observe_target(self, target: int) -> None:
+        """Record a resolved indirect target (move-to-front, bounded)."""
+        if self.history and self.history[0] == target:
+            return
+        if target in self.history:
+            self.history.remove(target)
+        self.history.insert(0, target)
+        del self.history[self.history_size:]
+
+    def mispredicted_targets(self, emulator, instr: Instruction,
+                             actual: int) -> List[int]:
+        """Stale history entries that differ from the resolved target.
+
+        Only targets that are still decodable code in the running binary
+        are offered — the emulator redirects control there, so a dangling
+        entry (e.g. from a different target's run) must not be followed.
+        """
+        instructions = emulator.instructions
+        return [entry for entry in self.history
+                if entry != actual and entry in instructions]
+
+    def choose_target(self, site: int, candidates: List[int]) -> int:
+        """Deterministically rotate through the stale candidates per site."""
+        count = self._rotations.get(site, 0)
+        self._rotations[site] = count + 1
+        return candidates[count % len(candidates)]

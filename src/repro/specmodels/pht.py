@@ -1,0 +1,36 @@
+"""Spectre-PHT: conditional-branch misprediction (the paper's variant).
+
+The PHT model is *checkpoint-driven*: entry sites are the ``checkpoint``
+pseudo-ops the rewriter plants before conditional branches, and the
+misprediction target is the trampoline the rewriter synthesised (which
+lands in the Shadow Copy on the deliberately wrong path).  The model
+object therefore carries no dynamic hooks — it is the switch that keeps
+the classic behaviour enabled, plus the metadata (`speculation_sources`,
+costs, nesting) the variant matrix reports about it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.plugins import register_model
+from repro.specmodels.base import SpeculationModel
+
+
+@register_model("pht")
+class PhtModel(SpeculationModel):
+    """Conditional-branch (bounds-check bypass) misprediction."""
+
+    name = "pht"
+    #: entry happens at rewritten ``checkpoint`` pseudo-ops, not dynamically.
+    dynamic = False
+    nests = True
+    #: the checkpoint pseudo-op carries the entry cost in the cost model.
+    entry_cost = 0
+    source_opcodes = frozenset({Opcode.CHECKPOINT, Opcode.JCC})
+
+    def mispredicted_targets(self, emulator, instr: Instruction,
+                             actual: int) -> List[int]:
+        """The wrong direction of the branch (resolved by the trampoline)."""
+        return []

@@ -1,0 +1,90 @@
+"""Spectre-RSB: return-stack-buffer misprediction (variant 5 / ret2spec).
+
+The RSB is a small cyclic buffer of return addresses.  Calls push, returns
+pop and predict the popped entry.  Because the buffer is cyclic and
+bounded, two stale situations arise naturally:
+
+* **overflow** — a call chain deeper than the buffer wraps around and
+  overwrites the oldest entries; the returns that later unwind past the
+  wrap point predict the *overwriting* (deeper) return sites;
+* **underflow** — more returns than live entries (the wrapped slots were
+  consumed) cycle back onto stale slots left by earlier, unrelated calls.
+
+Both mispredict a ``ret`` to a stale return site while the architectural
+register state (in particular the return-value register) belongs to the
+*current* call — the ret2spec/spectreRSB gadget shape.
+
+The buffer is reset per program run (a fresh process starts with an empty
+RSB) but its *contents* are never erased by pops, which is what makes the
+stale-slot reuse possible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.plugins import register_model
+from repro.specmodels.base import SpeculationModel
+
+#: Cyclic return-stack depth (real parts use 16-32; small here so the
+#: gadget samples overflow it with shallow recursion).
+DEFAULT_RSB_DEPTH = 4
+
+
+@register_model("rsb")
+class RsbModel(SpeculationModel):
+    """Return misprediction to stale return-stack entries."""
+
+    name = "rsb"
+    nests = True
+    entry_cost = 2
+    source_opcodes = frozenset({Opcode.CALL, Opcode.ICALL, Opcode.RET})
+    predicts_return = True
+    observes_calls = True
+
+    def __init__(self, depth: int = DEFAULT_RSB_DEPTH) -> None:
+        self.depth = depth
+        self.buffer: List[int] = [0] * depth
+        #: logical stack pointer; may go negative (underflow wraps cyclically).
+        self.sp = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def begin_run(self) -> None:
+        """A fresh process starts with an empty (zeroed) return stack."""
+        self.buffer = [0] * self.depth
+        self.sp = 0
+
+    # -- buffer -------------------------------------------------------------
+    def on_call(self, emulator, instr: Instruction,
+                return_address: int) -> None:
+        """Push a return address (overflow overwrites the oldest slot)."""
+        self.buffer[self.sp % self.depth] = return_address
+        self.sp += 1
+
+    def peek(self) -> int:
+        """The prediction the next ``ret`` would use (no state change)."""
+        return self.buffer[(self.sp - 1) % self.depth]
+
+    def pop(self) -> int:
+        """Consume one prediction (the architectural retire of a ``ret``).
+
+        Underflow simply keeps cycling through the stale slots — the
+        logical pointer goes negative and Python's modulo keeps indexing
+        the cyclic buffer, exactly the stale-reuse behaviour modelled.
+        """
+        self.sp -= 1
+        return self.buffer[self.sp % self.depth]
+
+    def mispredicted_targets(self, emulator, instr: Instruction,
+                             actual: int) -> List[int]:
+        """The stale predicted return target, when it disagrees.
+
+        Offered only when the prediction is decodable code (slot zero from
+        a fresh buffer, or an address from a different binary's run, is
+        not a place the emulator can execute).
+        """
+        predicted = self.peek()
+        if predicted != actual and predicted in emulator.instructions:
+            return [predicted]
+        return []

@@ -9,7 +9,15 @@ package registers every target in :data:`repro.targets.base.REGISTRY`.
 from typing import List
 
 from repro.targets.base import AttackPoint, TargetProgram, TargetRegistry, REGISTRY
-from repro.targets import jsmn, libyaml, libhtp, brotli, openssl_server, samples  # noqa: F401
+from repro.targets import (  # noqa: F401
+    jsmn,
+    libyaml,
+    libhtp,
+    brotli,
+    openssl_server,
+    samples,
+    variant_gadgets,
+)
 from repro.targets.case_studies import LZMA_CASE_STUDY, MASSAGE_CASE_STUDY
 from repro.targets.injection import (
     InjectedGadget,

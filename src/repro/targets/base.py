@@ -38,6 +38,10 @@ class TargetProgram:
     attack_points: List[AttackPoint] = field(default_factory=list)
     perf_input_builder: Optional[Callable[[int], bytes]] = None
     description: str = ""
+    #: speculation variants with known (planted or paper-documented)
+    #: gadgets in this program — the capability list ``repro targets
+    #: --json`` publishes so campaigns and tests need no ad-hoc knowledge.
+    variants: List[str] = field(default_factory=lambda: ["pht"])
 
     def compile(self, options: Optional[CompilerOptions] = None) -> TelfBinary:
         """Compile the target's mini-C source to a COTS binary."""

@@ -104,3 +104,170 @@ def gadget_snippet(instance: int, variant: int = 0) -> str:
 def gadget_globals(instance: int) -> str:
     """The global declarations needed by gadget ``instance``."""
     return GADGET_GLOBALS_TEMPLATE.replace("{n}", str(instance))
+
+
+# ---------------------------------------------------------------------------
+# Planted gadgets for the non-PHT speculation variants (BTB / RSB / STL)
+# ---------------------------------------------------------------------------
+#
+# Every source below is architecturally safe: the attacker value only
+# reaches the leaking access on a *mispredicted* path of the corresponding
+# speculation model, so any report on these programs is a true positive of
+# that variant.  Each program plants (at least) two distinct leak sites,
+# one cache-transmitting two-load gadget and one port-contention gadget.
+
+#: Spectre-BTB: two victim functions are architecturally called (with safe
+#: indices) through a function pointer, training the target-history table;
+#: the final calls resolve to a benign function while the attacker index
+#: is live in the argument register, so the modelled BTB mispredicts into
+#: a victim with the attacker's index.
+BTB_SOURCE = r"""
+int bt_sink = 0;
+byte *bt_a1 = 0;
+byte *bt_a2 = 0;
+
+int bt_victim_cache(int idx) {
+    bt_sink = bt_sink + bt_a2[bt_a1[idx] * 2];
+    return 0;
+}
+
+int bt_victim_port(int idx) {
+    if (bt_a1[idx] > 64) {
+        bt_sink = bt_sink + 1;
+    }
+    return 0;
+}
+
+int bt_benign(int idx) {
+    return idx + 1;
+}
+
+int main() {
+    byte buf[16];
+    int n = read_input(buf, 16);
+    if (n < 1) {
+        return 0;
+    }
+    bt_a1 = malloc(16);
+    bt_a2 = malloc(512);
+    int atk = attack_input();
+    int f = bt_victim_cache;
+    f(3);
+    f = bt_victim_port;
+    f(5);
+    f = bt_benign;
+    f(atk);
+    f(atk);
+    free(bt_a1);
+    free(bt_a2);
+    return 0;
+}
+"""
+
+#: Spectre-RSB: shallow recursion deeper than the modelled return-stack
+#: buffer overwrites its oldest entries; the victims' returns then
+#: mispredict to the stale recursive return sites, whose code indexes with
+#: the *returned* value — architecturally always 0, but the mispredicting
+#: return carries the raw attacker value in the return register.
+RSB_SOURCE = r"""
+byte *rs_a1 = 0;
+byte *rs_a2 = 0;
+int rs_atk = 0;
+int rs_sink = 0;
+int rs_sink2 = 0;
+
+int rs_deep(int d) {
+    if (d > 0) {
+        int r = rs_deep(d - 1);
+        rs_sink = rs_sink + rs_a2[rs_a1[r] * 2];
+        return r;
+    }
+    return 0;
+}
+
+int rs_victim() {
+    rs_deep(5);
+    return rs_atk;
+}
+
+int rs_deep2(int d) {
+    if (d > 0) {
+        int r2 = rs_deep2(d - 1);
+        if (rs_a1[r2] > 64) {
+            rs_sink2 = rs_sink2 + 1;
+        }
+        return r2;
+    }
+    return 0;
+}
+
+int rs_victim2() {
+    rs_deep2(5);
+    return rs_atk;
+}
+
+int main() {
+    byte buf[16];
+    int n = read_input(buf, 16);
+    if (n < 1) {
+        return 0;
+    }
+    rs_a1 = malloc(16);
+    rs_a2 = malloc(512);
+    rs_atk = attack_input();
+    rs_victim();
+    rs_victim2();
+    free(rs_a1);
+    free(rs_a2);
+    return 0;
+}
+"""
+
+#: Spectre-STL: a stack slot briefly holds the raw attacker value before a
+#: younger store overwrites it with a safe index; the dependent load can
+#: speculatively bypass the overwriting store and index with the stale
+#: attacker value.
+STL_SOURCE = r"""
+byte *st_a1 = 0;
+byte *st_a2 = 0;
+int st_sink = 0;
+
+int st_victim_cache() {
+    int slot = attack_input();
+    slot = 3;
+    st_sink = st_sink + st_a2[st_a1[slot] * 2];
+    return 0;
+}
+
+int st_victim_port() {
+    int slot2 = attack_input();
+    slot2 = 1;
+    if (st_a1[slot2] > 64) {
+        st_sink = st_sink + 1;
+    }
+    return 0;
+}
+
+int main() {
+    byte buf[16];
+    int n = read_input(buf, 16);
+    if (n < 1) {
+        return 0;
+    }
+    st_a1 = malloc(16);
+    st_a2 = malloc(512);
+    st_victim_cache();
+    st_victim_port();
+    free(st_a1);
+    free(st_a2);
+    return 0;
+}
+"""
+
+#: Sources of the standalone per-variant gadget targets, keyed by the
+#: speculation-model name whose planted leaks they carry.
+VARIANT_GADGET_SOURCES = {
+    "btb": BTB_SOURCE,
+    "rsb": RSB_SOURCE,
+    "stl": STL_SOURCE,
+}

@@ -1,0 +1,72 @@
+"""Standalone gadget-sample targets for the BTB/RSB/STL variants.
+
+The classic ``gadgets`` target carries the Kocher (Spectre-PHT) samples;
+these three targets do the same for the other speculation models: each is
+a tiny driver around mini-C sources (in :mod:`repro.targets.gadget_samples`)
+with **planted, architecturally safe** leaks that only a misprediction of
+the corresponding variant can reach.  They are the golden-pinnable ground
+truth of ``repro fuzz --variants ...`` and the variant-smoke CI job.
+
+The attacker value comes from the ``attack_input()`` external, which reads
+successive 8-byte windows of the raw fuzz input; the seeds therefore
+encode out-of-bounds-but-redzone indices (the 16-byte victim arrays carry
+32-byte ASan redzones) so even the seed replay detects the leaks.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import TargetProgram, REGISTRY
+from repro.targets.gadget_samples import VARIANT_GADGET_SOURCES
+
+
+def _attack_window(*values: int) -> bytes:
+    """Raw input whose successive ``attack_input()`` windows are ``values``."""
+    return b"".join(value.to_bytes(8, "little") for value in values)
+
+
+def _seeds() -> list:
+    # One safe run plus redzone-hitting attacker indices (16-byte arrays
+    # with 32-byte redzones: 16..47 is detectably out of bounds).
+    return [
+        b"\x01" + b"\x00" * 15,
+        _attack_window(17, 19),
+        _attack_window(40, 33),
+    ]
+
+
+def _perf_input(size: int) -> bytes:
+    pattern = bytes((i * 29) % 48 for i in range(max(size, 1)))
+    return pattern[:size]
+
+
+_DESCRIPTIONS = {
+    "btb": "indirect-call victims behind a trained branch-target buffer",
+    "rsb": "return-stack over/underflow into stale recursive return sites",
+    "stl": "store-to-load bypass of an index-sanitising store",
+}
+
+#: Variant capability lists.  ``gadgets-btb`` also carries genuine STL
+#: gadgets: the ``f = victim; ... f(atk)`` function-pointer stores are
+#: bypassable by the indirect call's pointer load, speculatively hijacking
+#: the call to a stale victim — the CI golden pins those 2 sites.
+_CAPABILITIES = {
+    "btb": ["btb", "stl"],
+    "rsb": ["rsb"],
+    "stl": ["stl"],
+}
+
+VARIANT_GADGETS = {
+    variant: REGISTRY.register(
+        TargetProgram(
+            name=f"gadgets-{variant}",
+            source=source,
+            seeds=_seeds(),
+            attack_points=[],
+            perf_input_builder=_perf_input,
+            description=f"planted Spectre-{variant.upper()} samples: "
+                        f"{_DESCRIPTIONS[variant]}",
+            variants=list(_CAPABILITIES[variant]),
+        )
+    )
+    for variant, source in sorted(VARIANT_GADGET_SOURCES.items())
+}

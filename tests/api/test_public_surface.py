@@ -23,6 +23,7 @@ EXPECTED_SURFACE = sorted([
     "StageRecord",
     # plugin registries
     "ENGINE_REGISTRY",
+    "MODEL_REGISTRY",
     "PASS_REGISTRY",
     "SCHEDULER_REGISTRY",
     "DuplicatePluginError",
@@ -30,7 +31,9 @@ EXPECTED_SURFACE = sorted([
     "PluginRegistry",
     "UnknownPluginError",
     "engine_names",
+    "model_names",
     "register_engine",
+    "register_model",
     "register_pass",
     "register_scheduler",
     "register_target",
@@ -44,6 +47,7 @@ EXPECTED_SURFACE = sorted([
     "CampaignSpec",
     "GadgetReport",
     "HardeningResult",
+    "SpeculationModel",
     "TargetProgram",
 ])
 

@@ -167,6 +167,41 @@ def test_specfuzz_runtime_identical_across_engines():
     assert records["fast"] == records["legacy"]
 
 
+@pytest.mark.parametrize("variants", [
+    ("btb",), ("rsb",), ("stl",), ("pht", "btb", "rsb", "stl"),
+])
+def test_variant_models_identical_across_engines(variants):
+    """Speculation-model runs (BTB/RSB/STL, alone and combined) must be
+    engine-invariant too: model sites funnel both engines through the same
+    shared handlers, and this locks that in over full fuzzing loops on
+    every planted gadget-sample target."""
+    for target_name in ("gadgets-btb", "gadgets-rsb", "gadgets-stl"):
+        target = get_target(target_name)
+        config = TeapotConfig(variants=variants)
+        binary = TeapotRewriter(config).instrument(compile_vanilla(target))
+        campaigns = {}
+        for engine in ("legacy", "fast"):
+            runtime = TeapotRuntime(binary, config=config.with_engine(engine))
+            fuzzer = Fuzzer(FuzzTarget(runtime), seeds=list(target.seeds),
+                            seed=23)
+            result = fuzzer.run_campaign(80)
+            campaigns[engine] = (
+                result.executions,
+                result.total_cycles,
+                result.total_steps,
+                result.crashes,
+                result.hangs,
+                result.corpus_size,
+                result.normal_coverage,
+                result.speculative_coverage,
+                result.spec_stats,
+                result.reports.to_dicts(),
+                fuzzer.corpus.to_dicts(),
+            )
+        assert campaigns["fast"] == campaigns["legacy"], (
+            f"{target_name} diverged under variants={variants}")
+
+
 def test_fuzzer_engine_selection_rebuilds_target():
     """Fuzzer(engine=...) swaps the runtime's engine without changing results."""
     target = get_target("gadgets")

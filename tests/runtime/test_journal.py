@@ -212,6 +212,170 @@ def test_nested_speculation_pops_journal_segments():
     assert machine.journal is None  # journal detached after the last pop
 
 
+# ---------------------------------------------------------------------------
+# Speculation-model interaction: mixed-model nesting over the journal
+# ---------------------------------------------------------------------------
+
+#: One op in a mixed-model run: register/memory writes, model-tagged
+#: checkpoint entries (pht is checkpoint-driven, btb/stl dynamic), an STL
+#: stale-window rewind (a journaled guest write of pre-store bytes), and
+#: rollbacks.  Models the exact write pattern the emulator's model hooks
+#: produce.
+_MODEL_OPS = st.one_of(
+    st.tuples(st.just("reg"), st.integers(0, 15), st.integers(0, 2**64 - 1)),
+    st.tuples(st.just("mem"), st.integers(0, REGION_SIZE - 16),
+              st.binary(min_size=1, max_size=16)),
+    st.tuples(st.just("checkpoint"),
+              st.sampled_from(["pht", "btb", "rsb", "stl"]), st.just(0)),
+    st.tuples(st.just("stale"), st.integers(0, REGION_SIZE - 8),
+              st.binary(min_size=8, max_size=8)),
+    st.tuples(st.just("rollback"), st.just(0), st.just(0)),
+)
+
+
+def _apply_model_ops(machine, controller, ops):
+    """Drive one controller through a mixed-model op sequence.
+
+    ``stale`` ops emulate the STL hook: inside a simulation they rewrite
+    guest memory to (pretend) pre-store bytes through the journaled write
+    path.  Returns (pending snapshots, (restored, expected, model) rows,
+    ``undone`` counts).
+    """
+    snapshots = []
+    restored = []
+    undone_counts = []
+    site = 0x40
+    for kind, a, b in ops:
+        if kind == "reg":
+            machine.set_reg(a, b)
+        elif kind == "mem":
+            _guest_write(machine, controller, REGION_START + a, b)
+        elif kind == "stale":
+            if controller.in_simulation:
+                _guest_write(machine, controller, REGION_START + a, b)
+        elif kind == "checkpoint":
+            site += 4
+            if controller.maybe_enter(machine, branch_address=site,
+                                      resume_pc=site, model=a):
+                snapshots.append((_state(machine), a, site))
+        elif kind == "rollback":
+            if controller.in_simulation:
+                model = controller.checkpoints[-1].model
+                undone_counts.append(controller.rollback(machine))
+                state, expected_model, entry_site = snapshots.pop()
+                assert expected_model == model
+                restored.append((_state(machine), state, model))
+                # Dynamic models arm the skip for their entry site; the
+                # checkpoint-driven pht must not.
+                if model == "pht":
+                    assert controller.skip_site is None
+                else:
+                    assert controller.skip_site == entry_site
+                    assert machine.pc == entry_site
+    return snapshots, restored, undone_counts
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_MODEL_OPS, min_size=1, max_size=60))
+def test_mixed_model_nesting_pops_journal_marks_cleanly(ops):
+    """BTB/RSB/STL/PHT checkpoints interleave; every rollback restores the
+    exact entry state of *its* nesting level (journal marks pop cleanly)."""
+    machine = _machine()
+    controller = JournalingSpeculationController(AlwaysNest())
+    snapshots, restored, _ = _apply_model_ops(machine, controller, ops)
+    for state, expected, _model in restored:
+        assert state == expected
+    while controller.in_simulation:
+        controller.rollback(machine)
+        assert _state(machine) == snapshots.pop()[0]
+    assert not snapshots
+    assert machine.journal is None
+    assert len(controller.journal) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_MODEL_OPS, min_size=1, max_size=60))
+def test_mixed_model_controllers_agree(ops):
+    """Snapshot and journaling controllers agree under mixed-model runs."""
+    legacy_machine, fast_machine = _machine(), _machine()
+    legacy = SpeculationController(AlwaysNest())
+    fast = JournalingSpeculationController(AlwaysNest())
+    legacy_out = _apply_model_ops(legacy_machine, legacy, ops)
+    fast_out = _apply_model_ops(fast_machine, fast, ops)
+    assert fast_out == legacy_out
+    assert _state(fast_machine) == _state(legacy_machine)
+    assert fast.stats.as_dict() == legacy.stats.as_dict()
+    assert fast.skip_site == legacy.skip_site
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, REGION_SIZE - 8),
+    st.binary(min_size=8, max_size=8),
+    st.binary(min_size=8, max_size=8),
+)
+def test_stl_stale_window_rewind_rolls_back(offset, committed, stale):
+    """An STL entry's stale-memory rewind is undone by its own rollback,
+    and the model's store window itself is architectural state that the
+    rollback must NOT touch."""
+    from repro.specmodels import StlModel
+
+    machine = _machine()
+    controller = JournalingSpeculationController(AlwaysNest())
+    addr = REGION_START + offset
+
+    class _Em:
+        pass
+
+    em = _Em()
+    em.machine = machine
+    em.dift = None
+
+    stl = StlModel()
+    machine.memory.write_bytes(addr, stale)
+    stl.on_store(em, None, addr, 8)           # records old = `stale`
+    machine.memory.write_bytes(addr, committed)
+
+    index = stl.find(addr, 8)
+    assert index is not None
+    assert controller.maybe_enter(machine, branch_address=0x40,
+                                  resume_pc=0x40, model="stl")
+    old, _tags = stl.take(index)
+    machine.memory.write_bytes(addr, old)     # journaled stale rewind
+    assert machine.memory.read_bytes(addr, 8) == stale
+    window_after_entry = list(stl.journal.entries)
+
+    controller.rollback(machine)
+    assert machine.memory.read_bytes(addr, 8) == committed
+    assert stl.journal.entries == window_after_entry  # window untouched
+    assert stl.find(addr, 8) is None           # each store forwards once
+
+
+def test_btb_history_untouched_by_rollback():
+    """Indirect-branch target state is architectural: entering and rolling
+    back a BTB simulation leaves the (deliberately unjournaled) target
+    history exactly as trained."""
+    from repro.specmodels import BtbModel
+
+    machine = _machine()
+    controller = JournalingSpeculationController(AlwaysNest())
+    btb = BtbModel()
+    btb.observe_target(0x100)
+    btb.observe_target(0x108)
+
+    # A function-pointer slot in guest memory *is* rolled back...
+    machine.memory.write_int(REGION_START, 0x100, 8)
+    assert controller.maybe_enter(machine, branch_address=0x48,
+                                  resume_pc=0x48, model="btb")
+    machine.memory.write_int(REGION_START, 0x108, 8)
+    btb_trained = list(btb.history)
+    controller.rollback(machine)
+    assert machine.memory.read_int(REGION_START, 8) == 0x100
+    # ...while the BTB itself survives, like a real predictor.
+    assert btb.history == btb_trained
+    assert controller.skip_site == 0x48
+
+
 def test_begin_run_clears_stale_journal():
     """A run that dies mid-simulation must not leak journal state."""
     machine = _machine()

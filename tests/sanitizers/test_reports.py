@@ -11,14 +11,46 @@ from repro.sanitizers.reports import (
 
 
 def make_report(pc=0x100, channel=Channel.CACHE, attacker=AttackerClass.USER,
-                tool="teapot", depth=1, description=""):
+                tool="teapot", depth=1, description="", variant="pht"):
     return GadgetReport(
         tool=tool, channel=channel, attacker=attacker, pc=pc,
         branch_addresses=(0x40, 0x44), depth=depth, description=description,
+        variant=variant,
     )
 
 
 # -- dedup -----------------------------------------------------------------
+
+def test_variant_is_part_of_the_site():
+    """A PHT and an STL gadget at the same pc are different findings."""
+    pht = make_report(pc=0x100)
+    stl = make_report(pc=0x100, variant="stl")
+    assert pht.site != stl.site
+
+    collection = ReportCollection()
+    assert collection.add(pht)
+    assert collection.add(stl)           # not silently merged
+    assert not collection.add(make_report(pc=0x100, variant="stl"))
+    assert len(collection) == 2
+    assert collection.count_by_variant() == {"pht": 1, "stl": 1}
+
+
+def test_variant_survives_serialization_round_trip():
+    report = make_report(variant="btb")
+    rebuilt = GadgetReport.from_dict(report.to_dict())
+    assert rebuilt == report
+    assert rebuilt.variant == "btb"
+
+
+def test_from_dict_defaults_missing_variant_to_pht():
+    """Pre-variant records (old checkpoints, saved report files) load as
+    conditional-branch findings."""
+    record = make_report().to_dict()
+    del record["variant"]
+    rebuilt = GadgetReport.from_dict(record)
+    assert rebuilt.variant == "pht"
+    assert rebuilt == make_report()
+
 
 def test_collection_dedups_by_site():
     collection = ReportCollection()

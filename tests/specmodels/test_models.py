@@ -1,0 +1,233 @@
+"""Unit tests for the speculation-model subsystem (registry + models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plugins import (
+    MODEL_REGISTRY,
+    DuplicatePluginError,
+    UnknownPluginError,
+    model_names,
+    register_model,
+)
+from repro.runtime.machine import MachineState
+from repro.runtime.speculation import (
+    JournalingSpeculationController,
+    SpeculationController,
+    TeapotNestingPolicy,
+)
+from repro.specmodels import (
+    BtbModel,
+    PhtModel,
+    RsbModel,
+    SpeculationModel,
+    StlModel,
+    build_models,
+)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_builtin_models_registered():
+    assert model_names() == ["btb", "pht", "rsb", "stl"]
+
+
+def test_build_models_returns_fresh_instances():
+    first = build_models(("btb", "stl"))
+    second = build_models(("btb", "stl"))
+    assert [m.name for m in first] == ["btb", "stl"]
+    assert first[0] is not second[0]  # stateful: one instance per runtime
+
+
+def test_build_models_deduplicates_preserving_order():
+    models = build_models(("stl", "pht", "stl"))
+    assert [m.name for m in models] == ["stl", "pht"]
+
+
+def test_build_models_unknown_name_lists_options():
+    with pytest.raises(UnknownPluginError, match="btb, pht, rsb, stl"):
+        build_models(("smotherspectre",))
+
+
+def test_register_model_rejects_duplicates():
+    with pytest.raises(DuplicatePluginError):
+        register_model("pht", PhtModel)
+
+
+def test_third_party_model_plugs_in():
+    @register_model("test-variant")
+    class TestModel(SpeculationModel):
+        name = "test-variant"
+
+    try:
+        (model,) = build_models(("test-variant",))
+        assert isinstance(model, TestModel)
+    finally:
+        MODEL_REGISTRY.unregister("test-variant")
+    assert "test-variant" not in model_names()
+
+
+# ---------------------------------------------------------------------------
+# model semantics (against a stub emulator)
+# ---------------------------------------------------------------------------
+
+class StubEmulator:
+    """Just enough of an Emulator for the model hooks."""
+
+    def __init__(self, code=(0x100, 0x108, 0x110, 0x118)):
+        self.instructions = {addr: object() for addr in code}
+        self.machine = MachineState()
+        self.machine.memory.map_region(0x1000, 0x1000)
+        self.dift = None
+
+
+def test_btb_history_is_bounded_and_move_to_front():
+    btb = BtbModel(history_size=2)
+    for target in (1, 2, 3):
+        btb.observe_target(target)
+    assert btb.history == [3, 2]
+    btb.observe_target(2)
+    assert btb.history == [2, 3]
+
+
+def test_btb_candidates_exclude_actual_and_non_code():
+    em = StubEmulator()
+    btb = BtbModel()
+    btb.observe_target(0x100)
+    btb.observe_target(0xDEAD)   # not decodable code
+    btb.observe_target(0x108)
+    assert btb.mispredicted_targets(em, None, 0x108) == [0x100]
+    assert btb.mispredicted_targets(em, None, 0x999) == [0x108, 0x100]
+
+
+def test_btb_rotates_candidates_per_site():
+    btb = BtbModel()
+    candidates = [0x100, 0x108]
+    assert btb.choose_target(0x40, candidates) == 0x100
+    assert btb.choose_target(0x40, candidates) == 0x108
+    assert btb.choose_target(0x40, candidates) == 0x100
+    # Rotation counters are per site.
+    assert btb.choose_target(0x44, candidates) == 0x100
+
+
+def test_btb_history_survives_begin_run():
+    btb = BtbModel()
+    btb.observe_target(0x100)
+    btb.begin_run()
+    assert btb.history == [0x100]   # BTBs are not flushed between runs
+    btb.reset()
+    assert btb.history == []
+
+
+def test_rsb_overflow_overwrites_oldest():
+    em = StubEmulator()
+    rsb = RsbModel(depth=2)
+    rsb.on_call(em, None, 0x100)
+    rsb.on_call(em, None, 0x108)
+    rsb.on_call(em, None, 0x110)   # overflow: overwrites 0x100
+    assert rsb.pop() == 0x110
+    assert rsb.pop() == 0x108
+    # Underflow past the live entries cycles onto stale slots.
+    assert rsb.pop() == 0x110
+
+
+def test_rsb_mispredicts_only_to_decodable_stale_entries():
+    em = StubEmulator()
+    rsb = RsbModel(depth=2)
+    assert rsb.mispredicted_targets(em, None, 0x100) == []  # empty buffer
+    rsb.on_call(em, None, 0x108)
+    assert rsb.mispredicted_targets(em, None, 0x108) == []  # prediction right
+    assert rsb.mispredicted_targets(em, None, 0x100) == [0x108]
+
+
+def test_rsb_resets_per_run():
+    em = StubEmulator()
+    rsb = RsbModel(depth=2)
+    rsb.on_call(em, None, 0x108)
+    rsb.begin_run()
+    assert rsb.mispredicted_targets(em, None, 0x100) == []
+
+
+def test_stl_window_matches_youngest_and_consumes_once():
+    em = StubEmulator()
+    stl = StlModel(window=4)
+    em.machine.memory.write_bytes(0x1000, b"\x11" * 8)
+    stl.on_store(em, None, 0x1000, 8)        # record old = 0x11...
+    em.machine.memory.write_bytes(0x1000, b"\x22" * 8)
+    stl.on_store(em, None, 0x1000, 8)        # record old = 0x22...
+    index = stl.find(0x1000, 8)
+    assert index is not None
+    stale, _ = stl.take(index)
+    assert stale == b"\x22" * 8              # youngest record wins
+    index = stl.find(0x1000, 8)
+    stale, _ = stl.take(index)
+    assert stale == b"\x11" * 8
+    assert stl.find(0x1000, 8) is None       # each store forwards once
+
+
+def test_stl_requires_exact_range_and_bounds_window():
+    em = StubEmulator()
+    stl = StlModel(window=2)
+    stl.on_store(em, None, 0x1000, 8)
+    assert stl.find(0x1000, 4) is None       # width mismatch
+    assert stl.find(0x1004, 8) is None       # address mismatch
+    stl.on_store(em, None, 0x1010, 8)
+    stl.on_store(em, None, 0x1020, 8)        # evicts the 0x1000 record
+    assert stl.find(0x1000, 8) is None
+    stl.begin_run()
+    assert stl.find(0x1010, 8) is None       # store queues do not survive
+
+
+def test_stl_ignores_unmapped_stores():
+    em = StubEmulator()
+    stl = StlModel()
+    stl.on_store(em, None, 0xDEAD0000, 8)
+    assert len(stl.journal.entries) == 0
+
+
+# ---------------------------------------------------------------------------
+# controller integration: model-tagged checkpoints and the rollback skip
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("controller_cls", [
+    SpeculationController, JournalingSpeculationController,
+])
+def test_checkpoints_tagged_with_model(controller_cls):
+    machine = MachineState()
+    machine.memory.map_region(0x1000, 0x1000)
+    controller = controller_cls(TeapotNestingPolicy())
+    assert controller.current_model == "pht"
+
+    assert controller.maybe_enter(machine, branch_address=0x40,
+                                  resume_pc=0x40, model="stl")
+    assert controller.current_model == "stl"
+    assert controller.maybe_enter(machine, branch_address=0x48,
+                                  resume_pc=0x4C)
+    assert controller.current_model == "pht"    # nested default entry
+
+    # Rolling back a PHT checkpoint arms no skip; a dynamic model's does.
+    controller.rollback(machine)
+    assert controller.skip_site is None
+    assert controller.current_model == "stl"
+    controller.rollback(machine)
+    assert controller.skip_site == 0x40
+    assert controller.consume_skip(0x40) is True
+    assert controller.consume_skip(0x40) is False
+    assert controller.stats.model_entries == {"stl": 1}
+    assert controller.stats.as_dict()["entered_stl"] == 1
+
+
+def test_pht_only_stats_serialization_unchanged():
+    controller = SpeculationController(TeapotNestingPolicy())
+    machine = MachineState()
+    controller.maybe_enter(machine, branch_address=0x40, resume_pc=0x44)
+    controller.rollback(machine)
+    assert "entered_pht" not in controller.stats.as_dict()
+    assert set(controller.stats.as_dict()) == {
+        "simulations_started", "nested_simulations", "rollbacks",
+        "forced_rollbacks", "exception_rollbacks", "budget_rollbacks",
+        "max_depth_reached", "simulated_instructions",
+    }
