@@ -41,9 +41,12 @@ def pytest_sessionfinish(session, exitstatus):
     """Write one ``BENCH_<name>.json`` per recorded benchmark."""
     if not _BENCH_RESULTS:
         return
+    from repro._version import __version__
+
     os.makedirs(BENCH_DIR, exist_ok=True)
     for name, metrics in sorted(_BENCH_RESULTS.items()):
-        payload = {"bench": name, "scale": SCALE, **metrics}
+        payload = {"bench": name, "scale": SCALE, "version": __version__,
+                   **metrics}
         path = os.path.join(BENCH_DIR, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, indent=1, sort_keys=True) + "\n")

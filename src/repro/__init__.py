@@ -52,8 +52,7 @@ from repro.sanitizers.reports import AttackerClass, Channel, GadgetReport
 from repro.targets import get_target, inject_gadgets, compile_vanilla, runnable_targets
 from repro.campaign import CampaignScheduler, CampaignSpec, run_campaign
 from repro import api
-
-__version__ = "0.4.0"
+from repro._version import __version__
 
 __all__ = [
     "compile_source",

@@ -1,0 +1,10 @@
+"""Single source of the package version.
+
+``setup.py`` reads this file textually (no import, so packaging never
+executes the library), ``repro.__version__`` re-exports it, and the
+telemetry layer stamps it into trace headers, ``RunResult`` artifacts and
+``BENCH_*.json`` records so every emitted file records the code that
+produced it.
+"""
+
+__version__ = "0.5.0"

@@ -70,6 +70,13 @@ from repro.plugins import (
 from repro.sanitizers.reports import GadgetReport
 from repro.specmodels import SpeculationModel
 from repro.targets.base import AttackPoint, TargetProgram
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    TraceWriter,
+    aggregate_trace,
+    read_trace,
+)
 
 
 def target_listing() -> List[Dict[str, object]]:
@@ -138,4 +145,10 @@ __all__ = [
     "HardeningResult",
     "SpeculationModel",
     "TargetProgram",
+    # telemetry / observability
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceWriter",
+    "aggregate_trace",
+    "read_trace",
 ]

@@ -25,6 +25,7 @@ import sys
 from typing import Optional, Sequence
 
 import repro.api as api
+from repro._version import __version__
 
 #: Subcommands forwarded verbatim to the subsystem CLIs.
 _FORWARDED = {
@@ -41,6 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Spectre-gadget detection, campaigns, and hardening "
                     "over one pipeline API (see docs/api.md).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", metavar="command")
 
     fuzz = sub.add_parser(
@@ -67,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", metavar="PATH", default=None,
                       help="write the RunResult artifact ('-' for stdout)")
     fuzz.add_argument("--quiet", action="store_true")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="print a live progress heartbeat to stderr")
+    fuzz.add_argument("--progress-interval", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="minimum seconds between heartbeats (default: 5)")
+    fuzz.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a structured JSONL telemetry trace "
+                           "(inspect with `repro stats PATH`)")
+    fuzz.add_argument("--profile-engine", action="store_true",
+                      help="record per-opcode/per-address emulator hot "
+                           "spots into the telemetry snapshot")
 
     for name, (_, help_text) in _FORWARDED.items():
         fwd = sub.add_parser(name, help=help_text, add_help=False)
@@ -100,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
     targets.add_argument("--json", action="store_true",
                          help="machine-readable listing (runnable/"
                               "injectable flags)")
+
+    stats = sub.add_parser(
+        "stats", help="summarize a telemetry trace written by --trace")
+    stats.add_argument("trace", metavar="TRACE",
+                       help="JSONL trace file (from `repro fuzz --trace` "
+                            "or `repro campaign --trace`)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the aggregate as JSON instead of a table")
     return parser
 
 
@@ -132,8 +154,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                .variants(*spec_variants)
                .fuzz(iterations=args.iterations, rounds=args.rounds,
                      shards=args.shards, checkpoint=args.checkpoint,
-                     resume=args.resume)
-               .report())
+                     resume=args.resume))
+        if args.progress or args.trace or args.profile_engine:
+            run = run.telemetry(trace=args.trace, progress=args.progress,
+                                interval=args.progress_interval,
+                                profile_engine=args.profile_engine)
+        run = run.report()
     except (api.PipelineError, api.UnknownPluginError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -178,6 +204,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import aggregate_trace, format_trace_stats, read_trace
+    from repro.telemetry.tracing import TraceError
+
+    try:
+        records = read_trace(args.trace)
+    except (OSError, TraceError, ValueError) as error:
+        print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 2
+    aggregate = aggregate_trace(records)
+    if args.json:
+        print(json.dumps(aggregate, indent=1, sort_keys=True, default=str))
+        return 0
+    print(format_trace_stats(aggregate))
+    return 0
+
+
 def _cmd_targets(args: argparse.Namespace) -> int:
     listing = api.target_listing()
     if args.json:
@@ -213,6 +256,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "bench": _cmd_bench,
         "targets": _cmd_targets,
+        "stats": _cmd_stats,
     }[args.command]
     try:
         return handler(args)

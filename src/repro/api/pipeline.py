@@ -129,6 +129,10 @@ class Pipeline:
         self._progress: ProgressFn = progress or (lambda message: None)
         self._stages: List[_Stage] = []
         self._spec_variants: Tuple[str, ...] = ("pht",)
+        #: a caller-owned Telemetry bundle, or None.
+        self._telemetry = None
+        #: kwargs for a session-owned Telemetry.create(...), or None.
+        self._telemetry_spec: Optional[Dict[str, object]] = None
         if target is not None:
             self.target(target)
         self.variant(variant)
@@ -198,6 +202,39 @@ class Pipeline:
     def perf_input(self, size: int) -> "Pipeline":
         """Set the crafted performance-input size for bench/overhead."""
         self._perf_input_size = int(size)
+        return self
+
+    def telemetry(
+        self,
+        telemetry=None,
+        *,
+        trace: Optional[str] = None,
+        progress: bool = False,
+        interval: float = 5.0,
+        profile_engine: bool = False,
+    ) -> "Pipeline":
+        """Attach telemetry to the run (observation-only, see
+        ``docs/observability.md``).
+
+        Pass a ready :class:`repro.telemetry.Telemetry` bundle, or use the
+        keywords to have the session build (and close) one per run:
+        ``trace`` writes a structured JSONL trace, ``progress`` prints a
+        live heartbeat every ``interval`` seconds, ``profile_engine``
+        records per-opcode/per-address hot spots of the emulator.  The
+        resulting snapshot lands in :attr:`RunResult.telemetry` either way.
+        Results are bit-identical with or without telemetry.
+        """
+        if telemetry is not None:
+            self._telemetry = telemetry
+            self._telemetry_spec = None
+        else:
+            self._telemetry = None
+            self._telemetry_spec = {
+                "trace": trace,
+                "progress": bool(progress),
+                "interval": float(interval),
+                "profile_engine": bool(profile_engine),
+            }
         return self
 
     # -- stages -------------------------------------------------------------
@@ -377,13 +414,51 @@ class Session:
         #: the last harden stage's patch outcome (with cycle accounting).
         self._patch = None
         self._patch_cycles: Tuple[int, int] = (0, 0)
+        #: the run's Telemetry bundle (None when telemetry is off).
+        self._telemetry = None
 
     # -- driver -------------------------------------------------------------
     def execute(self) -> RunResult:
-        for stage in self.builder._stages:
-            handler = getattr(self, f"_run_{stage.kind}")
-            handler(**stage.params)
+        telemetry, owned = self._materialize_telemetry()
+        if telemetry is None:
+            for stage in self.builder._stages:
+                handler = getattr(self, f"_run_{stage.kind}")
+                handler(**stage.params)
+            return self.result
+
+        from repro.telemetry.context import session as telemetry_session
+
+        self._telemetry = telemetry
+        try:
+            with telemetry_session(telemetry):
+                with telemetry.span("pipeline"):
+                    for stage in self.builder._stages:
+                        handler = getattr(self, f"_run_{stage.kind}")
+                        with telemetry.span(f"stage:{stage.kind}"):
+                            handler(**stage.params)
+            self.result.telemetry = telemetry.snapshot()
+        finally:
+            if owned:
+                telemetry.close()
         return self.result
+
+    def _materialize_telemetry(self):
+        """The run's Telemetry bundle and whether this session owns it."""
+        builder = self.builder
+        if builder._telemetry is not None:
+            return builder._telemetry, False
+        if builder._telemetry_spec is not None:
+            from repro.telemetry import Telemetry
+
+            spec = builder._telemetry_spec
+            return Telemetry.create(
+                trace=spec["trace"],
+                progress=spec["progress"],
+                interval=spec["interval"],
+                profile_engine=spec["profile_engine"],
+                context_info=dict(self.result.context),
+            ), True
+        return None, False
 
     # -- stage implementations ---------------------------------------------
     def _group_spec(self, iterations: int, rounds: int,
@@ -453,6 +528,12 @@ class Session:
         hardened = measure_cycles(patch.hardened, perf_input, b._engine)
         self._patch = patch
         self._patch_cycles = (native, hardened)
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            registry.counter("harden.sites_patched").inc(
+                len(patch.site_reports))
+            registry.gauge("harden.native_cycles").set(native)
+            registry.gauge("harden.hardened_cycles").set(hardened)
         self.result.add_stage("harden", strategy, {
             "strategy": strategy,
             "sites": len(patch.site_reports),
@@ -501,6 +582,15 @@ class Session:
             verify_executions=verification.executions,
         )
         self.result.hardening_result = hardening
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            registry.counter("harden.refuzz_executions").inc(
+                verification.executions)
+            registry.gauge("harden.eliminated").set(
+                len(verification.eliminated))
+            registry.gauge("harden.residual").set(len(verification.residual))
+            registry.gauge("harden.new_sites").set(
+                len(verification.new_sites))
         payload = hardening.to_dict()
         payload["all_eliminated"] = hardening.all_eliminated
         self.result.add_stage("refuzz", patch.strategy, payload)

@@ -19,9 +19,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro._version import __version__
 from repro.sanitizers.reports import GadgetReport
 
 #: Bump on any backwards-incompatible change to the artifact layout.
+#: (Additive fields — ``version``, ``telemetry`` — do not bump it.)
 SCHEMA_VERSION = 1
 
 #: Artifact type tag written into (and required from) every JSON file.
@@ -68,6 +70,11 @@ class RunResult:
     context: Dict[str, object] = field(default_factory=dict)
     stages: List[StageRecord] = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
+    #: library version that produced the artifact.
+    version: str = __version__
+    #: telemetry snapshot (:meth:`repro.telemetry.Telemetry.snapshot`) of
+    #: the run, when the pipeline ran with telemetry attached.
+    telemetry: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         #: live CampaignSummary of the last fuzz/campaign stage (not
@@ -107,12 +114,16 @@ class RunResult:
     # -- serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Stable JSON-ready form (the on-disk artifact layout)."""
-        return {
+        record: Dict[str, object] = {
             "kind": RESULT_KIND,
             "schema_version": self.schema_version,
+            "version": self.version,
             "context": dict(self.context),
-            "stages": [record.to_dict() for record in self.stages],
+            "stages": [stage.to_dict() for stage in self.stages],
         }
+        if self.telemetry is not None:
+            record["telemetry"] = self.telemetry
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict[str, object]) -> "RunResult":
@@ -130,12 +141,17 @@ class RunResult:
             raise ResultSchemaError(
                 f"unsupported schema_version {version} "
                 f"(this library understands 1..{SCHEMA_VERSION})")
-        return cls(
+        result = cls(
             context=dict(record.get("context", {})),
             stages=[StageRecord.from_dict(s)
                     for s in record.get("stages", [])],
             schema_version=version,
+            version=str(record.get("version", "")),
         )
+        telemetry = record.get("telemetry")
+        if telemetry is not None:
+            result.telemetry = dict(telemetry)
+        return result
 
     def to_json(self, indent: Optional[int] = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -194,4 +210,7 @@ class RunResult:
                     f"cycles{'; ' + tools if tools else ''}")
             else:
                 lines.append(f"  {record.kind}: {record.label}")
+        if self.telemetry:
+            metrics = self.telemetry.get("metrics", {})
+            lines.append(f"  telemetry: {len(metrics)} metrics recorded")
         return "\n".join(lines)

@@ -71,6 +71,9 @@ class SpecFuzzConfig:
     #: speculation variants to simulate.  The real SpecFuzz is PHT-only;
     #: the model subsystem extends the baseline past the original tool.
     variants: Tuple[str, ...] = ("pht",)
+    #: optional :class:`repro.telemetry.Telemetry` observer (see
+    #: :class:`repro.core.config.TeapotConfig.telemetry`).
+    telemetry: object = None
 
     def without_nesting(self) -> "SpecFuzzConfig":
         """Copy with nested speculation disabled (for the §7.1 comparison)."""
@@ -228,6 +231,7 @@ class SpecFuzzRuntime:
             coverage=self.coverage,
             max_steps=self.config.max_steps,
             spec_models=self.spec_models,
+            telemetry=self.config.telemetry,
         )
 
     def run(self, input_data: bytes, argv=None) -> ExecutionResult:

@@ -92,6 +92,16 @@ def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
                         help="also write the summary as JSON ('-' for stdout)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live progress heartbeat (execs/s, "
+                             "per-variant site counts) to stderr")
+    parser.add_argument("--progress-interval", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="minimum seconds between heartbeats "
+                             "(default: 5)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a structured JSONL telemetry trace "
+                             "(inspect with `repro stats PATH`)")
     return parser
 
 
@@ -155,13 +165,33 @@ def main(argv: Optional[Sequence[str]] = None,
     progress = None if args.quiet else (
         lambda message: print(f"[campaign] {message}", file=sys.stderr)
     )
+    telemetry = None
+    if args.progress or args.trace:
+        from repro.telemetry import Telemetry
+        from repro.telemetry.context import session as telemetry_session
+
+        telemetry = Telemetry.create(
+            trace=args.trace,
+            progress=args.progress,
+            interval=args.progress_interval,
+            context_info={"command": "campaign",
+                          "fingerprint": spec.fingerprint()},
+        )
     started = time.time()
     try:
-        summary = run_campaign(spec, checkpoint_path=args.checkpoint,
-                               resume=args.resume, progress=progress)
+        if telemetry is not None:
+            with telemetry_session(telemetry):
+                summary = run_campaign(spec, checkpoint_path=args.checkpoint,
+                                       resume=args.resume, progress=progress)
+        else:
+            summary = run_campaign(spec, checkpoint_path=args.checkpoint,
+                                   resume=args.resume, progress=progress)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     elapsed = time.time() - started
     # Write the JSON artifact before touching stdout: a truncated pipe

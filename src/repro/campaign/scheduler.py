@@ -21,15 +21,18 @@ spec fingerprint.
 from __future__ import annotations
 
 import multiprocessing
+from contextlib import nullcontext
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignSpec, JobSpec
-from repro.campaign.store import CampaignState, GroupKey
+from repro.campaign.store import CampaignState, GroupKey, group_key_str
 from repro.campaign.summary import CampaignSummary, summarize
 from repro.campaign.worker import WorkerResult, execute_task
 from repro.fuzzing.corpus import Corpus
 from repro.plugins import SCHEDULER_REGISTRY, register_scheduler
 from repro.targets import get_target
+from repro.telemetry.context import active as _active_telemetry
+from repro.telemetry.metrics import merge_counts
 
 Task = Tuple[JobSpec, Optional[List[bytes]]]
 ProgressFn = Callable[[str], None]
@@ -57,6 +60,15 @@ class CampaignScheduler:
     def run(self, resume: bool = False) -> CampaignSummary:
         """Execute (or finish) the campaign and return its summary."""
         state = self._initial_state(resume)
+        telemetry = _active_telemetry()
+        if telemetry is not None:
+            telemetry.event(
+                "campaign_start",
+                fingerprint=state.fingerprint,
+                rounds=self.spec.rounds,
+                completed_rounds=state.completed_rounds,
+                workers=self.spec.workers,
+            )
         try:
             for round_index in range(state.completed_rounds, self.spec.rounds):
                 jobs = self.spec.jobs_for_round(round_index)
@@ -65,11 +77,31 @@ class CampaignScheduler:
                     f"round {round_index + 1}/{self.spec.rounds}: "
                     f"{len(tasks)} jobs over {self.spec.workers} worker(s)"
                 )
-                results = self._map(tasks)
-                self._merge_round(state, results)
+                round_span = (telemetry.span(f"round:{round_index}")
+                              if telemetry is not None else nullcontext())
+                with round_span:
+                    if telemetry is not None:
+                        registry = telemetry.registry
+                        registry.counter("campaign.jobs_queued").inc(len(tasks))
+                        registry.gauge("campaign.jobs_running").set(len(tasks))
+                    results = self._map(tasks)
+                    if telemetry is not None:
+                        registry.gauge("campaign.jobs_running").set(0)
+                    self._merge_round(state, results)
                 state.completed_rounds = round_index + 1
+                if telemetry is not None:
+                    registry = telemetry.registry
+                    registry.gauge("campaign.rounds_completed").set(
+                        state.completed_rounds
+                    )
+                    if telemetry.heartbeat is not None:
+                        telemetry.heartbeat.maybe_beat(force=True)
                 if self.checkpoint_path:
                     state.save(self.checkpoint_path)
+                    if telemetry is not None:
+                        telemetry.registry.counter(
+                            "campaign.checkpoint_writes"
+                        ).inc()
                     self._progress(f"checkpoint written to {self.checkpoint_path}")
         finally:
             self._close_pool()
@@ -119,9 +151,25 @@ class CampaignScheduler:
         mirror :meth:`repro.fuzzing.fuzzer.CampaignResult.merge` — keep
         the two in step.
         """
+        telemetry = _active_telemetry()
         for result in results:
             key: GroupKey = result.group
             stats = state.group_stats(key)
+            if result.error:
+                # A raising job contributes nothing but its failure record.
+                stats.failed_jobs += 1
+                self._progress(f"job {result.job_id} FAILED: {result.error}")
+                if telemetry is not None:
+                    telemetry.registry.counter("campaign.jobs_failed").inc()
+                    telemetry.event(
+                        "job_failed",
+                        job_id=result.job_id,
+                        group=group_key_str(key),
+                        error=result.error,
+                        traceback=result.traceback,
+                        elapsed_s=round(result.elapsed_s, 6),
+                    )
+                continue
             stats.executions += result.executions
             stats.crashes += result.crashes
             stats.hangs += result.hangs
@@ -131,11 +179,9 @@ class CampaignScheduler:
                                         result.normal_coverage)
             stats.speculative_coverage = max(stats.speculative_coverage,
                                              result.speculative_coverage)
-            for stat_key, value in result.spec_stats.items():
-                stats.spec_stats[stat_key] = (
-                    stats.spec_stats.get(stat_key, 0) + value
-                )
-            state.store.add_serialized(key, result.reports, result.raw_reports)
+            merge_counts(stats.spec_stats, result.spec_stats)
+            new_sites = state.store.add_serialized(key, result.reports,
+                                                   result.raw_reports)
 
             merged = state.corpora.get(key)
             incoming = Corpus.from_dicts(result.corpus)
@@ -143,6 +189,34 @@ class CampaignScheduler:
                 state.corpora[key] = incoming
             else:
                 merged.merge(incoming)
+
+            if telemetry is not None:
+                registry = telemetry.registry
+                registry.counter("campaign.executions").inc(result.executions)
+                registry.counter("campaign.jobs_done").inc()
+                registry.counter("campaign.reports_raw").inc(result.raw_reports)
+                registry.counter("campaign.reports_unique").inc(new_sites)
+                registry.counter("campaign.dedup_hits").inc(
+                    max(0, len(result.reports) - new_sites)
+                )
+                site_totals: dict = {}
+                for group in state.store.keys():
+                    merge_counts(
+                        site_totals,
+                        state.store.collection(group).count_by_variant(),
+                    )
+                for variant, count in site_totals.items():
+                    registry.gauge(f"campaign.sites.{variant}").set(count)
+                telemetry.event(
+                    "job",
+                    job_id=result.job_id,
+                    group=group_key_str(key),
+                    executions=result.executions,
+                    new_sites=new_sites,
+                    elapsed_s=round(result.elapsed_s, 6),
+                )
+                if telemetry.heartbeat is not None:
+                    telemetry.heartbeat.tick()
 
     # -- execution ----------------------------------------------------------
     def _map(self, tasks: List[Task]) -> List[WorkerResult]:

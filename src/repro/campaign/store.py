@@ -49,6 +49,9 @@ class GroupStats:
     #: sizes from different shards cannot be summed meaningfully).
     normal_coverage: int = 0
     speculative_coverage: int = 0
+    #: jobs that raised instead of completing (their payloads are empty and
+    #: contribute nothing to the other counters).
+    failed_jobs: int = 0
     spec_stats: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
@@ -60,6 +63,7 @@ class GroupStats:
             "total_steps": self.total_steps,
             "normal_coverage": self.normal_coverage,
             "speculative_coverage": self.speculative_coverage,
+            "failed_jobs": self.failed_jobs,
             "spec_stats": dict(sorted(self.spec_stats.items())),
         }
 
@@ -73,6 +77,7 @@ class GroupStats:
             total_steps=int(record.get("total_steps", 0)),
             normal_coverage=int(record.get("normal_coverage", 0)),
             speculative_coverage=int(record.get("speculative_coverage", 0)),
+            failed_jobs=int(record.get("failed_jobs", 0)),
             spec_stats=dict(record.get("spec_stats", {})),
         )
 

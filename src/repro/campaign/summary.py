@@ -27,6 +27,8 @@ class GroupSummary:
     speculative_coverage: int = 0
     unique_gadgets: int = 0
     raw_reports: int = 0
+    #: jobs of this group that raised instead of completing.
+    failed_jobs: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
     #: unique gadget sites per speculation variant ("pht", "btb", ...).
     by_variant: Dict[str, int] = field(default_factory=dict)
@@ -54,6 +56,7 @@ class GroupSummary:
             "speculative_coverage": self.speculative_coverage,
             "unique_gadgets": self.unique_gadgets,
             "raw_reports": self.raw_reports,
+            "failed_jobs": self.failed_jobs,
             "by_category": dict(sorted(self.by_category.items())),
             "by_variant": dict(sorted(self.by_variant.items())),
             "spec_stats": dict(sorted(self.spec_stats.items())),
@@ -104,6 +107,9 @@ class CampaignSummary:
     def total_executions(self) -> int:
         return sum(group.executions for group in self.groups)
 
+    def total_failed_jobs(self) -> int:
+        return sum(group.failed_jobs for group in self.groups)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form; also the equality basis of the replay tests."""
         return {
@@ -138,11 +144,15 @@ class CampaignSummary:
             lines.append("  ".join(cell.ljust(widths[i])
                                    for i, cell in enumerate(row)))
         lines.append("")
-        lines.append(
+        total = (
             f"{len(self.groups)} groups, {self.total_executions()} executions, "
             f"{self.total_unique_gadgets()} unique gadget sites "
             f"({self.rounds_completed} rounds)"
         )
+        failed = self.total_failed_jobs()
+        if failed:
+            total += f" — {failed} job(s) FAILED"
+        lines.append(total)
         return "\n".join(lines)
 
 
@@ -170,6 +180,7 @@ def summarize(state: CampaignState) -> CampaignSummary:
             speculative_coverage=stats.speculative_coverage,
             unique_gadgets=len(collection),
             raw_reports=collection.total_raw,
+            failed_jobs=stats.failed_jobs,
             by_category=collection.count_by_category(),
             by_variant=collection.count_by_variant(),
             spec_stats=dict(stats.spec_stats),

@@ -11,6 +11,8 @@ combination exactly once per campaign.
 
 from __future__ import annotations
 
+import time
+import traceback as _traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -162,6 +164,14 @@ class WorkerResult:
     raw_reports: int = 0
     #: the worker's final corpus, serialized (``CorpusEntry.to_dict``).
     corpus: List[Dict[str, object]] = field(default_factory=list)
+    #: non-empty when the job raised instead of completing; the scheduler
+    #: records the failure (``job_failed`` trace event, failed-job counters)
+    #: and skips merging the (empty) payload.
+    error: str = ""
+    #: formatted traceback of the failure, for the trace sink.
+    traceback: str = ""
+    #: wall-clock seconds the job took (success or failure).
+    elapsed_s: float = 0.0
 
     @property
     def group(self) -> Tuple[str, str, str]:
@@ -207,9 +217,30 @@ def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResu
 
 
 def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
-    """Pool entry point: unpack one (job, seeds) task and run it."""
+    """Pool entry point: unpack one (job, seeds) task and run it.
+
+    A raising job is converted into an error-carrying :class:`WorkerResult`
+    instead of propagating (and tearing the whole round down with it): the
+    scheduler records the failure and the campaign's other jobs survive.
+    """
     job, seeds = task
-    return run_job(job, seeds)
+    started = time.perf_counter()
+    try:
+        result = run_job(job, seeds)
+    except Exception as exc:  # noqa: BLE001 - isolate the failing job
+        return WorkerResult(
+            job_id=job.job_id,
+            target=job.target,
+            tool=job.tool,
+            variant=job.variant,
+            shard=job.shard,
+            round_index=job.round_index,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=_traceback.format_exc(),
+            elapsed_s=time.perf_counter() - started,
+        )
+    result.elapsed_s = time.perf_counter() - started
+    return result
 
 
 def clear_caches() -> None:

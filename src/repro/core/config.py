@@ -53,6 +53,12 @@ class TeapotConfig:
     #: ``@register_model`` plugin).  The default matches the paper:
     #: conditional-branch misprediction only.  See ``docs/variants.md``.
     variants: Tuple[str, ...] = ("pht",)
+    #: optional :class:`repro.telemetry.Telemetry` observer threaded into
+    #: the emulator this configuration builds.  Observation-only — results
+    #: are bit-identical with or without it.  ``None`` (the default) falls
+    #: back to the process-wide bundle installed by
+    #: :func:`repro.telemetry.context.session`.
+    telemetry: object = None
 
     def with_engine(self, engine: str) -> "TeapotConfig":
         """A copy of this configuration running on a different engine."""

@@ -114,6 +114,7 @@ class TeapotRuntime:
             stack_protect=self.config.protect_stack,
             taint_sources_enabled=self.config.taint_sources_enabled,
             spec_models=self.spec_models,
+            telemetry=self.config.telemetry,
         )
 
     def _build_spec_models(self):

@@ -19,6 +19,8 @@ from repro.fuzzing.corpus import Corpus
 from repro.fuzzing.mutators import Mutator
 from repro.runtime.emulator import ExecutionResult
 from repro.sanitizers.reports import ReportCollection
+from repro.telemetry.context import active as _active_telemetry
+from repro.telemetry.metrics import merge_counts
 
 
 class FuzzTarget:
@@ -120,8 +122,7 @@ class CampaignResult:
             self.speculative_coverage, other.speculative_coverage
         )
         self.reports.merge(other.reports)
-        for key, value in other.spec_stats.items():
-            self.spec_stats[key] = self.spec_stats.get(key, 0) + value
+        merge_counts(self.spec_stats, other.spec_stats)
 
     def to_dict(self) -> Dict[str, object]:
         """Stable JSON-ready form (mirrors ``ExecutionResult``'s fields the
@@ -207,6 +208,14 @@ class Fuzzer:
         ``into`` to accumulate several chunks into one result.
         """
         result = into if into is not None else CampaignResult()
+        telemetry = _active_telemetry()
+        if telemetry is not None:
+            registry = telemetry.registry
+            execs_counter = registry.counter("fuzz.executions")
+            crash_counter = registry.counter("fuzz.crashes")
+            hang_counter = registry.counter("fuzz.hangs")
+            corpus_gauge = registry.gauge("fuzz.corpus_size")
+            heartbeat = telemetry.heartbeat
         for _ in range(iterations):
             data = self._next_input(self.executions)
             before = self.target.coverage_signature()
@@ -222,14 +231,29 @@ class Fuzzer:
             elif exec_result.status == "fuel":
                 result.hangs += 1
             result.reports.extend(exec_result.reports)
-            for key, value in exec_result.spec_stats.items():
-                result.spec_stats[key] = result.spec_stats.get(key, 0) + value
+            merge_counts(result.spec_stats, exec_result.spec_stats)
 
             if after != before or exec_result.status == "crash":
                 self.corpus.add(data, after[0], after[1],
                                 reason=self._keep_reason(before, after, exec_result))
 
+            if telemetry is not None:
+                execs_counter.inc()
+                if exec_result.status == "crash":
+                    crash_counter.inc()
+                elif exec_result.status == "fuel":
+                    hang_counter.inc()
+                if len(exec_result.reports):
+                    for variant, count in (
+                        result.reports.count_by_variant().items()
+                    ):
+                        registry.gauge(f"fuzz.sites.{variant}").set(count)
+                if heartbeat is not None:
+                    heartbeat.tick()
+
         result.corpus_size = len(self.corpus)
+        if telemetry is not None:
+            corpus_gauge.set(result.corpus_size)
         final = self.target.coverage_signature()
         result.normal_coverage, result.speculative_coverage = final
         return result

@@ -43,6 +43,7 @@ from repro.runtime.externals import ExternalRegistry, default_externals
 from repro.runtime.heap import Heap
 from repro.runtime.machine import MASK64, MachineState, to_signed, to_unsigned
 from repro.runtime.speculation import SpeculationController
+from repro.telemetry.context import active as _active_telemetry
 from repro.coverage.sancov import CoverageRuntime
 from repro.sanitizers.asan import BinaryAsan
 from repro.sanitizers.dift import BinaryDift
@@ -79,6 +80,9 @@ class ExecutionResult:
 class Emulator:
     """Executes a TELF binary over fuzz inputs."""
 
+    #: engine name reported to telemetry; the fast engine overrides it.
+    engine_name = "legacy"
+
     def __init__(
         self,
         binary: TelfBinary,
@@ -91,6 +95,7 @@ class Emulator:
         stack_protect: bool = True,
         taint_sources_enabled: bool = True,
         spec_models=None,
+        telemetry=None,
     ) -> None:
         self.binary = binary
         self.layout = binary.layout
@@ -102,6 +107,10 @@ class Emulator:
         self.max_steps = max_steps
         self.stack_protect = stack_protect
         self.taint_sources_enabled = taint_sources_enabled
+        #: explicit per-emulator telemetry override; when ``None`` (the
+        #: default) the process-wide active bundle is consulted per run.
+        #: Observation-only either way — results never depend on it.
+        self.telemetry = telemetry
         self.has_shadows = binary.metadata.get(SHADOW_METADATA_KEY) == "1"
         #: active speculation models; ``None`` keeps the classic behaviour
         #: (conditional-branch misprediction only) without instantiating
@@ -442,6 +451,11 @@ class Emulator:
     # ------------------------------------------------------------------ run
     def run(self, input_data: bytes = b"", argv: Optional[List[bytes]] = None) -> ExecutionResult:
         """Execute the binary's entry function over ``input_data``."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            telemetry = _active_telemetry()
+        if telemetry is not None and telemetry.profiler is not None:
+            telemetry.profiler.attach(self)
         self._setup_process(input_data, argv or [])
         result = self._execute()
         if self.policy is not None:
@@ -449,6 +463,8 @@ class Emulator:
         if self.controller is not None:
             result.spec_stats = self.controller.stats.as_dict()
         result.output = list(self.output)
+        if telemetry is not None:
+            telemetry.record_execution(self, result)
         return result
 
     def _setup_process(self, input_data: bytes, argv: List[bytes]) -> None:

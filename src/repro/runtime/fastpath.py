@@ -392,12 +392,17 @@ def resolve_engine(name: str):
 class FastEmulator(Emulator):
     """Emulator with decoded-trace dispatch and journal-backed rollback."""
 
+    engine_name = "fast"
+
     def __init__(self, *args, **kwargs) -> None:
         #: per-execution accounting cells shared between the main loop and
         #: the decoded thunks (created before the trace is built).
         self._cycles_cell = [0]
         self._arch_cell = [0]
         self._steps_cell = [0]
+        #: addresses compiled to legacy-fallback thunks (telemetry reads
+        #: the count; the ROADMAP JIT tier will read the addresses).
+        self._fallback_addresses = set()
         super().__init__(*args, **kwargs)
         if self.controller is not None and not getattr(
             self.controller, "uses_machine_journal", False
@@ -1120,6 +1125,7 @@ class FastEmulator(Emulator):
         Used for rare/intricate operations; still skips the dispatch-table
         and cost-model lookups.
         """
+        self._fallback_addresses.add(instr.address)
         em = self
         controller = self.controller
         cps = controller.checkpoints if controller is not None else None

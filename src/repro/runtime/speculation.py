@@ -269,6 +269,10 @@ class SpeculationController:
         self.taint_log: List[Tuple[int, int]] = []
         self.spec_instruction_count = 0
         self.stats = SpeculationStats()
+        #: deepest single rollback observed (undo-log entries replayed);
+        #: telemetry-only — never serialized into ``spec_stats``, whose
+        #: key set the golden tables pin.
+        self.undo_depth_max = 0
         #: site a dynamic speculation model must not immediately re-enter
         #: at: set on every rollback of a dynamic-model checkpoint (whose
         #: ``resume_pc`` is the entry instruction itself) and consumed by
@@ -413,6 +417,8 @@ class SpeculationController:
             machine.memory.write_bytes(address, old)
             undone += 1
         machine.restore_registers(checkpoint.registers)
+        if undone > self.undo_depth_max:
+            self.undo_depth_max = undone
         self._finish_rollback(checkpoint, machine, dift, reason)
         return undone
 
@@ -452,6 +458,7 @@ class SpeculationController:
         self.spec_instruction_count = 0
         self.skip_site = None
         self.stats = SpeculationStats()
+        self.undo_depth_max = 0
         self.policy.reset()
 
 
@@ -541,6 +548,8 @@ class JournalingSpeculationController(SpeculationController):
         checkpoint = self.checkpoints.pop()
 
         undone = self.journal.rollback_to(checkpoint.journal_mark, machine)
+        if undone > self.undo_depth_max:
+            self.undo_depth_max = undone
         self._finish_rollback(checkpoint, machine, dift, reason)
         if not self.checkpoints:
             machine.attach_journal(None)

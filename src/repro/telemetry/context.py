@@ -1,0 +1,70 @@
+"""The process-wide active-telemetry slot.
+
+The hot layers (emulator ``run()``, the fuzzer's execution loop, the
+campaign scheduler) do not thread a telemetry handle through every call —
+they ask :func:`active` once per execution/round and skip all telemetry
+work when it returns ``None``.  That single check is the entire disabled
+cost, which is what keeps the default path within the ≤5 % throughput
+budget.
+
+The slot is pid-guarded: a ``multiprocessing`` fork inherits the module
+state, but a trace writer or heartbeat inherited by a pool worker would
+interleave output and count things the parent never sees, so
+:func:`active` answers ``None`` in any process other than the installer.
+Pool campaigns still get telemetry — the scheduler folds each
+:class:`~repro.campaign.worker.WorkerResult` into the parent registry —
+only per-execution granularity (heartbeat ticks, engine profiling) needs
+a serial (``workers=1``) run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+_ACTIVE = None
+_ACTIVE_PID = 0
+
+
+def install(telemetry):
+    """Make ``telemetry`` the process's active instance and return it."""
+    global _ACTIVE, _ACTIVE_PID
+    _ACTIVE = telemetry
+    _ACTIVE_PID = os.getpid()
+    return telemetry
+
+
+def deactivate() -> None:
+    """Clear the active-telemetry slot (the disabled fast path returns)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional["object"]:
+    """The installed :class:`~repro.telemetry.Telemetry`, or ``None``.
+
+    ``None`` in forked children of the installing process (see the module
+    docstring) and, of course, whenever nothing is installed.
+    """
+    telemetry = _ACTIVE
+    if telemetry is None or os.getpid() != _ACTIVE_PID:
+        return None
+    return telemetry
+
+
+@contextmanager
+def session(telemetry):
+    """Install ``telemetry`` for the duration of a ``with`` block.
+
+    Nests: the previously active instance (if any) is restored on exit,
+    so a pipeline run inside a larger traced program hands the slot back.
+    """
+    global _ACTIVE, _ACTIVE_PID
+    previous, previous_pid = _ACTIVE, _ACTIVE_PID
+    install(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous
+        _ACTIVE_PID = previous_pid

@@ -1,0 +1,105 @@
+"""Opt-in engine profiling: per-opcode and per-address hot-spot counts.
+
+The profiler wraps an emulator's dispatch structures *in place* — the
+fast engine's decoded-thunk trace (one wrapper per instruction address,
+so fused and fallback thunks are counted where they live) or the legacy
+engine's opcode dispatch table — and counts executions per opcode and
+per address.  Wrapping costs a Python call per retired thunk, so this is
+strictly opt-in (``Pipeline.telemetry(profile_engine=True)`` or
+``repro fuzz --profile-engine``); nothing is touched unless a profiler
+is installed before the emulator's first ``run()``.
+
+This is the baseline measurement instrument for the ROADMAP's JIT tier:
+its hot-spot histogram says which thunks a compiled tier should
+specialize first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class EngineProfiler:
+    """Counts executed instructions per opcode and per code address."""
+
+    def __init__(self, hot_spots: int = 20) -> None:
+        #: executions per lower-case opcode name.
+        self.per_opcode: Dict[str, int] = {}
+        #: executions per instruction address (fast engine: per thunk).
+        self.per_address: Dict[int, int] = {}
+        self.hot_spot_limit = hot_spots
+        self._attached: set = set()
+        #: (start, end, name) function ranges for hot-spot attribution.
+        self._symbols: List[Tuple[int, int, str]] = []
+
+    # -- attachment ----------------------------------------------------------
+    def attach(self, emulator) -> None:
+        """Wrap one emulator's dispatch path (idempotent per instance)."""
+        key = id(emulator)
+        if key in self._attached:
+            return
+        self._attached.add(key)
+        for sym in emulator.binary.function_symbols():
+            self._symbols.append((sym.address, sym.address + sym.size,
+                                  sym.name))
+        trace = getattr(emulator, "_trace", None)
+        if trace is not None:
+            self._wrap_trace(emulator, trace)
+        else:
+            self._wrap_dispatch(emulator)
+
+    def _wrap_trace(self, emulator, trace) -> None:
+        """Fast engine: wrap every decoded thunk with a counting shim."""
+        per_address = self.per_address
+        per_opcode = self.per_opcode
+        for addr, thunk in list(trace.items()):
+            name = emulator.instructions[addr].opcode.name.lower()
+
+            def counting(m, _thunk=thunk, _addr=addr, _name=name,
+                         _pa=per_address, _po=per_opcode):
+                _pa[_addr] = _pa.get(_addr, 0) + 1
+                _po[_name] = _po.get(_name, 0) + 1
+                return _thunk(m)
+
+            trace[addr] = counting
+
+    def _wrap_dispatch(self, emulator) -> None:
+        """Legacy engine: wrap the per-opcode handler table."""
+        per_address = self.per_address
+        per_opcode = self.per_opcode
+        for opcode, handler in list(emulator._dispatch.items()):
+            name = opcode.name.lower()
+
+            def counting(instr, _handler=handler, _name=name,
+                         _pa=per_address, _po=per_opcode):
+                _pa[instr.address] = _pa.get(instr.address, 0) + 1
+                _po[_name] = _po.get(_name, 0) + 1
+                return _handler(instr)
+
+            emulator._dispatch[opcode] = counting
+
+    # -- reporting -----------------------------------------------------------
+    def _function_for(self, address: int) -> str:
+        for start, end, name in self._symbols:
+            if start <= address < end:
+                return name
+        return "?"
+
+    def hot_spots(self) -> List[Dict[str, object]]:
+        """The most-executed addresses, hottest first, with attribution."""
+        ranked = sorted(self.per_address.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return [
+            {"address": f"{addr:#x}", "count": count,
+             "function": self._function_for(addr)}
+            for addr, count in ranked[:self.hot_spot_limit]
+        ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready profile: opcode histogram + hot-spot table."""
+        return {
+            "per_opcode": dict(sorted(self.per_opcode.items(),
+                                      key=lambda item: (-item[1], item[0]))),
+            "hot_spots": self.hot_spots(),
+            "addresses_seen": len(self.per_address),
+        }

@@ -1,0 +1,281 @@
+"""Structured JSONL span tracing: writer, reader and aggregator.
+
+A trace is a newline-delimited JSON file whose first record is a
+versioned header (``kind`` / ``schema_version`` / package ``version``,
+like :class:`repro.api.result.RunResult`) and whose following records are
+events and span brackets::
+
+    {"type": "trace_start", "kind": "repro.telemetry/trace", ...}
+    {"type": "span_start", "name": "pipeline", "path": "pipeline", ...}
+    {"type": "span_start", "name": "stage:fuzz", "path": "pipeline/stage:fuzz", ...}
+    {"type": "job", "job_id": "...", "executions": 200, ...}
+    {"type": "span_end", "name": "stage:fuzz", "status": "ok",
+     "elapsed_s": 1.23, "counters": {"campaign.executions": 200, ...}}
+    ...
+    {"type": "trace_end", "counters": {...}}
+
+Every record carries a monotonically increasing ``seq`` and a wall-clock
+``ts``; ``span_end`` records capture elapsed time, error details when the
+span body raised, and a snapshot of the metrics registry so a trace is
+self-contained.  ``repro stats <trace.jsonl>`` renders the aggregate via
+:func:`aggregate_trace` / :func:`format_trace_stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro._version import __version__
+
+#: Artifact type tag of the header record.
+TRACE_KIND = "repro.telemetry/trace"
+
+#: Bump on any backwards-incompatible change to the trace layout.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Raised when a trace file is malformed or of an unsupported version."""
+
+
+class TraceWriter:
+    """Appends events and spans to a JSONL sink, one record per line.
+
+    ``sink`` is a path (opened and owned by the writer) or an open
+    text-file-like object (borrowed).  Records are flushed per line so a
+    live trace can be followed while the campaign runs.  ``registry``
+    (usually wired by :class:`~repro.telemetry.Telemetry`) is snapshotted
+    into every ``span_end`` and the final ``trace_end`` record.
+    """
+
+    def __init__(self, sink, context: Optional[Dict[str, object]] = None,
+                 registry=None, clock=time.time) -> None:
+        if hasattr(sink, "write"):
+            self._file = sink
+            self._owns_file = False
+        else:
+            self._file = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        self.registry = registry
+        self._clock = clock
+        self._seq = 0
+        self._stack: List[str] = []
+        self._closed = False
+        self._emit({
+            "type": "trace_start",
+            "kind": TRACE_KIND,
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "version": __version__,
+            "context": dict(context or {}),
+        })
+
+    # -- emission ------------------------------------------------------------
+    def _emit(self, record: Dict[str, object]) -> None:
+        if self._closed:
+            return
+        record["seq"] = self._seq
+        self._seq += 1
+        record["ts"] = round(self._clock(), 6)
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def event(self, type_: str, **fields: object) -> None:
+        """Emit one free-form event inside the current span (if any)."""
+        record: Dict[str, object] = {"type": type_, **fields}
+        if self._stack:
+            record["span"] = "/".join(self._stack)
+        self._emit(record)
+
+    @contextmanager
+    def span(self, name: str, **fields: object):
+        """Bracket a block with ``span_start``/``span_end`` records.
+
+        The end record carries the elapsed wall-clock seconds, the
+        status (``ok`` or ``error`` — errors re-raise after being
+        recorded, with type and message captured) and a counters
+        snapshot of the attached registry.
+        """
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        start_seq = self._seq
+        self._emit({"type": "span_start", "name": name, "path": path,
+                    **fields})
+        started = time.perf_counter()
+        try:
+            yield self
+        except BaseException as error:
+            self._end_span(name, path, start_seq, started, status="error",
+                           error=f"{type(error).__name__}: {error}")
+            raise
+        else:
+            self._end_span(name, path, start_seq, started, status="ok")
+        finally:
+            self._stack.pop()
+
+    def _end_span(self, name: str, path: str, start_seq: int,
+                  started: float, status: str,
+                  error: Optional[str] = None) -> None:
+        record: Dict[str, object] = {
+            "type": "span_end",
+            "name": name,
+            "path": path,
+            "start_seq": start_seq,
+            "status": status,
+            "elapsed_s": round(time.perf_counter() - started, 6),
+        }
+        if error is not None:
+            record["error"] = error
+        if self.registry is not None:
+            record["counters"] = self.registry.snapshot()
+        self._emit(record)
+
+    def close(self) -> None:
+        """Write the ``trace_end`` record and release an owned sink."""
+        if self._closed:
+            return
+        record: Dict[str, object] = {"type": "trace_end"}
+        if self.registry is not None:
+            record["counters"] = self.registry.snapshot()
+        self._emit(record)
+        self._closed = True
+        if self._owns_file:
+            self._file.close()
+
+
+# -- reading ----------------------------------------------------------------
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse and validate a trace file written by :class:`TraceWriter`.
+
+    Raises:
+        TraceError: unparseable lines, a missing/foreign header, or a
+            ``schema_version`` newer than this library understands.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{number}: unparseable trace record: {error}")
+    if not records:
+        raise TraceError(f"{path}: empty trace")
+    header = records[0]
+    if header.get("type") != "trace_start" or header.get("kind") != TRACE_KIND:
+        raise TraceError(
+            f"{path}: not a {TRACE_KIND} trace "
+            f"(first record: {header.get('type')!r}/{header.get('kind')!r})")
+    version = int(header.get("schema_version", 0))
+    if version < 1 or version > TRACE_SCHEMA_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace schema_version {version} "
+            f"(this library understands 1..{TRACE_SCHEMA_VERSION})")
+    return records
+
+
+def aggregate_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold a parsed trace into one JSON-ready summary record.
+
+    The summary carries the header identity, the span tree (in start
+    order, with elapsed/status/error), per-job statistics from ``job`` /
+    ``job_failed`` events, and the final counters (the ``trace_end``
+    snapshot, falling back to the last ``span_end`` one).
+    """
+    header = records[0]
+    spans: List[Dict[str, object]] = []
+    jobs = {"done": 0, "failed": 0, "executions": 0, "elapsed_s": 0.0}
+    failures: List[Dict[str, object]] = []
+    counters: Dict[str, object] = {}
+    events = 0
+    for record in records[1:]:
+        kind = record.get("type")
+        if kind == "span_end":
+            spans.append({
+                "name": record.get("name"),
+                "path": record.get("path"),
+                "start_seq": record.get("start_seq", 0),
+                "status": record.get("status"),
+                "elapsed_s": record.get("elapsed_s", 0.0),
+                "error": record.get("error"),
+            })
+            if isinstance(record.get("counters"), dict):
+                counters = record["counters"]
+        elif kind == "job":
+            jobs["done"] += 1
+            jobs["executions"] += int(record.get("executions", 0))
+            jobs["elapsed_s"] = round(
+                jobs["elapsed_s"] + float(record.get("elapsed_s", 0.0)), 6)
+        elif kind == "job_failed":
+            jobs["failed"] += 1
+            failures.append({
+                "job_id": record.get("job_id"),
+                "error": record.get("error"),
+            })
+        elif kind == "trace_end":
+            if isinstance(record.get("counters"), dict):
+                counters = record["counters"]
+        elif kind not in ("span_start",):
+            events += 1
+    spans.sort(key=lambda span: span["start_seq"])
+    return {
+        "kind": header.get("kind"),
+        "schema_version": header.get("schema_version"),
+        "version": header.get("version"),
+        "context": header.get("context", {}),
+        "records": len(records),
+        "events": events,
+        "spans": spans,
+        "jobs": jobs,
+        "failures": failures,
+        "counters": counters,
+    }
+
+
+def format_trace_stats(aggregate: Dict[str, object]) -> str:
+    """Render :func:`aggregate_trace` output for humans (``repro stats``)."""
+    context = aggregate.get("context") or {}
+    head = " ".join(f"{key}={context[key]}"
+                    for key in sorted(context) if context[key] is not None)
+    lines = [
+        f"trace: repro {aggregate.get('version')} "
+        f"(schema v{aggregate.get('schema_version')}), "
+        f"{aggregate.get('records')} records"
+    ]
+    if head:
+        lines.append(f"  context: {head}")
+    spans = aggregate.get("spans") or []
+    if spans:
+        lines.append("  spans:")
+        for span in spans:
+            depth = str(span.get("path", "")).count("/")
+            indent = "    " + "  " * depth
+            status = span.get("status")
+            suffix = "" if status == "ok" else f"  [{status}: {span.get('error')}]"
+            lines.append(f"{indent}{span.get('name')}  "
+                         f"{float(span.get('elapsed_s') or 0.0):.3f}s{suffix}")
+    jobs = aggregate.get("jobs") or {}
+    if jobs.get("done") or jobs.get("failed"):
+        lines.append(
+            f"  jobs: {jobs.get('done', 0)} completed, "
+            f"{jobs.get('failed', 0)} failed, "
+            f"{jobs.get('executions', 0)} executions "
+            f"({float(jobs.get('elapsed_s') or 0.0):.3f}s in workers)")
+    for failure in aggregate.get("failures") or []:
+        lines.append(f"    failed: {failure.get('job_id')}: "
+                     f"{failure.get('error')}")
+    counters = aggregate.get("counters") or {}
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            if isinstance(value, dict):  # histogram snapshot
+                value = (f"count={value.get('count', 0)} "
+                         f"sum={value.get('sum', 0)}")
+            lines.append(f"    {name} = {value}")
+    return "\n".join(lines)

@@ -49,6 +49,12 @@ EXPECTED_SURFACE = sorted([
     "HardeningResult",
     "SpeculationModel",
     "TargetProgram",
+    # telemetry / observability
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceWriter",
+    "aggregate_trace",
+    "read_trace",
 ])
 
 

@@ -1,0 +1,92 @@
+"""Heartbeat reporter: rate limiting, rendering, registry sources."""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import HeartbeatReporter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _reporter(registry, interval=5.0):
+    clock = FakeClock()
+    lines = []
+    reporter = HeartbeatReporter(registry, interval=interval,
+                                 sink=lines.append, clock=clock)
+    return reporter, clock, lines
+
+
+def test_heartbeat_rate_limits_by_interval():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry)
+    execs = registry.counter("fuzz.executions")
+
+    # First beat only anchors the window.
+    assert reporter.maybe_beat() is False
+    execs.inc(50)
+    clock.now += 1.0  # within the interval: suppressed
+    assert reporter.maybe_beat() is False
+    clock.now += 5.0  # past the interval: emits
+    assert reporter.maybe_beat() is True
+    assert reporter.beats == 1
+    assert len(lines) == 1
+
+
+def test_heartbeat_renders_rate_corpus_and_sites():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry)
+    reporter.maybe_beat()  # anchor
+    registry.counter("fuzz.executions").inc(1000)
+    registry.gauge("fuzz.corpus_size").set(57)
+    registry.gauge("fuzz.sites.pht").set(3)
+    registry.gauge("fuzz.sites.btb").set(1)
+    clock.now += 10.0
+    assert reporter.maybe_beat() is True
+    line = lines[-1]
+    assert "1,000 execs" in line
+    assert "(100/s)" in line
+    assert "corpus 57" in line
+    assert "sites: btb=1 pht=3" in line
+
+
+def test_heartbeat_prefers_campaign_counters_and_shows_failures():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry)
+    reporter.maybe_beat()  # anchor
+    registry.counter("fuzz.executions").inc(10)
+    registry.counter("campaign.executions").inc(400)
+    registry.gauge("campaign.sites.pht").set(9)
+    registry.gauge("fuzz.sites.pht").set(2)
+    registry.counter("campaign.jobs_failed").inc(2)
+    clock.now += 10.0
+    reporter.maybe_beat()
+    line = lines[-1]
+    assert "400 execs" in line  # max(campaign, fuzz), not their sum
+    assert "sites: pht=9" in line  # campaign-wide dedup view wins
+    assert "failed jobs 2" in line
+
+
+def test_tick_is_cheap_and_eventually_beats():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry, interval=0.5)
+    registry.counter("fuzz.executions").inc(1)
+    # Ticks 1..15 never even read the clock; the 16th may beat.
+    for _ in range(16):
+        reporter.tick()
+    clock.now += 1.0
+    for _ in range(16):
+        reporter.tick()
+    assert reporter.beats == 1
+
+
+def test_force_beat_emits_immediately():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry)
+    assert reporter.maybe_beat(force=True) is True
+    assert len(lines) == 1

@@ -1,0 +1,152 @@
+"""Span tracing: writer round-trip, nesting, error capture, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import (
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    TraceWriter,
+    aggregate_trace,
+    format_trace_stats,
+    read_trace,
+)
+
+
+def _write_trace(path, registry=None):
+    writer = TraceWriter(str(path), context={"command": "test"},
+                         registry=registry)
+    with writer.span("pipeline"):
+        with writer.span("stage:fuzz"):
+            writer.event("job", job_id="j0", executions=10, elapsed_s=0.5)
+        with writer.span("stage:harden"):
+            pass
+    writer.close()
+
+
+def test_trace_header_and_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _write_trace(path)
+    records = read_trace(str(path))
+    header = records[0]
+    assert header["type"] == "trace_start"
+    assert header["kind"] == TRACE_KIND
+    assert header["schema_version"] == TRACE_SCHEMA_VERSION
+    assert header["version"] == __version__
+    assert header["context"] == {"command": "test"}
+    assert records[-1]["type"] == "trace_end"
+    # seq is dense and monotonically increasing.
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+
+def test_span_nesting_paths(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    _write_trace(path)
+    records = read_trace(str(path))
+    paths = [r["path"] for r in records if r["type"] == "span_start"]
+    assert paths == ["pipeline", "pipeline/stage:fuzz",
+                     "pipeline/stage:harden"]
+    job = next(r for r in records if r["type"] == "job")
+    assert job["span"] == "pipeline/stage:fuzz"
+    ends = {r["path"]: r for r in records if r["type"] == "span_end"}
+    assert ends["pipeline"]["status"] == "ok"
+    assert ends["pipeline"]["elapsed_s"] >= 0
+
+
+def test_span_end_snapshots_registry_counters(tmp_path):
+    registry = MetricsRegistry()
+    path = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(path), registry=registry)
+    with writer.span("work"):
+        registry.counter("fuzz.executions").inc(7)
+    writer.close()
+    records = read_trace(str(path))
+    end = next(r for r in records if r["type"] == "span_end")
+    assert end["counters"]["fuzz.executions"] == 7
+    assert records[-1]["counters"]["fuzz.executions"] == 7
+
+
+def test_span_error_is_recorded_and_reraised(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(path))
+    with pytest.raises(RuntimeError, match="boom"):
+        with writer.span("explodes"):
+            raise RuntimeError("boom")
+    writer.close()
+    records = read_trace(str(path))
+    end = next(r for r in records if r["type"] == "span_end")
+    assert end["status"] == "error"
+    assert end["error"] == "RuntimeError: boom"
+
+
+def test_read_trace_rejects_foreign_files(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(TraceError, match="empty"):
+        read_trace(str(empty))
+
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json\n")
+    with pytest.raises(TraceError, match="unparseable"):
+        read_trace(str(garbage))
+
+    foreign = tmp_path / "foreign.jsonl"
+    foreign.write_text(json.dumps({"type": "something_else"}) + "\n")
+    with pytest.raises(TraceError, match="not a"):
+        read_trace(str(foreign))
+
+    future = tmp_path / "future.jsonl"
+    future.write_text(json.dumps({
+        "type": "trace_start", "kind": TRACE_KIND,
+        "schema_version": TRACE_SCHEMA_VERSION + 1,
+    }) + "\n")
+    with pytest.raises(TraceError, match="schema_version"):
+        read_trace(str(future))
+
+
+def test_aggregate_and_format(tmp_path):
+    registry = MetricsRegistry()
+    path = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(path), context={"target": "gadgets"},
+                         registry=registry)
+    with writer.span("pipeline"):
+        with writer.span("stage:fuzz"):
+            writer.event("job", job_id="j0", executions=10, elapsed_s=0.25)
+            writer.event("job_failed", job_id="j1", error="ValueError: nope")
+            registry.counter("campaign.executions").inc(10)
+    writer.close()
+
+    aggregate = aggregate_trace(read_trace(str(path)))
+    assert aggregate["kind"] == TRACE_KIND
+    assert [s["path"] for s in aggregate["spans"]] == [
+        "pipeline", "pipeline/stage:fuzz"]
+    assert aggregate["jobs"] == {"done": 1, "failed": 1, "executions": 10,
+                                 "elapsed_s": 0.25}
+    assert aggregate["failures"] == [{"job_id": "j1",
+                                      "error": "ValueError: nope"}]
+    assert aggregate["counters"]["campaign.executions"] == 10
+
+    rendered = format_trace_stats(aggregate)
+    assert "stage:fuzz" in rendered
+    assert "1 completed, 1 failed" in rendered
+    assert "campaign.executions = 10" in rendered
+
+
+def test_writer_borrows_open_file_objects(tmp_path):
+    import io
+
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    with writer.span("s"):
+        pass
+    writer.close()
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert lines[0]["type"] == "trace_start"
+    assert lines[-1]["type"] == "trace_end"
+    buffer.write("still open")  # borrowed sinks are not closed
