@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.spec import TOOLS, VARIANTS, CampaignSpec
+from repro.runtime.fastpath import engine_names
 from repro.targets import injectable_targets, runnable_targets
 
 
@@ -80,10 +81,12 @@ def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
                         help="campaign seed (default: 0)")
     parser.add_argument("--max-input-size", type=int, default=1024,
                         help="mutation size cap in bytes (default: 1024)")
-    parser.add_argument("--engine", choices=("fast", "legacy"), default="fast",
-                        help="emulator engine (default: fast); both engines "
-                             "produce identical results, legacy keeps the "
-                             "reference implementation selectable")
+    parser.add_argument("--engine", choices=tuple(engine_names()),
+                        default="fast",
+                        help="emulator engine (default: fast); every engine "
+                             "produces identical results — jit is the "
+                             "block-compiled throughput tier, legacy keeps "
+                             "the reference implementation selectable")
     parser.add_argument("--checkpoint", metavar="PATH", default=None,
                         help="write a JSON checkpoint after every round")
     parser.add_argument("--resume", action="store_true",

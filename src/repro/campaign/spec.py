@@ -58,8 +58,9 @@ class JobSpec:
     iterations: int = 0
     seed: int = 0
     max_input_size: int = 1024
-    #: emulator engine ("fast"/"legacy"); execution detail, never affects
-    #: results (the engines are differentially tested to be identical).
+    #: emulator engine ("fast"/"jit"/"legacy"); execution detail, never
+    #: affects results (the engines are differentially tested to be
+    #: identical).
     engine: str = "fast"
     #: speculation variant this job simulates ("pht", "btb", "rsb", "stl").
     #: The third matrix axis: each variant of a group gets its own jobs.
@@ -116,7 +117,7 @@ class CampaignSpec:
     #: False so every requested program gets a row (injection into a
     #: target with no attack points is a no-op build, as in the paper).
     skip_uninjectable: bool = True
-    #: Emulator engine every job runs on ("fast"/"legacy").  Like
+    #: Emulator engine every job runs on ("fast"/"jit"/"legacy").  Like
     #: ``workers`` this is pure execution mechanics: the engines are
     #: differentially tested to produce identical results, so it is
     #: excluded from the checkpoint fingerprint and a campaign may be

@@ -45,9 +45,11 @@ class TeapotConfig:
     #: maximum emulator steps per execution (hang protection for fuzzing).
     max_steps: int = 5_000_000
     #: emulator engine: ``"fast"`` (decoded-trace dispatch + copy-on-write
-    #: rollback journaling) or ``"legacy"`` (generic dispatch + full-state
-    #: checkpoints).  Both produce bit-identical results — see
-    #: ``docs/emulator.md`` and the differential test harness.
+    #: rollback journaling), ``"jit"`` (block-compiled generated code over
+    #: the fast engine, persistent compiled-block cache) or ``"legacy"``
+    #: (generic dispatch + full-state checkpoints).  All produce
+    #: bit-identical results — see ``docs/emulator.md`` and the
+    #: differential test harness.
     engine: str = "fast"
     #: speculation variants to simulate ("pht", "btb", "rsb", "stl", or any
     #: ``@register_model`` plugin).  The default matches the paper:

@@ -178,8 +178,8 @@ class Fuzzer:
     ) -> None:
         if engine is not None:
             # Rebuild the target's runtime on the requested emulator engine
-            # ("fast"/"legacy"); results are engine-invariant, only the
-            # executions/second change.
+            # ("fast"/"jit"/"legacy"); results are engine-invariant, only
+            # the executions/second change.
             target = target.with_engine(engine)
         if variants is not None:
             # Rebuild with the requested speculation-variant set (this one

@@ -145,6 +145,15 @@ class Emulator:
         self._dispatch = self._build_dispatch()
         self._install_model_hooks()
 
+    def rebind_controller(self, controller) -> None:
+        """Swap the speculation controller between runs.
+
+        The legacy interpreter reads ``self.controller`` on every step, so
+        an attribute assignment suffices; trace-building engines override
+        this to rebuild their dispatch structures.
+        """
+        self.controller = controller
+
     # ------------------------------------------------------------------ setup
     def _decode_text(self) -> None:
         """Decode every instruction in the text section exactly once."""

@@ -369,8 +369,9 @@ def engine_names():
     """Every name accepted by ``resolve_engine`` and the ``engine=`` knobs.
 
     Engines live in the :data:`repro.plugins.ENGINE_REGISTRY` plugin
-    registry; this module registers the two built-ins (``fast``,
-    ``legacy``) at the bottom and third-party engines join via
+    registry; this module registers ``fast`` and ``legacy`` at the
+    bottom (and imports :mod:`repro.runtime.jit`, which registers the
+    block-compiled ``jit`` tier); third-party engines join via
     ``@repro.api.register_engine``.
     """
     return tuple(ENGINE_REGISTRY.names())
@@ -383,8 +384,11 @@ def resolve_engine(name: str):
     copy-on-write :class:`~repro.runtime.speculation.JournalingSpeculationController`;
     ``"legacy"`` pairs the generic :class:`~repro.runtime.emulator.Emulator`
     with the snapshot
-    :class:`~repro.runtime.speculation.SpeculationController`.  Additional
-    engines come from the plugin registry (``@register_engine``).
+    :class:`~repro.runtime.speculation.SpeculationController`;
+    ``"jit"`` pairs the block-compiled
+    :class:`~repro.runtime.jit.JitEmulator` with the journaling
+    controller.  Additional engines come from the plugin registry
+    (``@register_engine``).
     """
     return ENGINE_REGISTRY.get(name)()
 
@@ -416,6 +420,27 @@ class FastEmulator(Emulator):
                 "get a matched pair, or the legacy Emulator for snapshot "
                 "controllers"
             )
+        self._trace = self._build_trace()
+
+    def rebind_controller(self, controller) -> None:
+        """Swap the speculation controller and rebuild the decoded trace.
+
+        The thunks close over the controller at build time, so unlike the
+        legacy engine a plain attribute assignment is not enough; the
+        differential tests use this to re-run one emulator under several
+        nesting policies without paying binary decode again.
+        """
+        if controller is not None and not getattr(
+            controller, "uses_machine_journal", False
+        ):
+            raise ValueError(
+                "FastEmulator requires a journaling speculation controller "
+                "(JournalingSpeculationController); use resolve_engine() to "
+                "get a matched pair, or the legacy Emulator for snapshot "
+                "controllers"
+            )
+        super().rebind_controller(controller)
+        self._fallback_addresses = set()
         self._trace = self._build_trace()
 
     # ------------------------------------------------------------------ helpers
@@ -1396,3 +1421,9 @@ def _legacy_engine_plugin():
     from repro.runtime.speculation import SpeculationController
 
     return Emulator, SpeculationController
+
+
+# The jit tier builds on FastEmulator and registers itself on import;
+# pulling it in here makes ``engine_names()`` (which imports this module)
+# see all three built-in engines.
+from repro.runtime import jit as _jit  # noqa: E402,F401

@@ -1,0 +1,1476 @@
+"""The jit emulator engine: block-compiled execution over generated source.
+
+:class:`JitEmulator` is the third engine tier.  Where the fast engine
+(:mod:`repro.runtime.fastpath`) dispatches one pre-decoded *thunk* per
+instruction, the jit engine compiles each basic block (and straight-line
+superblock) of the decoded program into a **single generated Python
+function**: operand decoding, effective-address arithmetic, cycle costs,
+DIFT tag propagation and journal undo-logging are emitted as source text
+with every constant folded to a literal, then ``compile()``d and
+``exec``d once per binary.  Executing a block is one dict lookup and one
+call for *n* instructions instead of *n* of each.
+
+Bit-identity with the fast and legacy engines (enforced by
+``tests/runtime/differential.py``) is preserved by construction:
+
+* **Same bodies.**  Each inline emitter is a textual transcription of
+  the corresponding fast-engine thunk — same statements, same order,
+  same journal entries, same DIFT helper calls.
+* **Fallback at the same sites.**  Any instruction the fast engine
+  would not specialize (indirect control flow, ``ecall``, div/mod,
+  taint sources, speculation-model source sites, unresolvable
+  operands) ends its block and tail-calls the existing thunk for that
+  address, so intricate semantics keep exactly one implementation.
+  Direct calls and returns *are* inlined (as block terminators) unless
+  a speculation model claims them as source sites.
+* **Batched-but-exact accounting.**  Step/cycle/arch counters and the
+  controller's in-simulation instruction count are accumulated per
+  block segment and flushed before every block exit and before any
+  instruction that *reads* them (checkpoint entries, rollback budget
+  checks, the fuel check at thunk tails).  Instructions that can merely
+  *fault* (loads, stores, push/pop) or call out (policy/coverage
+  hooks) do not flush; instead each such site stores a fault-table
+  index, and a per-block ``except BaseException`` handler flushes the
+  exact pending prefix (a precomputed ``(steps, cycles, arch)`` tuple)
+  before re-raising — so at every observable point (faults, rollbacks,
+  checkpoint entries, run end) the counters equal the fast engine's.
+* **Simulation-specialized variants.**  Every block is compiled twice:
+  a *no-sim* variant (dispatched while no checkpoint is live) with all
+  journal undo-logging, speculation bookkeeping and policy hooks
+  constant-folded away, and a *sim* variant (dispatched inside
+  speculation) with the ``in-simulation?`` tests folded to true —
+  journal appends unguarded, instruction counts batched.  The dispatch
+  loop re-selects the variant map on every iteration from the
+  controller's live-checkpoint list, and every transition between the
+  two states (checkpoint entry, rollback) exits the block, so the
+  folded truth value can never go stale mid-block.
+* **Fuel gate.**  A block of ``n`` steps only runs when ``steps + n <=
+  max_steps``; otherwise the loop falls back to per-thunk stepping, so
+  fuel expiry lands on exactly the same instruction as the other
+  engines.
+
+The compiled module is persistently cached across processes by
+:mod:`repro.runtime.jitcache`, keyed by (binary hash, repro version,
+engine-options digest, bytecode magic); see ``docs/emulator.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro._version import __version__
+from repro.isa.instructions import ConditionCode, Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.loader.serialize import dumps_binary
+from repro.plugins import register_engine
+from repro.runtime.emulator import EXIT_SENTINEL, ExecutionResult, _PSEUDO_SET
+from repro.runtime.errors import (
+    ArithmeticFault,
+    MemoryFault,
+    ProgramCrash,
+    ProgramExit,
+)
+from repro.runtime.fastpath import (
+    _ALU_INLINE,
+    _FREE_PSEUDOS,
+    _FROM_BYTES,
+    _imm_target,
+    _read_tag_range,
+    _write_tag_range,
+    FastEmulator,
+    RET_IDX,
+    SIGN_BIT,
+    SP_IDX,
+    TWO64,
+)
+from repro.runtime.jitcache import shared_cache
+from repro.runtime.machine import MASK64, to_signed, to_unsigned
+from repro.sanitizers.dift import ALL_TAGS
+
+#: bump to invalidate every cached module when the emitted code changes.
+_CODEGEN_VERSION = 8
+
+#: Width-specific page accessors: ``struct`` unpack/pack beats an
+#: ``int.from_bytes`` over a fresh slice (and a ``to_bytes`` slice
+#: assignment) by 3-4x, and in-page accesses are guaranteed not to
+#: cross the 4 KiB boundary, so the fixed-width forms always apply.
+_UNPACKERS = {size: struct.Struct("<" + fmt).unpack_from
+              for size, fmt in ((1, "B"), (2, "H"), (4, "I"), (8, "Q"))}
+_PACKERS = {size: struct.Struct("<" + fmt).pack_into
+            for size, fmt in ((1, "B"), (2, "H"), (4, "I"), (8, "Q"))}
+
+#: inline-instruction cap per superblock (keeps generated functions and
+#: the worst-case counter-flush granularity bounded).
+_MAX_BLOCK = 64
+
+#: inline instructions that overwrite *all four* architectural flags.
+_FLAG_WRITER_OPS = _ALU_INLINE | {Opcode.CMP, Opcode.TEST}
+
+#: inline instructions whose emitted code never reads the flags object
+#: (data movement and stack traffic; faults are covered by the liveness
+#: argument in ``_dead_flag_addrs``).
+_FLAG_TRANSPARENT_OPS = frozenset({
+    Opcode.MOV, Opcode.LEA, Opcode.LOAD, Opcode.STORE,
+    Opcode.PUSH, Opcode.POP,
+})
+
+#: condition-code expressions over the hoisted ``f`` (flags) local;
+#: mirrors ``fastpath._CC_FUNCS`` / ``Flags.evaluate``.
+_CC_EXPR = {
+    ConditionCode.EQ: "f.zero",
+    ConditionCode.NE: "not f.zero",
+    ConditionCode.LT: "f.sign != f.overflow",
+    ConditionCode.GE: "f.sign == f.overflow",
+    ConditionCode.LE: "(f.zero or f.sign != f.overflow)",
+    ConditionCode.GT: "(not f.zero and f.sign == f.overflow)",
+    ConditionCode.B: "f.carry",
+    ConditionCode.AE: "not f.carry",
+    ConditionCode.BE: "(f.carry or f.zero)",
+    ConditionCode.A: "(not f.carry and not f.zero)",
+}
+
+#: direct branches whose immediate targets become block leaders.
+_BRANCH_OPS = (Opcode.JMP, Opcode.JCC, Opcode.CALL, Opcode.TRAMP_JCC,
+               Opcode.CHECKPOINT, Opcode.SPEC_REDIRECT)
+
+
+def _ea_expr(mem: Mem) -> Optional[str]:
+    """Source text of the effective address (mirrors ``fastpath._ea_fn``)."""
+    disp = mem.disp
+    if not isinstance(disp, int):
+        return None
+    base = int(mem.base) if mem.base is not None else None
+    index = int(mem.index) if mem.index is not None else None
+    scale = mem.scale
+    if base is not None and index is None:
+        if disp == 0:
+            return f"regs[{base}]"
+        return f"(regs[{base}] + {disp}) & {MASK64}"
+    if base is not None:
+        return f"(regs[{base}] + regs[{index}] * {scale} + {disp}) & {MASK64}"
+    if index is not None:
+        return f"(regs[{index}] * {scale} + {disp}) & {MASK64}"
+    return str(disp & MASK64)
+
+
+def _val_expr(operand) -> Optional[str]:
+    """Source text reading a Reg/Imm operand (mirrors ``_val_fn``)."""
+    if isinstance(operand, Reg):
+        return f"regs[{int(operand.reg)}]"
+    if isinstance(operand, Imm):
+        return str(to_unsigned(operand.value))
+    return None
+
+
+class _BlockWriter:
+    """Accumulates the body of one generated block function.
+
+    One writer builds one *variant* of one block: ``sim=False`` is the
+    no-checkpoint variant (journal and speculation bookkeeping folded
+    away), ``sim=True`` the in-simulation variant (journal attached by
+    invariant, instruction counts flushed to the controller).
+    """
+
+    def __init__(self, sim: bool) -> None:
+        self.sim = sim
+        self.lines: List[str] = []
+        #: keyword parameters bound at module-exec time (name -> expr).
+        self.params: Dict[str, str] = {}
+        #: per-call hoists the body needs (regs, f, memory, jn, ...).
+        self.uses: Set[str] = set()
+        # pending (not yet emitted) counter contributions.
+        self.pend_steps = 0
+        self.pend_cycles = 0
+        self.pend_arch = 0
+        #: total steps the whole block consumes (the fuel-gate ``need``).
+        self.total_steps = 0
+        #: exception-flush table: entry ``i`` is the pending
+        #: ``(steps, cycles, arch)`` at fault-site marker ``i`` (entry 0
+        #: is the just-flushed sentinel).  Emitted as the ``_P`` tuple.
+        self.fault_entries: List[Tuple[int, int, int]] = [(0, 0, 0)]
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def param(self, name: str, expr: str) -> None:
+        self.params.setdefault(name, expr)
+
+    def use(self, *names: str) -> None:
+        self.uses.update(names)
+
+    def account(self, cost: int, is_arch: bool) -> None:
+        self.pend_steps += 1
+        self.total_steps += 1
+        self.pend_cycles += cost
+        if is_arch:
+            self.pend_arch += 1
+
+    def mark(self) -> None:
+        """Record a fault site: the next statements may raise.
+
+        Stores the fault-table index of the current pending counters
+        (including the instruction being emitted) into ``_e``; the
+        block's ``except BaseException`` handler flushes ``_P[_e]``
+        before re-raising, so counters are exact at every fault without
+        a full flush on the non-faulting path.
+        """
+        entry = (self.pend_steps, self.pend_cycles, self.pend_arch)
+        self.fault_entries.append(entry)
+        self.emit(f"_e = {len(self.fault_entries) - 1}")
+
+    def _flush_lines(self, pad: str = "") -> List[str]:
+        lines: List[str] = []
+        if self.pend_steps:
+            self.param("STP", "STP")
+            lines.append(f"{pad}STP[0] += {self.pend_steps}")
+        if self.pend_cycles:
+            self.param("CYC", "CYC")
+            lines.append(f"{pad}CYC[0] += {self.pend_cycles}")
+        if self.pend_arch:
+            self.param("ARC", "ARC")
+            lines.append(f"{pad}ARC[0] += {self.pend_arch}")
+            if self.sim:
+                self.param("CTRL", "CTRL")
+                if self.pend_arch == 1:
+                    lines.append(f"{pad}CTRL.count_instruction()")
+                else:
+                    lines.append(
+                        f"{pad}CTRL.count_instructions({self.pend_arch})")
+        return lines
+
+    def flush(self) -> None:
+        """Emit the pending counter updates and reset the fault marker.
+
+        Required before anything that *reads* the counters: checkpoint
+        entry and rollback (they read the controller's in-simulation
+        count), the fuel check at thunk tails, and every block exit
+        (the dispatch loop reads the step cell).  Batching is safe in
+        between: nothing in a straight-line segment reads them, and
+        simulation state cannot change without exiting the block.
+        """
+        self.lines.extend(self._flush_lines())
+        self.pend_steps = self.pend_cycles = self.pend_arch = 0
+        if len(self.fault_entries) > 1:
+            # a stale marker from before this flush must not double-count
+            self.emit("_e = 0")
+
+    def flush_exit(self, pad: str = "    ") -> None:
+        """Emit the pending updates inside a conditional exit arm.
+
+        The arm returns immediately, so pending state is *not* cleared:
+        the fall-through path keeps accumulating as if the arm did not
+        exist (that is exactly the fast engine's per-instruction sum).
+        """
+        self.lines.extend(self._flush_lines(pad))
+
+    def journal_reg(self, index: int) -> None:
+        """Undo-log a register write (sim variant only; no-sim has no
+        journal attached by the controller's attach/detach invariant)."""
+        if not self.sim:
+            return
+        self.use("jn", "regs")
+        self.emit(f"jn.entries.append((False, {index}, regs[{index}]))")
+
+    def render(self, name: str) -> str:
+        wrapped = len(self.fault_entries) > 1
+        if wrapped:
+            self.param("_P", repr(tuple(self.fault_entries)))
+            self.param("STP", "STP")
+            self.param("CYC", "CYC")
+            self.param("ARC", "ARC")
+            if self.sim:
+                self.param("CTRL", "CTRL")
+        uses = self.uses
+        if uses & {"D", "rt", "cov", "pol", "asan"}:
+            self.param("EM", "EM")
+        params = ["m"] + [f"{key}={expr}" for key, expr in self.params.items()]
+        head = f"def {name}({', '.join(params)}):"
+        hoists = []
+        if "regs" in uses:
+            hoists.append("regs = m.registers")
+        if "f" in uses:
+            hoists.append("f = m.flags")
+        if uses & {"memory", "pages", "fullp"}:
+            hoists.append("memory = m.memory")
+        if "fullp" in uses:
+            hoists.append("fullp = memory._full_pages")
+        if "pages" in uses:
+            hoists.append("pages = memory._pages")
+        if "jn" in uses:
+            hoists.append("jn = m.journal")
+        if uses & {"D", "rt"}:
+            hoists.append("D = EM.dift")
+        if "rt" in uses:
+            hoists.append("rt = D.register_tags")
+        if "cov" in uses:
+            hoists.append("cov = EM.coverage")
+        if "asan" in uses:
+            hoists.append("asan = EM.asan")
+        if "pol" in uses:
+            hoists.append("pol = EM.policy")
+        if not wrapped:
+            body = hoists + self.lines
+            return head + "\n" + "\n".join("    " + line for line in body)
+        out = [head]
+        out.extend("    " + line for line in hoists)
+        out.append("    _e = 0")
+        out.append("    try:")
+        out.extend("        " + line for line in self.lines)
+        out.append("    except BaseException:")
+        out.append("        _t = _P[_e]")
+        out.append("        STP[0] += _t[0]")
+        out.append("        CYC[0] += _t[1]")
+        out.append("        ARC[0] += _t[2]")
+        if self.sim:
+            out.append("        if _t[2]:")
+            out.append("            CTRL.count_instructions(_t[2])")
+        out.append("        raise")
+        return "\n".join(out)
+
+
+class _BlockCompiler:
+    """Generates the block module source for one emulator configuration."""
+
+    def __init__(self, emulator: "JitEmulator") -> None:
+        self.em = emulator
+        self.instructions = emulator.instructions
+        self.next_address = emulator.next_address
+        self.flip = emulator.layout.tag_flip_bit
+        self.dift_on = (emulator.policy is not None
+                        and emulator.policy.needs_dift)
+        self.have_controller = emulator.controller is not None
+        self.cost = emulator.cost_model.instruction_cost
+        #: variant currently being compiled (set per `_compile_block` pass).
+        self.sim = False
+        #: addresses whose flag writes are dead (set per `_compile_block`).
+        self._dead_flags: Set[int] = set()
+
+    # -- classification ------------------------------------------------------
+    def _kind(self, instr: Instruction) -> str:
+        """``inline`` | ``cexit`` | ``term`` | ``ender``.
+
+        ``cexit`` instructions *conditionally* leave the block (taken
+        branches, checkpoint entries, triggered rollbacks) and otherwise
+        fall through, so superblocks extend across them; ``term`` always
+        exits in-block; ``ender`` tail-calls the existing fast-engine
+        thunk.  Mirrors ``FastEmulator._make_thunk``: every shape the
+        fast engine sends to a fallback or intricate thunk ends the
+        block so its semantics stay in exactly one implementation.
+
+        Classification is variant-aware (``self.sim``): a redirect or
+        forced restore always fires inside simulation (``term``) and
+        never fires outside it (``inline``, cost only).
+        """
+        em = self.em
+        opcode = instr.opcode
+        ops = instr.operands
+        if em._model_opcodes and opcode in em._model_opcodes and any(
+            model.speculation_sources(instr) for model in em._dynamic_models
+        ):
+            return "ender"
+        if opcode in _FREE_PSEUDOS:
+            return "inline"
+        if opcode in (Opcode.COV_TRACE, Opcode.COV_SPEC):
+            return "inline"
+        if opcode is Opcode.CHECKPOINT:
+            if _imm_target(instr) is None:
+                return "ender"
+            if not em._pht_enabled or not self.have_controller:
+                return "inline"  # inert checkpoint: cost only
+            return "cexit"
+        if opcode is Opcode.RESTORE_COND:
+            return "cexit" if self.sim else "inline"
+        if opcode is Opcode.RESTORE_ALWAYS:
+            return "term" if self.sim else "inline"
+        if opcode is Opcode.TRAMP_JCC:
+            return "cexit" if _imm_target(instr) is not None else "ender"
+        if opcode is Opcode.SPEC_REDIRECT:
+            if _imm_target(instr) is None:
+                return "ender"
+            return "term" if self.sim else "inline"
+        if opcode in (Opcode.ASAN_CHECK, Opcode.POLICY_LOAD,
+                      Opcode.POLICY_STORE):
+            mem = ops[0] if ops else None
+            if isinstance(mem, Mem) and _ea_expr(mem) is not None:
+                return "inline"
+            return "ender"
+        if opcode is Opcode.POLICY_BRANCH:
+            return "inline"
+        if opcode is Opcode.MOV:
+            if (len(ops) == 2 and isinstance(ops[0], Reg)
+                    and isinstance(ops[1], (Reg, Imm))):
+                return "inline"
+            return "ender"
+        if opcode in (Opcode.LOAD, Opcode.LEA):
+            if (len(ops) == 2 and isinstance(ops[0], Reg)
+                    and isinstance(ops[1], Mem)
+                    and _ea_expr(ops[1]) is not None):
+                return "inline"
+            return "ender"
+        if opcode is Opcode.STORE:
+            if (len(ops) == 2 and isinstance(ops[0], Mem)
+                    and _ea_expr(ops[0]) is not None
+                    and _val_expr(ops[1]) is not None):
+                return "inline"
+            return "ender"
+        if opcode is Opcode.PUSH:
+            if len(ops) == 1 and _val_expr(ops[0]) is not None:
+                return "inline"
+            return "ender"
+        if opcode is Opcode.POP:
+            if len(ops) == 1 and isinstance(ops[0], Reg):
+                return "inline"
+            return "ender"
+        if opcode in _ALU_INLINE:
+            if (len(ops) == 2 and isinstance(ops[0], Reg)
+                    and _val_expr(ops[1]) is not None):
+                return "inline"
+            return "ender"
+        if opcode in (Opcode.CMP, Opcode.TEST):
+            if (len(ops) == 2 and _val_expr(ops[0]) is not None
+                    and _val_expr(ops[1]) is not None):
+                return "inline"
+            return "ender"
+        if opcode is Opcode.JMP:
+            return "term" if _imm_target(instr) is not None else "ender"
+        if opcode is Opcode.JCC:
+            return "cexit" if _imm_target(instr) is not None else "ender"
+        if opcode is Opcode.CALL:
+            return "term" if _imm_target(instr) is not None else "ender"
+        if opcode is Opcode.RET:
+            return "term"
+        if opcode in (Opcode.LFENCE, Opcode.CPUID):
+            # Fences roll back inside simulation and are plain
+            # fall-through (cost only) outside it.
+            return "term" if self.sim else "inline"
+        if opcode is Opcode.ECALL:
+            # Uninstrumented side effects end the simulation (rollback);
+            # outside it a resolvable import is a plain handler call, so
+            # superblocks extend across external calls.
+            if self.sim:
+                return "term"
+            index = ops[0] if ops else None
+            if isinstance(index, Imm):
+                try:
+                    self.em.binary.import_name(index.value)
+                except Exception:
+                    return "ender"
+                return "inline"
+            return "ender"
+        return "ender"
+
+    # -- block discovery -----------------------------------------------------
+    def leaders(self) -> Set[int]:
+        """Every address a compiled block may start at.
+
+        Function entries, immediate branch/checkpoint targets, the
+        fall-through successor of every ender and every direct call
+        (return sites — ``ret`` returns there dynamically) and
+        checkpoint resume points (rollback lands there).  Control transfers into the *middle* of a block
+        (dynamic-model resumes, stale targets) are always safe: the main
+        loop simply single-steps thunks until the next leader.
+        """
+        leaders: Set[int] = set()
+        for sym in self.em.binary.function_symbols():
+            leaders.add(sym.address)
+        for addr, instr in self.instructions.items():
+            if instr.opcode in _BRANCH_OPS:
+                target = _imm_target(instr)
+                if target is not None:
+                    leaders.add(target)
+            if (self._kind(instr) == "ender"
+                    or instr.opcode in (Opcode.CHECKPOINT, Opcode.CALL)):
+                nxt = self.next_address.get(addr)
+                if nxt is not None:
+                    leaders.add(nxt)
+        return leaders
+
+    # -- module generation ---------------------------------------------------
+    def compile_source(self) -> str:
+        chunks = [
+            f"# generated by repro.runtime.jit codegen v{_CODEGEN_VERSION}"
+            " -- do not edit",
+        ]
+        modes = (False, True) if self.have_controller else (False,)
+        for leader in sorted(self.leaders()):
+            if leader not in self.instructions:
+                continue
+            for sim in modes:
+                compiled = self._compile_block(leader, sim)
+                if compiled is None:
+                    continue
+                source, need, span = compiled
+                table = "BLOCKS" if sim else "NBLOCKS"
+                spans = "SSPANS" if sim else "NSPANS"
+                name = f"_b{'s' if sim else 'n'}_{leader:x}"
+                chunks.append(source)
+                chunks.append(f"{table}[{leader}] = ({name}, {need})")
+                chunks.append(f"{spans}[{leader}] = {tuple(span)!r}")
+        return "\n\n".join(chunks) + "\n"
+
+    def _compile_block(self, leader: int, sim: bool):
+        self.sim = sim
+        # Phase 1: walk the block to collect its instruction sequence (the
+        # emission below follows this list verbatim), so liveness analysis
+        # can look ahead before any code is generated.
+        seq: List[Tuple[int, Instruction, str]] = []
+        addr = leader
+        tail = None
+        while True:
+            instr = self.instructions.get(addr)
+            if instr is None:
+                tail = ("goto", addr)
+                break
+            kind = self._kind(instr)
+            if kind == "ender":
+                tail = ("ender", addr)
+                break
+            seq.append((addr, instr, kind))
+            if kind == "term":
+                break
+            if len(seq) >= _MAX_BLOCK:
+                tail = ("goto", self.next_address[addr])
+                break
+            addr = self.next_address[addr]
+        self._dead_flags = self._dead_flag_addrs(seq)
+        # Phase 2: emit.
+        writer = _BlockWriter(sim)
+        span: List[int] = []
+        for addr, instr, kind in seq:
+            if kind == "term":
+                self._emit_term(writer, addr, instr)
+            elif kind == "cexit":
+                self._emit_cexit(writer, addr, instr)
+            else:
+                self._emit_inline(writer, addr, instr)
+            span.append(addr)
+        if tail is not None:
+            self._emit_tail(writer, tail)
+        if writer.total_steps < 2:
+            return None  # a lone thunk dispatch is just as fast
+        name = f"_b{'s' if sim else 'n'}_{leader:x}"
+        return writer.render(name), writer.total_steps, span
+
+    # -- intra-block flag liveness -------------------------------------------
+    def _flag_transparent(self, instr: Instruction, kind: str) -> bool:
+        """True when the instruction's *emitted* code can neither read the
+        architectural flags nor leave the block (so flags written before it
+        stay unobservable until the next in-block flag write).  Config-gated
+        sites (coverage, policy) are transparent exactly when they fold to
+        nothing; anything that calls out to arbitrary Python (externals,
+        policies) is a barrier."""
+        if kind != "inline":
+            return False
+        opcode = instr.opcode
+        if opcode in _FLAG_TRANSPARENT_OPS:
+            return True
+        if opcode in _FREE_PSEUDOS or opcode in (
+            Opcode.CHECKPOINT, Opcode.RESTORE_COND, Opcode.RESTORE_ALWAYS,
+            Opcode.SPEC_REDIRECT, Opcode.LFENCE, Opcode.CPUID,
+        ):
+            return True  # cost-only in this variant: nothing is emitted
+        if opcode in (Opcode.COV_TRACE, Opcode.COV_SPEC):
+            return self.em.coverage is None
+        if opcode in (Opcode.ASAN_CHECK, Opcode.POLICY_LOAD,
+                      Opcode.POLICY_STORE, Opcode.POLICY_BRANCH):
+            return not self.sim or self.em.policy is None
+        return False
+
+    def _dead_flag_addrs(self, seq) -> Set[int]:
+        """Addresses whose flag writes are provably dead inside this block.
+
+        A flag-writing instruction's ``f.*`` stores can be skipped when
+        every path to the next flag *observation* point first passes
+        another flag writer: the walk forward hits a second writer before
+        any reader, barrier, or block exit.  Faults in between are safe —
+        a no-sim fault ends the run (flags are never read again) and a
+        sim fault rolls back to a checkpoint that snapshotted the flags
+        wholesale — so memory operations do not pin flags live.
+        """
+        dead: Set[int] = set()
+        for i, (addr, instr, kind) in enumerate(seq):
+            if kind != "inline" or instr.opcode not in _FLAG_WRITER_OPS:
+                continue
+            for _, nxt, nkind in seq[i + 1:]:
+                if nkind == "inline" and nxt.opcode in _FLAG_WRITER_OPS:
+                    dead.add(addr)
+                    break
+                if not self._flag_transparent(nxt, nkind):
+                    break
+        return dead
+
+    def _emit_rollback(self, w: _BlockWriter, reason: str,
+                       pad: str = "", charge: bool = True) -> None:
+        """Shared rollback sequence (sim variant; counters just flushed).
+
+        ``charge`` mirrors the reference engines: only restore-site and
+        budget rollbacks pay ``rollback_cost`` (the paper's recovery-stub
+        cost); rollbacks forced by serializing instructions, external
+        calls and exit-sentinel returns squash for free.
+        """
+        w.param("CTRL", "CTRL")
+        w.param("EM", "EM")
+        if self.em.coverage is not None:
+            w.use("cov")
+            w.emit(f"{pad}cov.flush_speculative()")
+        # NB: EM.dift is re-read per call — the reset between runs
+        # builds a fresh BinaryDift, so it must not be bound at install.
+        if charge:
+            w.param("CYC", "CYC")
+            w.param("RBC", "EM.cost_model.rollback_cost")
+            w.emit(f"{pad}CYC[0] += RBC(CTRL.rollback(m, EM.dift, "
+                   f"reason={reason!r}))")
+        else:
+            w.emit(f"{pad}CTRL.rollback(m, EM.dift, reason={reason!r})")
+        w.emit(f"{pad}return m.pc")
+
+    # -- terminators / conditional exits -------------------------------------
+    def _emit_term(self, w: _BlockWriter, addr: int,
+                   instr: Instruction) -> None:
+        """Unconditional in-block exit.
+
+        Direct JMPs, calls and returns in both variants; in the sim
+        variant also SPEC_REDIRECT (always fires inside simulation),
+        fences and RESTORE_ALWAYS (always roll back inside simulation).
+        Counters are flushed *before* the call/return stack access, the
+        order the fast thunks count in, so a stack fault observes exact
+        totals.
+        """
+        opcode = instr.opcode
+        w.account(self.cost(opcode), opcode not in _PSEUDO_SET)
+        w.flush()
+        if opcode is Opcode.RESTORE_ALWAYS:
+            self._emit_rollback(w, "forced")
+        elif opcode in (Opcode.LFENCE, Opcode.CPUID, Opcode.ECALL):
+            self._emit_rollback(w, "forced", charge=False)
+        elif opcode is Opcode.CALL:
+            self._emit_call(w, addr, instr)
+        elif opcode is Opcode.RET:
+            self._emit_ret(w, addr, instr)
+        else:  # JMP / SPEC_REDIRECT(sim): direct target
+            w.emit(f"return {_imm_target(instr)}")
+
+    def _emit_cexit(self, w: _BlockWriter, addr: int,
+                    instr: Instruction) -> None:
+        """Conditional block exit; the fall-through path stays in-block.
+
+        Taken branches, checkpoint entries and triggered rollbacks
+        ``return``; the (usually far more common) fall-through case
+        continues executing the superblock without re-dispatching.
+        Branches flush *inside* the taken arm (nothing on the
+        fall-through path reads the counters); checkpoint entries and
+        budget restores flush up front because ``maybe_enter`` and the
+        ROB-budget test read the in-simulation instruction count.
+        """
+        opcode = instr.opcode
+        nxt = self.next_address[addr]
+        w.account(self.cost(opcode), opcode not in _PSEUDO_SET)
+        if opcode in (Opcode.JCC, Opcode.TRAMP_JCC):
+            w.use("f")
+            w.emit(f"if {_CC_EXPR[instr.cc]}:")
+            w.flush_exit()
+            w.emit(f"    return {_imm_target(instr)}")
+        elif opcode is Opcode.CHECKPOINT:
+            w.flush()
+            w.param("CTRL", "CTRL")
+            w.param("EM", "EM")
+            w.emit(f"if CTRL.maybe_enter(m, branch_address={nxt}, "
+                   f"resume_pc={nxt}, dift=EM.dift):")
+            w.emit(f"    return {_imm_target(instr)}")
+        else:  # RESTORE_COND (sim variant)
+            w.flush()
+            w.param("CTRL", "CTRL")
+            w.emit("if CTRL.spec_instruction_count >= CTRL.rob_budget:")
+            self._emit_rollback(w, "budget", pad="    ")
+
+    def _emit_call(self, w: _BlockWriter, addr: int,
+                   instr: Instruction) -> None:
+        """Direct call: push the return address, jump to the target.
+
+        Transcribes the fast engine's CALL thunk with the return
+        address folded to a bytes literal.  The return site is a block
+        leader, so the matching ``ret`` lands back on compiled code.
+        """
+        nxt = self.next_address[addr]
+        tgt = _imm_target(instr)
+        w.use("regs")
+        w.emit(f"new_sp = (regs[{SP_IDX}] - 8) & {MASK64}")
+        self._page_state(w, "new_sp", 4088)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit("    if page is None:")
+        w.emit("        page = bytearray(4096)")
+        w.emit("        pages[pid] = page")
+        if w.sim:
+            w.use("jn")
+            w.emit("    jn.entries.append((True, new_sp, "
+                   "bytes(page[off:off + 8])))")
+        w.param("P8", "P8")
+        w.emit(f"    P8(page, off, {nxt})")
+        w.emit("else:")
+        w.emit(f"    memory.write_int(new_sp, {nxt}, 8)")
+        if w.sim:
+            w.emit(f"jn.entries.append((False, {SP_IDX}, regs[{SP_IDX}]))")
+        w.emit(f"regs[{SP_IDX}] = new_sp")
+        w.use("asan")
+        w.emit("if asan is not None:")
+        w.emit("    asan.poison_return_slot(new_sp)")
+        w.emit(f"return {tgt}")
+
+    def _emit_ret(self, w: _BlockWriter, addr: int,
+                  instr: Instruction) -> None:
+        """Return: pop the target and jump to it dynamically.
+
+        Transcribes the fast engine's RET thunk.  The shadow-target
+        check only fires inside simulation with shadows present (both
+        folded: simulation via the variant, shadows via the cache
+        digest), and the exit sentinel only needs special handling in
+        simulation — outside it the dispatch loop recognizes it.
+        """
+        w.use("regs")
+        w.param("U8", "U8")
+        w.emit(f"sp = regs[{SP_IDX}]")
+        self._page_state(w, "sp", 4088)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit("    target = 0 if page is None else U8(page, off)[0]")
+        w.emit("else:")
+        w.emit("    target = memory.read_int(sp, 8)")
+        w.use("asan")
+        w.emit("if asan is not None:")
+        w.emit("    asan.unpoison_return_slot(sp)")
+        if w.sim:
+            w.use("jn")
+            w.emit(f"jn.entries.append((False, {SP_IDX}, sp))")
+        w.emit(f"regs[{SP_IDX}] = (sp + 8) & {MASK64}")
+        if w.sim and self.em.has_shadows:
+            iname = f"I_{addr:x}"
+            w.param(iname, f"INSTRS[{addr}]")
+            w.param("EM", "EM")
+            w.emit(f"redirected = EM._check_indirect_target({iname}, target)")
+            w.emit("if redirected is not None:")
+            w.emit("    return redirected")
+        if w.sim:
+            w.emit(f"if target == {EXIT_SENTINEL}:")
+            self._emit_rollback(w, "forced", pad="    ", charge=False)
+        w.emit("return target")
+
+    def _emit_tail(self, w: _BlockWriter, tail) -> None:
+        kind, addr = tail
+        w.flush()
+        if kind == "goto":
+            w.emit(f"return {addr}")
+            return
+        # Thunk ender: one existing-thunk step with the loop's fuel check.
+        w.param("STP", "STP")
+        w.param("T", "TRACE")
+        w.emit(f"if STP[0] >= {self.em.max_steps}:")
+        w.emit(f"    return {addr}")
+        w.emit("STP[0] += 1")
+        w.emit(f"return T[{addr}](m)")
+
+    # -- inline instruction emitters -----------------------------------------
+    def _emit_inline(self, w: _BlockWriter, addr: int,
+                     instr: Instruction) -> None:
+        opcode = instr.opcode
+        ops = instr.operands
+        cost = self.cost(opcode)
+        is_arch = opcode not in _PSEUDO_SET
+        w.account(cost, is_arch)
+
+        if opcode in _FREE_PSEUDOS or opcode in (
+            Opcode.CHECKPOINT, Opcode.RESTORE_COND, Opcode.RESTORE_ALWAYS,
+            Opcode.SPEC_REDIRECT, Opcode.LFENCE, Opcode.CPUID,
+        ):
+            # Cost only: free pseudos, inert checkpoints, and the
+            # speculation sites in the variant where they cannot fire
+            # (no-sim redirects/restores/fences, controller-less configs).
+            return
+
+        if opcode in (Opcode.COV_TRACE, Opcode.COV_SPEC):
+            if self.em.coverage is None:
+                return  # folded: coverage presence is in the cache digest
+            guard = ops[0] if ops else None
+            gid = guard.value if isinstance(guard, Imm) else 0
+            call = ("trace_normal" if opcode is Opcode.COV_TRACE
+                    else "note_speculative")
+            w.mark()
+            w.use("cov")
+            w.emit(f"cov.{call}({gid})")
+            return
+
+        if opcode in (Opcode.ASAN_CHECK, Opcode.POLICY_LOAD,
+                      Opcode.POLICY_STORE):
+            if not self.sim or self.em.policy is None:
+                return  # fires only inside simulation with a policy
+            is_write = opcode is Opcode.POLICY_STORE
+            if len(ops) > 1 and isinstance(ops[1], Imm):
+                is_write = bool(ops[1].value)
+            iname, mname = f"I_{addr:x}", f"M_{addr:x}"
+            w.param(iname, f"INSTRS[{addr}]")
+            w.param(mname, f"INSTRS[{addr}].operands[0]")
+            w.param("CTRL", "CTRL")
+            w.param("EM", "EM")
+            w.use("pol", "regs")
+            w.mark()
+            w.emit(f"promoted = pol.on_speculative_access({iname}, "
+                   f"{mname}, {_ea_expr(ops[0])}, {instr.size}, {is_write}, "
+                   "m, CTRL)")
+            w.emit("if promoted:")
+            w.emit("    EM._pending_promotion |= promoted")
+            return
+
+        if opcode is Opcode.POLICY_BRANCH:
+            if not self.sim or self.em.policy is None:
+                return
+            iname = f"I_{addr:x}"
+            w.param(iname, f"INSTRS[{addr}]")
+            w.param("CTRL", "CTRL")
+            w.use("pol")
+            w.mark()
+            w.emit(f"pol.on_speculative_branch({iname}, m, CTRL)")
+            return
+
+        if opcode is Opcode.ECALL:
+            # no-sim only (sim classifies ECALL as a rollback terminator);
+            # transcribes the fast thunk with the import name folded.
+            name = self.em.binary.import_name(ops[0].value)
+            w.param("XR", "EXTERNALS")
+            w.param("EM", "EM")
+            w.param("CYC", "CYC")
+            w.param("EB", "EM.cost_model.external_base")
+            w.param("EPB", "EM.cost_model.external_per_byte")
+            w.use("regs")
+            w.mark()
+            w.emit(f"external = XR.get({name!r})")
+            w.emit("if external is None:")
+            w.emit(f"    EM.externals.get({name!r})  # raises KeyError")
+            w.emit("EM.pending_return_tag = 0")
+            w.emit("ret, moved = external.handler(EM, "
+                   "[regs[1], regs[2], regs[3], regs[4], regs[5]])")
+            w.emit(f"regs[{RET_IDX}] = ret & {MASK64}")
+            if self.dift_on:
+                w.use("rt")
+                w.emit(f"rt[{RET_IDX}] = "
+                       f"EM.pending_return_tag & {ALL_TAGS}")
+            w.emit("CYC[0] += EB + EPB * moved")
+            return
+
+        # -- architectural instructions ----------------------------------
+        if opcode is Opcode.MOV:
+            di = int(ops[0].reg)
+            w.use("regs")
+            if self.dift_on:
+                w.use("rt")
+                if isinstance(ops[1], Reg):
+                    w.emit(f"rt[{di}] = rt[{int(ops[1].reg)}]")
+                else:
+                    w.emit(f"rt[{di}] = 0")
+            w.journal_reg(di)
+            if isinstance(ops[1], Reg):
+                w.emit(f"regs[{di}] = regs[{int(ops[1].reg)}]")
+            else:
+                w.emit(f"regs[{di}] = {to_unsigned(ops[1].value)}")
+            return
+
+        if opcode is Opcode.LEA:
+            di = int(ops[0].reg)
+            w.use("regs")
+            if self.dift_on:
+                w.use("rt")
+                regs_used = tuple(int(r) for r in ops[1].registers())
+                tag = " | ".join(f"rt[{r}]" for r in regs_used) or "0"
+                w.emit(f"rt[{di}] = {tag}")
+            w.emit(f"value = {_ea_expr(ops[1])}")
+            w.journal_reg(di)
+            w.emit(f"regs[{di}] = value")
+            return
+
+        if opcode is Opcode.LOAD:
+            self._emit_load(w, instr)
+            return
+
+        if opcode is Opcode.STORE:
+            self._emit_store(w, instr)
+            return
+
+        if opcode is Opcode.PUSH:
+            self._emit_push(w, instr)
+            return
+
+        if opcode is Opcode.POP:
+            self._emit_pop(w, instr)
+            return
+
+        if opcode in _ALU_INLINE:
+            self._emit_alu(w, addr, instr)
+            return
+
+        # CMP / TEST
+        if self.dift_on:
+            w.use("D")
+            parts = [f"rt[{int(op.reg)}]" for op in ops if isinstance(op, Reg)]
+            if parts:
+                w.use("rt")
+            w.emit(f"D.flags_tag = {' | '.join(parts) or '0'}")
+        if addr in self._dead_flags:
+            # The flags are overwritten before any possible observation
+            # and the comparison computes nothing else, so it folds away
+            # entirely (the flags *tag* above still propagates for DIFT).
+            return
+        w.use("regs", "f")
+        w.emit(f"a = {_val_expr(ops[0])}")
+        w.emit(f"b = {_val_expr(ops[1])}")
+        if opcode is Opcode.CMP:
+            w.emit(f"r = (a - b) & {MASK64}")
+            w.emit("f.zero = r == 0")
+            w.emit(f"f.sign = r >= {SIGN_BIT}")
+            w.emit("f.carry = a < b")
+            w.emit(f"f.overflow = (a >= {SIGN_BIT}) != (b >= {SIGN_BIT}) "
+                   f"and (r >= {SIGN_BIT}) != (a >= {SIGN_BIT})")
+        else:
+            w.emit("r = a & b")
+            w.emit("f.zero = r == 0")
+            w.emit(f"f.sign = r >= {SIGN_BIT}")
+            w.emit("f.carry = False")
+            w.emit("f.overflow = False")
+
+    # -- memory-operation emitters (each transcribes its fast thunk) ---------
+    def _page_state(self, w: _BlockWriter, addr_var: str, limit: int) -> None:
+        w.use("memory", "fullp", "pages")
+        w.emit(f"off = {addr_var} & 4095")
+        w.emit(f"pid = {addr_var} >> 12")
+        w.emit(f"if off <= {limit}:")
+        w.emit("    state = fullp.get(pid)")
+        w.emit("    if state is None:")
+        w.emit("        state = memory.page_fully_mapped(pid)")
+        w.emit("else:")
+        w.emit("    state = False")
+
+    def _promotion_tail(self, w: _BlockWriter, di: int) -> None:
+        # A pending promotion is only ever *applied* through
+        # ``dift.or_register_tag``; with DIFT off the fast engine's
+        # per-load check-and-clear is architecturally invisible (the flag
+        # is reset at every ``_setup_process``), so skip it entirely.
+        if not self.dift_on:
+            return
+        w.param("EM", "EM")
+        w.emit("p = EM._pending_promotion")
+        w.emit("if p:")
+        w.use("rt")
+        w.emit(f"    rt[{di}] |= p & {ALL_TAGS}")
+        w.emit("    EM._pending_promotion = 0")
+
+    def _emit_read_tags(self, w: _BlockWriter, dest: str, addr_var: str,
+                        size: int) -> None:
+        """DIFT tag read with the single-page case fully inlined.
+
+        Mirrors ``_read_tag_range``'s single-page fast path (``addr_var``
+        is masked, so non-negative): an absent shadow page reads as tag
+        0, a present one as the OR of its bytes — folded from the
+        little-endian integer by halving shifts.  Only page- or
+        bit-45-crossing ranges take the helper.
+        """
+        w.use("rt", "pages")
+        w.emit(f"sh = {addr_var} ^ {self.flip}")
+        w.emit("so = sh & 4095")
+        pad = ""
+        if size > 1:
+            w.param("RTR", "RTR")
+            w.emit(f"if so <= {4096 - size} and "
+                   f"{addr_var} >> 45 == ({addr_var} + {size - 1}) >> 45:")
+            pad = "    "
+        w.emit(f"{pad}spage = pages.get(sh >> 12)")
+        w.emit(f"{pad}if spage is None:")
+        w.emit(f"{pad}    {dest} = 0")
+        if size == 1:
+            w.emit(f"{pad}else:")
+            w.emit(f"{pad}    {dest} = spage[so] & {ALL_TAGS}")
+        else:
+            w.param(f"U{size}", f"U{size}")
+            w.emit(f"{pad}else:")
+            w.emit(f"{pad}    t = U{size}(spage, so)[0]")
+            w.emit(f"{pad}    if t:")
+            shift = size * 4  # fold the high half down, then halve again
+            while shift >= 8:
+                w.emit(f"{pad}        t |= t >> {shift}")
+                shift //= 2
+            w.emit(f"{pad}        t &= {ALL_TAGS}")
+            w.emit(f"{pad}    {dest} = t")
+            w.emit("else:")
+            w.emit(f"    {dest} = RTR(m, {addr_var}, {size}, {self.flip})")
+
+    def _emit_write_tags(self, w: _BlockWriter, addr_var: str, size: int,
+                         tag: str, maybe_negative: bool) -> None:
+        """DIFT tag write with the single-page cases inlined.
+
+        Writing the tag over an unallocated single shadow page is a
+        no-op when the tag is 0 (absent pages read as 0, guest-side
+        mapping checks are region-based, and no taint-undo entry would
+        be written since old == new); a present page is written
+        directly outside simulation, and inside simulation the write is
+        skipped entirely when every byte already holds the tag (again
+        old == new, so the helper would neither log nor change
+        anything).  Page-crossing, negative and tag-changing simulation
+        cases call the helper.
+        """
+        w.use("D", "pages")
+        w.param("WTR", "WTR")
+        w.emit(f"sh = {addr_var} ^ {self.flip}")
+        w.emit("so = sh & 4095")
+        guards = []
+        if maybe_negative:
+            guards.append(f"{addr_var} >= 0")
+        if size > 1:
+            guards.append(f"so <= {4096 - size}")
+            guards.append(
+                f"{addr_var} >> 45 == ({addr_var} + {size - 1}) >> 45")
+        pad = ""
+        if guards:
+            w.emit(f"if {' and '.join(guards)}:")
+            pad = "    "
+        if size == 1:
+            read = "spage[so]"
+            tb = tag
+            write = f"spage[so] = {tag}"
+        else:
+            # The tag byte replicated across the range, as one fixed-width
+            # little-endian integer (0x01 repeated ``size`` times works as
+            # the replicator since tags fit in a byte).
+            rep = int.from_bytes(b"\x01" * size, "little")
+            w.param(f"U{size}", f"U{size}")
+            w.param(f"P{size}", f"P{size}")
+            read = f"U{size}(spage, so)[0]"
+            tb = "0" if tag == "0" else f"{tag} * {rep}"
+            write = f"P{size}(spage, so, {tb})"
+        w.emit(f"{pad}spage = pages.get(sh >> 12)")
+        w.emit(f"{pad}if spage is None:")
+        if tag == "0":
+            w.emit(f"{pad}    pass")
+        else:
+            w.emit(f"{pad}    if {tag}:")
+            if w.sim:
+                w.emit(f"{pad}        WTR(D, m, {addr_var}, {size}, {tag}, "
+                       f"{self.flip})")
+            else:
+                w.emit(f"{pad}        spage = bytearray(4096)")
+                w.emit(f"{pad}        pages[sh >> 12] = spage")
+                w.emit(f"{pad}        {write}")
+        if w.sim:
+            w.emit(f"{pad}elif {read} != {tb}:")
+            w.emit(f"{pad}    WTR(D, m, {addr_var}, {size}, {tag}, "
+                   f"{self.flip})")
+        else:
+            w.emit(f"{pad}else:")
+            w.emit(f"{pad}    {write}")
+        if guards:
+            w.emit("else:")
+            w.emit(f"    WTR(D, m, {addr_var}, {size}, {tag}, {self.flip})")
+
+    def _emit_load(self, w: _BlockWriter, instr: Instruction) -> None:
+        di = int(instr.operands[0].reg)
+        size = instr.size
+        w.use("regs")
+        w.param(f"U{size}", f"U{size}")
+        w.mark()
+        w.emit(f"a = {_ea_expr(instr.operands[1])}")
+        if self.dift_on:
+            self._emit_read_tags(w, f"rt[{di}]", "a", size)
+        self._page_state(w, "a", 4096 - size)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit(f"    value = 0 if page is None else "
+               f"U{size}(page, off)[0]")
+        w.emit("else:")
+        w.emit(f"    value = memory.read_int(a, {size})")
+        w.journal_reg(di)
+        w.emit(f"regs[{di}] = value")
+        self._promotion_tail(w, di)
+
+    def _emit_store(self, w: _BlockWriter, instr: Instruction) -> None:
+        size = instr.size
+        mask = (1 << (8 * size)) - 1
+        src = instr.operands[1]
+        w.use("regs")
+        w.mark()
+        w.emit(f"a = {_ea_expr(instr.operands[0])}")
+        if self.dift_on:
+            if isinstance(src, Reg):
+                w.use("rt")
+                w.emit(f"t = rt[{int(src.reg)}]")
+                tag = "t"
+            else:
+                tag = "0"
+            self._emit_write_tags(w, "a", size, tag, False)
+        self._page_state(w, "a", 4096 - size)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit("    if page is None:")
+        w.emit("        page = bytearray(4096)")
+        w.emit("        pages[pid] = page")
+        if w.sim:
+            w.use("jn")
+            w.emit(f"    jn.entries.append((True, a, "
+                   f"bytes(page[off:off + {size}])))")
+        w.param(f"P{size}", f"P{size}")
+        if isinstance(src, Reg):
+            si = int(src.reg)
+            w.emit(f"    P{size}(page, off, regs[{si}] & {mask})")
+            w.emit("else:")
+            w.emit(f"    memory.write_int(a, regs[{si}], {size})")
+        else:
+            value = to_unsigned(src.value)
+            w.emit(f"    P{size}(page, off, {value & mask})")
+            w.emit("else:")
+            w.emit(f"    memory.write_int(a, {value}, {size})")
+
+    def _emit_push(self, w: _BlockWriter, instr: Instruction) -> None:
+        src = instr.operands[0]
+        w.use("regs")
+        w.mark()
+        if self.dift_on:
+            # NB: unmasked sp - 8, exactly like _dift_fn's PUSH thunk.
+            w.emit(f"wa = regs[{SP_IDX}] - 8")
+            if isinstance(src, Reg):
+                w.use("rt")
+                w.emit(f"t = rt[{int(src.reg)}]")
+                tag = "t"
+            else:
+                tag = "0"
+            self._emit_write_tags(w, "wa", 8, tag, True)
+        if isinstance(src, Reg):
+            w.emit(f"value = regs[{int(src.reg)}]")
+            written = "value"
+        else:
+            written = str(to_unsigned(src.value))
+        w.param("P8", "P8")
+        w.emit(f"new_sp = (regs[{SP_IDX}] - 8) & {MASK64}")
+        self._page_state(w, "new_sp", 4088)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit("    if page is None:")
+        w.emit("        page = bytearray(4096)")
+        w.emit("        pages[pid] = page")
+        if w.sim:
+            w.use("jn")
+            w.emit("    jn.entries.append((True, new_sp, "
+                   "bytes(page[off:off + 8])))")
+        w.emit(f"    P8(page, off, {written})")
+        w.emit("else:")
+        w.emit(f"    memory.write_int(new_sp, {written}, 8)")
+        if w.sim:
+            w.emit(f"jn.entries.append((False, {SP_IDX}, regs[{SP_IDX}]))")
+        w.emit(f"regs[{SP_IDX}] = new_sp")
+
+    def _emit_pop(self, w: _BlockWriter, instr: Instruction) -> None:
+        di = int(instr.operands[0].reg)
+        w.use("regs")
+        w.param("U8", "U8")
+        w.mark()
+        w.emit(f"sp = regs[{SP_IDX}]")
+        if self.dift_on:
+            self._emit_read_tags(w, f"rt[{di}]", "sp", 8)
+        self._page_state(w, "sp", 4088)
+        w.emit("if state:")
+        w.emit("    page = pages.get(pid)")
+        w.emit("    value = 0 if page is None else U8(page, off)[0]")
+        w.emit("else:")
+        w.emit("    value = memory.read_int(sp, 8)")
+        w.journal_reg(di)
+        w.emit(f"regs[{di}] = value")
+        w.emit(f"new_sp = (regs[{SP_IDX}] + 8) & {MASK64}")
+        if w.sim:
+            w.use("jn")
+            w.emit(f"jn.entries.append((False, {SP_IDX}, regs[{SP_IDX}]))")
+        w.emit(f"regs[{SP_IDX}] = new_sp")
+        self._promotion_tail(w, di)
+
+    def _emit_alu(self, w: _BlockWriter, addr: int,
+                  instr: Instruction) -> None:
+        opcode = instr.opcode
+        ops = instr.operands
+        di = int(ops[0].reg)
+        src = ops[1]
+        live_flags = addr not in self._dead_flags
+        w.use("regs")
+        if live_flags:
+            w.use("f")
+        if self.dift_on:
+            w.use("D")
+            zeroing = (opcode in (Opcode.XOR, Opcode.SUB)
+                       and isinstance(src, Reg) and src.reg == ops[0].reg)
+            if zeroing:
+                w.use("rt")
+                w.emit(f"rt[{di}] = 0")
+                w.emit("D.flags_tag = 0")
+            elif isinstance(src, Reg):
+                w.use("rt")
+                w.emit(f"t = rt[{di}] | rt[{int(src.reg)}]")
+                w.emit(f"rt[{di}] = t")
+                w.emit("D.flags_tag = t")
+            else:
+                w.use("rt")
+                w.emit(f"D.flags_tag = rt[{di}]")
+        w.emit(f"a = regs[{di}]")
+        b = (f"regs[{int(src.reg)}]" if isinstance(src, Reg)
+             else str(to_unsigned(src.value)))
+        w.emit(f"b = {b}")
+        S, M, T = SIGN_BIT, MASK64, TWO64
+        if opcode is Opcode.ADD:
+            w.emit(f"r = (a + b) & {M}")
+            if live_flags:
+                w.emit("f.zero = r == 0")
+                w.emit(f"f.sign = r >= {S}")
+                w.emit(f"f.carry = a + b > {M}")
+                w.emit(f"f.overflow = (a >= {S}) == (b >= {S}) "
+                       f"and (r >= {S}) != (a >= {S})")
+        elif opcode is Opcode.SUB:
+            w.emit(f"r = (a - b) & {M}")
+            if live_flags:
+                w.emit("f.zero = r == 0")
+                w.emit(f"f.sign = r >= {S}")
+                w.emit("f.carry = a < b")
+                w.emit(f"f.overflow = (a >= {S}) != (b >= {S}) "
+                       f"and (r >= {S}) != (a >= {S})")
+        else:
+            if opcode is Opcode.AND:
+                w.emit("r = a & b")
+            elif opcode is Opcode.OR:
+                w.emit("r = a | b")
+            elif opcode is Opcode.XOR:
+                w.emit("r = a ^ b")
+            elif opcode is Opcode.SHL:
+                w.emit(f"r = (a << (b & 63)) & {M}")
+            elif opcode is Opcode.SHR:
+                w.emit("r = a >> (b & 63)")
+            elif opcode is Opcode.SAR:
+                w.emit(f"sa = a - {T} if a >= {S} else a")
+                w.emit(f"r = (sa >> (b & 63)) & {M}")
+            else:  # MUL
+                w.emit(f"sa = a - {T} if a >= {S} else a")
+                w.emit(f"sb = b - {T} if b >= {S} else b")
+                w.emit(f"r = (sa * sb) & {M}")
+            if live_flags:
+                w.emit("f.zero = r == 0")
+                w.emit(f"f.sign = r >= {S}")
+                w.emit("f.carry = False")
+                w.emit("f.overflow = False")
+        if w.sim:
+            w.use("jn")
+            w.emit(f"jn.entries.append((False, {di}, a))")
+        w.emit(f"regs[{di}] = r")
+
+
+class JitEmulator(FastEmulator):
+    """Block-compiled engine: generated source over the fast-engine trace."""
+
+    engine_name = "jit"
+
+    def __init__(self, *args, **kwargs) -> None:
+        #: addr -> (block fn, fuel need), one map per simulation state.
+        self._blocks_sim: Dict[int, Tuple] = {}
+        self._blocks_nosim: Dict[int, Tuple] = {}
+        #: addr -> covered instruction addresses (profiler attribution).
+        self._block_spans_sim: Dict[int, Tuple[int, ...]] = {}
+        self._block_spans_nosim: Dict[int, Tuple[int, ...]] = {}
+        self._jit_cache = None
+        self._jit_cache_event = "none"
+        self._jit_source: Optional[str] = None
+        super().__init__(*args, **kwargs)
+        self._compile_blocks()
+
+    # -- compilation ---------------------------------------------------------
+    def _options_digest(self) -> str:
+        """Digest of every knob the generated source depends on.
+
+        Part of the persistent-cache key: two emulators with equal
+        binary hash and equal digest are guaranteed to generate
+        byte-identical module source.
+        """
+        payload = {
+            "codegen": _CODEGEN_VERSION,
+            "max_block": _MAX_BLOCK,
+            "costs": {op.name: self.cost_model.instruction_cost(op)
+                      for op in Opcode},
+            "max_steps": self.max_steps,
+            "flip": self.layout.tag_flip_bit,
+            "pht": self._pht_enabled,
+            "models": sorted(model.name for model in self.spec_models),
+            "model_opcodes": sorted(op.name for op in self._model_opcodes),
+            "has_shadows": self.has_shadows,
+            "dift": self.policy is not None and self.policy.needs_dift,
+            "controller": self.controller is not None,
+            # presence of these is constant-folded into the blocks
+            "policy": self.policy is not None,
+            "coverage": self.coverage is not None,
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _compile_blocks(self) -> None:
+        cache = shared_cache()
+        self._jit_cache = cache
+        binary_hash = hashlib.sha256(dumps_binary(self.binary)).hexdigest()
+        digest = self._options_digest()
+        self._jit_key = (binary_hash, digest)
+        code = cache.load(binary_hash, digest)
+        if code is None:
+            source = _BlockCompiler(self).compile_source()
+            self._jit_source = source
+            code = compile(source, "<repro-jit>", "exec")
+            cache.store(binary_hash, digest, code)
+            self._jit_cache_event = "miss"
+        else:
+            self._jit_cache_event = "hit"
+        self._block_code = code
+        self._install_blocks()
+
+    def _install_blocks(self) -> None:
+        """Bind the compiled module to this instance's live objects.
+
+        The generated source is instance-independent (every constant is
+        a literal); instance objects enter through the exec namespace,
+        which each block function captures via keyword-parameter
+        defaults evaluated here.
+        """
+        controller = self.controller
+        namespace = {
+            "EM": self,
+            "CTRL": controller,
+            "CYC": self._cycles_cell,
+            "ARC": self._arch_cell,
+            "STP": self._steps_cell,
+            "TRACE": self._trace,
+            "INSTRS": self.instructions,
+            "RTR": _read_tag_range,
+            "WTR": _write_tag_range,
+            "FB": _FROM_BYTES,
+            "U1": _UNPACKERS[1], "U2": _UNPACKERS[2],
+            "U4": _UNPACKERS[4], "U8": _UNPACKERS[8],
+            "P1": _PACKERS[1], "P2": _PACKERS[2],
+            "P4": _PACKERS[4], "P8": _PACKERS[8],
+            "EXTERNALS": self.externals._externals,
+            "BLOCKS": {},
+            "NBLOCKS": {},
+            "SSPANS": {},
+            "NSPANS": {},
+        }
+        exec(self._block_code, namespace)
+        self._blocks_sim = namespace["BLOCKS"]
+        self._blocks_nosim = namespace["NBLOCKS"]
+        self._block_spans_sim = namespace["SSPANS"]
+        self._block_spans_nosim = namespace["NSPANS"]
+        self._jit_inline_instructions = sum(
+            len(span) for span in self._block_spans_nosim.values())
+
+    def rebind_controller(self, controller) -> None:
+        """Swap controllers and regenerate everything bound to the old one."""
+        super().rebind_controller(controller)
+        # Controller presence is part of the options digest; going
+        # through _compile_blocks re-keys the cache lookup (memo-hit
+        # when only the instance changed) and rebinds the namespace.
+        self._compile_blocks()
+
+    # -- main loop -----------------------------------------------------------
+    def _execute(self) -> ExecutionResult:
+        machine = self.machine
+        controller = self.controller
+        cost_model = self.cost_model
+        trace_get = self._trace.get
+        sim_get = self._blocks_sim.get
+        nosim_get = self._blocks_nosim.get
+        # live-checkpoint list: truthy exactly while simulating.  The
+        # controller clears it in place (never reassigns), so the hoisted
+        # reference stays valid for the whole run.
+        cps = controller.checkpoints if controller is not None else ()
+        max_steps = self.max_steps
+        cyc = self._cycles_cell
+        arc = self._arch_cell
+        stp = self._steps_cell
+        cyc[0] = 0
+        arc[0] = 0
+        stp[0] = 0
+
+        result = ExecutionResult(status="exit")
+
+        while True:
+            steps = stp[0]
+            if steps >= max_steps:
+                result.status = "fuel"
+                break
+            pc = machine.pc
+            if pc == EXIT_SENTINEL:
+                result.exit_status = to_signed(machine.registers[RET_IDX])
+                break
+            entry = (sim_get if cps else nosim_get)(pc)
+            if entry is not None and steps + entry[1] <= max_steps:
+                # Whole block fits in the remaining fuel: one call runs
+                # it (the block advances the counters itself).
+                fn = entry[0]
+            else:
+                fn = trace_get(pc)
+                if fn is None:
+                    if (
+                        self._dynamic_models
+                        and controller is not None
+                        and controller.in_simulation
+                    ):
+                        undone = controller.rollback(machine, self.dift,
+                                                     reason="exception")
+                        cyc[0] += cost_model.rollback_cost(undone)
+                        if self.coverage is not None:
+                            self.coverage.flush_speculative()
+                        self._after_exception_rollback()
+                        continue
+                    result.status = "crash"
+                    result.crash_reason = f"jump to non-code address {pc:#x}"
+                    break
+                stp[0] = steps + 1
+
+            try:
+                new_pc = fn(machine)
+            except (MemoryFault, ArithmeticFault) as exc:
+                if controller is not None and controller.in_simulation:
+                    undone = controller.rollback(machine, self.dift,
+                                                 reason="exception")
+                    cyc[0] += cost_model.rollback_cost(undone)
+                    if self.coverage is not None:
+                        self.coverage.flush_speculative()
+                    self._after_exception_rollback()
+                    continue
+                result.status = "crash"
+                result.crash_reason = str(exc)
+                break
+            except ProgramExit as exc:
+                result.exit_status = exc.status
+                break
+            except ProgramCrash as exc:
+                if controller is not None and controller.in_simulation:
+                    undone = controller.rollback(machine, self.dift,
+                                                 reason="exception")
+                    cyc[0] += cost_model.rollback_cost(undone)
+                    continue
+                result.status = "crash"
+                result.crash_reason = str(exc)
+                break
+
+            if new_pc is None:
+                # Handler already set machine.pc (rollbacks, redirects).
+                continue
+            machine.pc = new_pc
+
+        result.steps = stp[0]
+        result.cycles = cyc[0]
+        result.arch_instructions = arc[0]
+        return result
+
+
+@register_engine("jit")
+def _jit_engine_plugin():
+    """Block-compiled execution paired with copy-on-write journal rollback."""
+    from repro.runtime.speculation import JournalingSpeculationController
+
+    return JitEmulator, JournalingSpeculationController

@@ -394,6 +394,16 @@ class SpeculationController:
         self.spec_instruction_count += 1
         self.stats.simulated_instructions += 1
 
+    def count_instructions(self, count: int) -> None:
+        """Account ``count`` architectural instructions at once.
+
+        Bit-identical to ``count`` calls of :meth:`count_instruction`;
+        the jit engine uses this to flush a whole block segment's
+        in-simulation accounting with one call.
+        """
+        self.spec_instruction_count += count
+        self.stats.simulated_instructions += count
+
     # -- rollback ---------------------------------------------------------------------
     def rollback(self, machine, dift=None, reason: str = "restore") -> int:
         """Roll back to the innermost checkpoint.

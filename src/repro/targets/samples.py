@@ -20,21 +20,33 @@ from repro.targets.gadget_samples import (
 
 
 def _build_source() -> str:
-    """One driver with every gadget variant behind an input-selected branch."""
+    """One driver with every gadget variant behind an input-selected branch.
+
+    The input is a stream of 9-byte records (selector byte + payload); the
+    driver dispatches one gadget per record until the input runs out.  The
+    9-byte fuzz seeds therefore dispatch exactly one gadget — the classic
+    single-shot shape — while the throughput benchmarks hand in longer
+    ``perf_input_builder`` streams so one execution exercises many gadget
+    dispatches instead of paying per-run setup for ~60 instructions.
+    """
     parts = []
     for instance in range(len(GADGET_TEMPLATES)):
         parts.append(gadget_globals(instance))
     parts.append("int main() {")
-    parts.append("    byte buf[16];")
-    parts.append("    int n = read_input(buf, 16);")
+    parts.append("    byte buf[1440];")
+    parts.append("    int n = read_input(buf, 1440);")
     parts.append("    if (n < 1) {")
     parts.append("        return 0;")
     parts.append("    }")
-    parts.append("    int selector = buf[0] & 3;")
+    parts.append("    int pos = 0;")
+    parts.append("    while (pos < n) {")
+    parts.append("        int selector = buf[pos] & 3;")
     for instance in range(len(GADGET_TEMPLATES)):
-        parts.append(f"    if (selector == {instance}) {{")
+        parts.append(f"        if (selector == {instance}) {{")
         parts.append(gadget_snippet(instance, variant=instance))
-        parts.append("    }")
+        parts.append("        }")
+    parts.append("        pos = pos + 9;")
+    parts.append("    }")
     parts.append("    return 0;")
     parts.append("}")
     return "\n".join(parts)
@@ -44,9 +56,19 @@ SOURCE = _build_source()
 
 
 def _perf_input(size: int) -> bytes:
-    # Cycle through all four selectors with varied attacker values.
-    pattern = bytes((i % 4 if i % 8 == 0 else (i * 37) % 256) for i in range(max(size, 1)))
-    return pattern[:size]
+    # A stream of 9-byte records (the driver dispatches one gadget per
+    # record).  ``attack_input()`` reads successive raw 8-byte windows of
+    # this same stream as little-endian attacker indices, so payload bytes
+    # stay zero: every window then decodes to a small in-bounds index and
+    # each gadget body executes fully (and architecturally safely) instead
+    # of bailing at the bounds check or faulting on a wild load.  Non-zero
+    # selectors are only placed where record and window starts coincide
+    # (every 8th record) so they read back as indices <= 3; those records
+    # cycle the other three gadget variants.
+    out = bytearray(max(size, 1))
+    for record in range(0, len(out), 9 * 8):
+        out[record] = (record // (9 * 8)) % 3 + 1
+    return bytes(out[:size])
 
 
 GADGET_SAMPLES = REGISTRY.register(
@@ -54,7 +76,12 @@ GADGET_SAMPLES = REGISTRY.register(
         name="gadgets",
         source=SOURCE,
         seeds=[
-            b"\x00" + b"\x05" * 8,
+            # selector 0 with attacker index 16 — the first out-of-bounds
+            # index: the speculative window survives the whole gadget, so
+            # this seed alone reports both gadget-0 sites (the OOB load
+            # and the secret-dependent dereference) instead of relying on
+            # mutation to stumble into a small index.
+            b"\x10" + b"\x00" * 8,
             b"\x01" + b"\x7f" * 8,
             b"\x02" + b"\xff" * 8,
             b"\x03" + b"\x41" * 8,

@@ -182,6 +182,18 @@ class Telemetry:
         if fallbacks is not None:
             registry.gauge("engine.fallback_thunks").set(len(fallbacks))
 
+        blocks = getattr(emulator, "_blocks_nosim", None)
+        if blocks is not None:  # jit engine
+            registry.gauge("engine.jit.compiled_blocks").set(len(blocks))
+            registry.gauge("engine.jit.compiled_blocks_sim").set(
+                len(emulator._blocks_sim))
+            registry.gauge("engine.jit.inlined_instructions").set(
+                getattr(emulator, "_jit_inline_instructions", 0))
+            cache = getattr(emulator, "_jit_cache", None)
+            if cache is not None:
+                for key, value in cache.stats.items():
+                    registry.gauge(f"engine.jit.cache_{key}").set(value)
+
     # -- lifecycle -----------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready section for ``RunResult``/``BENCH_*.json`` embedding."""

@@ -2,16 +2,21 @@
 
 The profiler wraps an emulator's dispatch structures *in place* — the
 fast engine's decoded-thunk trace (one wrapper per instruction address,
-so fused and fallback thunks are counted where they live) or the legacy
-engine's opcode dispatch table — and counts executions per opcode and
-per address.  Wrapping costs a Python call per retired thunk, so this is
-strictly opt-in (``Pipeline.telemetry(profile_engine=True)`` or
+so fused and fallback thunks are counted where they live), the legacy
+engine's opcode dispatch table, or the jit engine's compiled-block
+tables — and counts executions per opcode and per address.  Wrapping
+costs a Python call per retired thunk (per retired *block* on the jit
+engine), so this is strictly opt-in
+(``Pipeline.telemetry(profile_engine=True)`` or
 ``repro fuzz --profile-engine``); nothing is touched unless a profiler
 is installed before the emulator's first ``run()``.
 
-This is the baseline measurement instrument for the ROADMAP's JIT tier:
-its hot-spot histogram says which thunks a compiled tier should
-specialize first.
+On the jit engine a block wrapper attributes one execution to every
+instruction address in the block's span (``_block_spans_*``): compiled
+blocks have no per-instruction dispatch left to hook, so a conditional
+early exit still counts the block's tail — superblock-granular
+attribution, exact at block heads.  Instructions that fall back to
+thunks keep exact counts through the trace wrapper.
 """
 
 from __future__ import annotations
@@ -43,6 +48,8 @@ class EngineProfiler:
             self._symbols.append((sym.address, sym.address + sym.size,
                                   sym.name))
         trace = getattr(emulator, "_trace", None)
+        if getattr(emulator, "_blocks_nosim", None) is not None:
+            self._wrap_blocks(emulator)
         if trace is not None:
             self._wrap_trace(emulator, trace)
         else:
@@ -62,6 +69,36 @@ class EngineProfiler:
                 return _thunk(m)
 
             trace[addr] = counting
+
+    def _wrap_blocks(self, emulator) -> None:
+        """Jit engine: wrap both compiled-block tables with counting shims.
+
+        Each table entry stays a ``(block fn, fuel need)`` tuple — the
+        main loop's fuel check reads ``entry[1]`` — and one retired
+        block attributes an execution to every instruction address in
+        its span.
+        """
+        per_address = self.per_address
+        per_opcode = self.per_opcode
+        instructions = emulator.instructions
+        for blocks, spans in ((emulator._blocks_sim,
+                               emulator._block_spans_sim),
+                              (emulator._blocks_nosim,
+                               emulator._block_spans_nosim)):
+            for addr, (fn, need) in list(blocks.items()):
+                span = spans.get(addr, (addr,))
+                names = tuple(instructions[a].opcode.name.lower()
+                              for a in span if a in instructions)
+
+                def counting(m, _fn=fn, _span=span, _names=names,
+                             _pa=per_address, _po=per_opcode):
+                    for a in _span:
+                        _pa[a] = _pa.get(a, 0) + 1
+                    for n in _names:
+                        _po[n] = _po.get(n, 0) + 1
+                    return _fn(m)
+
+                blocks[addr] = (counting, need)
 
     def _wrap_dispatch(self, emulator) -> None:
         """Legacy engine: wrap the per-opcode handler table."""

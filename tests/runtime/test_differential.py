@@ -1,46 +1,41 @@
-"""Differential harness: the fast engine must be bit-identical to legacy.
+"""Differential suite: fast and jit engines must be bit-identical to legacy.
 
 The fast emulator engine (decoded-trace dispatch + copy-on-write rollback
-journaling, :mod:`repro.runtime.fastpath`) is only allowed to change *how
-fast* executions run, never *what* they compute.  This suite runs every
-Kocher gadget sample plus jsmn/libyaml smoke inputs through both engines
-and asserts identical :class:`ExecutionResult` records (status, exit
-status, steps, **cycle counts**, speculation statistics), identical gadget
-reports, and identical coverage maps — parametrized over every nested
-speculation policy.
+journaling, :mod:`repro.runtime.fastpath`) and the jit engine (compiled
+basic blocks + persistent block cache, :mod:`repro.runtime.jit`) are only
+allowed to change *how fast* executions run, never *what* they compute.
+This suite drives the reusable harness in :mod:`differential` over the
+full engine triple — every Kocher gadget sample, jsmn/libyaml smoke
+inputs, full fuzzing campaigns and all four speculation-model variants —
+asserting identical :class:`ExecutionResult` records (status, exit
+status, steps, **cycle counts**, speculation statistics), identical
+gadget reports, and identical coverage maps, parametrized over every
+nested speculation policy.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from differential import (
+    NESTING_POLICIES,
+    VARIANT_SETS,
+    assert_campaigns_identical,
+    assert_engines_identical,
+    result_record,
+)
 from repro.baselines.specfuzz import SpecFuzzConfig, SpecFuzzRewriter, SpecFuzzRuntime
 from repro.core.config import TeapotConfig
 from repro.core.teapot import TeapotRewriter, TeapotRuntime
-from repro.coverage.sancov import CoverageRuntime
 from repro.fuzzing.fuzzer import Fuzzer, FuzzTarget
 from repro.runtime.emulator import Emulator
-from repro.runtime.fastpath import FastEmulator, resolve_engine
-from repro.runtime.speculation import (
-    DisabledNestingPolicy,
-    JournalingSpeculationController,
-    SpecFuzzNestingPolicy,
-    SpecTaintNestingPolicy,
-    SpeculationController,
-    TeapotNestingPolicy,
-)
-from repro.sanitizers.policy import KasperPolicy
+from repro.runtime.fastpath import FastEmulator, engine_names, resolve_engine
+from repro.runtime.jit import JitEmulator
 from repro.targets import get_target
 from repro.targets.injection import compile_vanilla
 
-#: Nesting-policy factories the harness parametrizes over (fresh instances
-#: per engine so per-branch counters never leak between the two runs).
-NESTING_POLICIES = {
-    "disabled": DisabledNestingPolicy,
-    "specfuzz": lambda: SpecFuzzNestingPolicy(ramp=4),
-    "spectaint": lambda: SpecTaintNestingPolicy(max_visits=3),
-    "teapot": TeapotNestingPolicy,
-}
+#: The full engine triple under test, baseline first.
+ENGINES = ("legacy", "fast", "jit")
 
 #: Kocher-sample inputs: the four seed selectors plus mutated variants that
 #: drive each gadget shape in and out of bounds.
@@ -51,106 +46,53 @@ KOCHER_INPUTS = [
 ]
 
 
-@pytest.fixture(scope="module")
-def gadgets_binary():
-    """The Kocher-samples driver, Teapot-instrumented."""
-    return TeapotRewriter(TeapotConfig()).instrument(
-        compile_vanilla(get_target("gadgets"))
-    )
-
-
-def _build_pair(binary, policy_factory):
-    """A (legacy, fast) emulator pair with identical configuration."""
-    pair = []
-    for fast in (False, True):
-        controller_cls = JournalingSpeculationController if fast else SpeculationController
-        emulator_cls = FastEmulator if fast else Emulator
-        pair.append(
-            emulator_cls(
-                binary,
-                controller=controller_cls(policy_factory()),
-                policy=KasperPolicy(),
-                coverage=CoverageRuntime(),
-            )
-        )
-    return pair
-
-
-def _result_record(result):
-    """An ExecutionResult as a comparable dictionary (reports serialized)."""
-    record = dict(result.__dict__)
-    record["reports"] = [report.to_dict() for report in result.reports]
-    return record
-
-
-def _coverage_record(emulator):
-    return (
-        emulator.coverage.normal.covered(),
-        emulator.coverage.speculative.covered(),
-    )
+def test_engine_registry_exposes_triple():
+    """All three engines are registered (plugins may add more)."""
+    assert set(ENGINES) <= set(engine_names())
 
 
 @pytest.mark.parametrize("policy_name", sorted(NESTING_POLICIES))
-def test_kocher_samples_identical_across_engines(gadgets_binary, policy_name):
-    """Every Kocher sample: same results, reports, cycles on both engines."""
-    legacy, fast = _build_pair(gadgets_binary, NESTING_POLICIES[policy_name])
-    for data in KOCHER_INPUTS:
-        expected = _result_record(legacy.run(data))
-        actual = _result_record(fast.run(data))
-        assert actual == expected, f"divergence on input {data.hex()}"
-    assert _coverage_record(fast) == _coverage_record(legacy)
+def test_kocher_samples_identical_across_engines(policy_name):
+    """Every Kocher sample: same results, reports, cycles on all engines."""
+    assert_engines_identical(
+        "gadgets",
+        engines=ENGINES,
+        policies=(policy_name,),
+        inputs=KOCHER_INPUTS,
+    )
+
+
+@pytest.mark.parametrize("variant_set", VARIANT_SETS,
+                         ids=lambda vs: "+".join(vs))
+def test_kocher_samples_identical_across_variants(variant_set):
+    """Each speculation-model variant set (PHT/BTB/RSB/STL and the full
+    matrix) yields bit-identical runs on all three engines."""
+    assert_engines_identical(
+        "gadgets",
+        engines=ENGINES,
+        variants=(variant_set,),
+        inputs=KOCHER_INPUTS[:8],
+    )
 
 
 @pytest.mark.parametrize("policy_name", sorted(NESTING_POLICIES))
 def test_kocher_fuzzing_campaign_identical(policy_name):
     """A full fuzzing loop over the Kocher samples is engine-invariant."""
-    target = get_target("gadgets")
-    config = TeapotConfig()
-    binary = TeapotRewriter(config).instrument(compile_vanilla(target))
-
-    campaigns = {}
-    for engine in ("legacy", "fast"):
-        runtime = TeapotRuntime(binary, config=config.with_engine(engine))
-        # The runtime's own nesting policy is replaced to parametrize the
-        # harness beyond the Teapot default.
-        _, controller_cls = resolve_engine(engine)
-        runtime.controller = controller_cls(
-            NESTING_POLICIES[policy_name](), rob_budget=config.rob_budget
-        )
-        runtime.emulator.controller = runtime.controller
-        if engine == "fast":
-            # Decoded thunks close over the controller; rebuild the trace.
-            runtime.emulator._trace = runtime.emulator._build_trace()
-        fuzzer = Fuzzer(FuzzTarget(runtime), seeds=list(target.seeds), seed=11)
-        result = fuzzer.run_campaign(150)
-        campaigns[engine] = (
-            result.executions,
-            result.total_cycles,
-            result.total_steps,
-            result.crashes,
-            result.hangs,
-            result.corpus_size,
-            result.normal_coverage,
-            result.speculative_coverage,
-            result.spec_stats,
-            result.reports.to_dicts(),
-            fuzzer.corpus.to_dicts(),
-        )
-    assert campaigns["fast"] == campaigns["legacy"]
+    assert_campaigns_identical(
+        "gadgets",
+        engines=ENGINES,
+        policy=policy_name,
+        iterations=150,
+        seed=11,
+    )
 
 
 @pytest.mark.parametrize("target_name", ["jsmn", "libyaml"])
 def test_real_target_smoke_identical(target_name):
-    """jsmn/libyaml smoke inputs: identical results on both engines."""
+    """jsmn/libyaml smoke inputs: identical results on all engines."""
     target = get_target(target_name)
-    binary = TeapotRewriter(TeapotConfig()).instrument(compile_vanilla(target))
-    legacy, fast = _build_pair(binary, TeapotNestingPolicy)
     inputs = list(target.seeds)[:2] + [target.perf_input(48)]
-    for data in inputs:
-        expected = _result_record(legacy.run(data))
-        actual = _result_record(fast.run(data))
-        assert actual == expected, f"{target_name}: divergence on {data[:16].hex()}"
-    assert _coverage_record(fast) == _coverage_record(legacy)
+    assert_engines_identical(target, engines=ENGINES, inputs=inputs)
 
 
 def test_specfuzz_runtime_identical_across_engines():
@@ -159,47 +101,32 @@ def test_specfuzz_runtime_identical_across_engines():
     config = SpecFuzzConfig()
     binary = SpecFuzzRewriter(config).instrument(compile_vanilla(target))
     records = {}
-    for engine in ("legacy", "fast"):
+    for engine in ENGINES:
         runtime = SpecFuzzRuntime(binary, config=config.with_engine(engine))
         records[engine] = [
-            _result_record(runtime.run(data)) for data in KOCHER_INPUTS[:8]
+            result_record(runtime.run(data)) for data in KOCHER_INPUTS[:8]
         ]
     assert records["fast"] == records["legacy"]
+    assert records["jit"] == records["legacy"]
 
 
 @pytest.mark.parametrize("variants", [
     ("btb",), ("rsb",), ("stl",), ("pht", "btb", "rsb", "stl"),
 ])
 def test_variant_models_identical_across_engines(variants):
-    """Speculation-model runs (BTB/RSB/STL, alone and combined) must be
-    engine-invariant too: model sites funnel both engines through the same
-    shared handlers, and this locks that in over full fuzzing loops on
-    every planted gadget-sample target."""
+    """Speculation-model campaigns (BTB/RSB/STL, alone and combined) must
+    be engine-invariant: model sites funnel every engine through the same
+    shared handlers — the jit engine falls back to thunks there — and this
+    locks that in over full fuzzing loops on every planted gadget-sample
+    target."""
     for target_name in ("gadgets-btb", "gadgets-rsb", "gadgets-stl"):
-        target = get_target(target_name)
-        config = TeapotConfig(variants=variants)
-        binary = TeapotRewriter(config).instrument(compile_vanilla(target))
-        campaigns = {}
-        for engine in ("legacy", "fast"):
-            runtime = TeapotRuntime(binary, config=config.with_engine(engine))
-            fuzzer = Fuzzer(FuzzTarget(runtime), seeds=list(target.seeds),
-                            seed=23)
-            result = fuzzer.run_campaign(80)
-            campaigns[engine] = (
-                result.executions,
-                result.total_cycles,
-                result.total_steps,
-                result.crashes,
-                result.hangs,
-                result.corpus_size,
-                result.normal_coverage,
-                result.speculative_coverage,
-                result.spec_stats,
-                result.reports.to_dicts(),
-                fuzzer.corpus.to_dicts(),
-            )
-        assert campaigns["fast"] == campaigns["legacy"], (
-            f"{target_name} diverged under variants={variants}")
+        assert_campaigns_identical(
+            target_name,
+            engines=ENGINES,
+            variants=variants,
+            iterations=80,
+            seed=23,
+        )
 
 
 def test_fuzzer_engine_selection_rebuilds_target():
@@ -215,11 +142,19 @@ def test_fuzzer_engine_selection_rebuilds_target():
     assert fuzzer.target.runtime.engine == "fast"
     assert isinstance(fuzzer.target.runtime.emulator, FastEmulator)
 
+    jit_fuzzer = Fuzzer(FuzzTarget(runtime), seeds=list(target.seeds), seed=5,
+                        engine="jit")
+    assert jit_fuzzer.target.runtime.engine == "jit"
+    assert isinstance(jit_fuzzer.target.runtime.emulator, JitEmulator)
+
     legacy_fuzzer = Fuzzer(FuzzTarget(runtime), seeds=list(target.seeds), seed=5)
     fast_result = fuzzer.run_campaign(60)
+    jit_result = jit_fuzzer.run_campaign(60)
     legacy_result = legacy_fuzzer.run_campaign(60)
     assert fast_result.total_cycles == legacy_result.total_cycles
+    assert jit_result.total_cycles == legacy_result.total_cycles
     assert fast_result.reports.to_dicts() == legacy_result.reports.to_dicts()
+    assert jit_result.reports.to_dicts() == legacy_result.reports.to_dicts()
 
 
 def test_fuzzer_engine_selection_requires_support():

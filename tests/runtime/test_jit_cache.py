@@ -1,0 +1,253 @@
+"""Persistent compiled-block cache: hits, reuse, staleness, corruption.
+
+The jit engine's :class:`repro.runtime.jitcache.BlockCache` persists
+compiled block modules across emulator constructions and across
+processes.  These tests pin the accounting (cold miss → store, warm
+memo/disk hits), cross-process reuse (pool-scheduler campaign workers
+and sequential invocations), rejection of stale entries (rebuilt binary,
+bumped codegen version, changed engine options) and recovery from
+corrupted cache files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.runtime.jit as jit_module
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.runtime import jitcache
+from repro.runtime.jit import JitEmulator
+from repro.runtime.jitcache import BlockCache
+from repro.targets import get_target
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the shared cache at a fresh per-test directory."""
+    directory = str(tmp_path / "jit-cache")
+    monkeypatch.setenv("REPRO_JIT_CACHE", directory)
+    # the shared instance is keyed on the directory, so force a fresh one
+    monkeypatch.setattr(jitcache, "_shared", None)
+    monkeypatch.setattr(jitcache, "_shared_dir", None)
+    return directory
+
+
+@pytest.fixture
+def gadgets_binary():
+    return get_target("gadgets").compile()
+
+
+def _cache_files(directory):
+    if not os.path.isdir(directory):
+        return []
+    return sorted(name for name in os.listdir(directory)
+                  if name.endswith(".jitblk"))
+
+
+def test_cold_then_warm_hit_accounting(cache_dir, gadgets_binary):
+    first = JitEmulator(gadgets_binary)
+    cache = first._jit_cache
+    assert first._jit_cache_event == "miss"
+    assert cache.stats["misses"] == 1
+    assert cache.stats["stores"] == 1
+    assert len(_cache_files(cache_dir)) == 1
+
+    # Same process, same (binary, options): served from the memo.
+    second = JitEmulator(gadgets_binary)
+    assert second._jit_cache_event == "hit"
+    assert cache.stats["memo_hits"] == 1
+    assert cache.stats["misses"] == 1
+
+    # Fresh cache instance over the same directory: served from disk.
+    fresh = BlockCache(cache_dir)
+    assert fresh.load(*first._jit_key) is not None
+    assert fresh.stats == {"memo_hits": 0, "disk_hits": 1, "misses": 0,
+                           "stale": 0, "corrupt": 0, "stores": 0}
+
+
+def test_warm_construction_executes_identically(cache_dir, gadgets_binary):
+    data = b"\x00" + b"\x05" * 8
+    cold = JitEmulator(gadgets_binary).run(data)
+    # A second emulator (memo hit) must run the same: the generated
+    # source is instance-independent.
+    warm = JitEmulator(gadgets_binary).run(data)
+    assert (warm.status, warm.exit_status, warm.steps, warm.cycles) == \
+        (cold.status, cold.exit_status, cold.steps, cold.cycles)
+
+
+def test_cross_process_reuse(cache_dir, gadgets_binary):
+    """A second process over the same binary hits the disk cache."""
+    parent = JitEmulator(gadgets_binary)
+    assert parent._jit_cache_event == "miss"
+    script = (
+        "import json\n"
+        "from repro.targets import get_target\n"
+        "from repro.runtime.jit import JitEmulator\n"
+        "em = JitEmulator(get_target('gadgets').compile())\n"
+        "stats = dict(em._jit_cache.stats)\n"
+        "stats['event'] = em._jit_cache_event\n"
+        "print(json.dumps(stats))\n"
+    )
+    env = dict(os.environ, REPRO_JIT_CACHE=cache_dir,
+               PYTHONPATH=SRC_ROOT + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, check=True)
+    stats = json.loads(proc.stdout)
+    assert stats["event"] == "hit"
+    assert stats["disk_hits"] == 1
+    assert stats["misses"] == 0
+    assert stats["stale"] == 0
+    assert stats["corrupt"] == 0
+
+
+def test_pool_scheduler_campaign_reuses_cache(cache_dir):
+    """A multi-worker jit campaign completes bit-identically to fast and
+    leaves (and reuses) shared cache entries for its worker processes."""
+    params = dict(targets=("gadgets",), tools=("teapot",), iterations=20,
+                  rounds=2, shards=2, seed=13, workers=3)
+    jit_summary = run_campaign(CampaignSpec(engine="jit", **params))
+    assert _cache_files(cache_dir), "campaign left no cache entries"
+    fast_summary = run_campaign(CampaignSpec(engine="fast", **params))
+    jit_dict = jit_summary.to_dict()
+    fast_dict = fast_summary.to_dict()
+    # identical results; engine is execution mechanics, not fingerprint
+    assert jit_dict == fast_dict
+
+    # a serial rerun in this process reuses the entries the workers
+    # published instead of compiling anything new
+    before = dict(jitcache.shared_cache().stats)
+    serial = dict(params, workers=1)
+    rerun = run_campaign(CampaignSpec(engine="jit", **serial))
+    assert rerun.to_dict() == jit_dict
+    after = jitcache.shared_cache().stats
+    assert after["memo_hits"] + after["disk_hits"] > \
+        before["memo_hits"] + before["disk_hits"]
+    assert after["stores"] == before["stores"]
+
+
+def test_stale_rejected_when_binary_rebuilt(cache_dir, gadgets_binary):
+    """An entry whose header hash mismatches (rebuilt binary behind the
+    same truncated file name) is stale: rejected and recompiled."""
+    emulator = JitEmulator(gadgets_binary)
+    binary_hash, digest = emulator._jit_key
+    cache = emulator._jit_cache
+    path = cache.path_for(binary_hash, digest)
+    # a "rebuilt" binary whose 16-hex prefix collides: same file name,
+    # different full hash recorded in the header
+    rebuilt_hash = binary_hash[:16] + "f" * (len(binary_hash) - 16)
+    rebuilt_path = cache.path_for(rebuilt_hash, digest)
+    assert rebuilt_path == path  # the prefix collision this test targets
+
+    fresh = BlockCache(cache_dir)
+    assert fresh.load(rebuilt_hash, digest) is None
+    assert fresh.stats["stale"] == 1
+    assert fresh.stats["corrupt"] == 0
+
+
+def test_stale_rejected_when_version_bumped(cache_dir, gadgets_binary):
+    """Entries from another repro version are stale, never loaded."""
+    emulator = JitEmulator(gadgets_binary)
+    binary_hash, digest = emulator._jit_key
+
+    upgraded = BlockCache(cache_dir, version="999.0-next")
+    assert upgraded.load(binary_hash, digest) is None
+    assert upgraded.stats["stale"] == 1
+
+    # ...and the upgraded process overwrites the stale entry in place.
+    upgraded.store(binary_hash, digest, emulator._block_code)
+    assert upgraded.stats["stores"] == 1
+    reload = BlockCache(cache_dir, version="999.0-next")
+    assert reload.load(binary_hash, digest) is not None
+    assert reload.stats["disk_hits"] == 1
+
+
+def test_codegen_version_bump_recompiles(cache_dir, gadgets_binary,
+                                         monkeypatch):
+    """Bumping the codegen version changes the options digest: old
+    entries are simply never looked up again (cold recompile)."""
+    first = JitEmulator(gadgets_binary)
+    monkeypatch.setattr(jit_module, "_CODEGEN_VERSION", 999_999)
+    bumped = JitEmulator(gadgets_binary)
+    assert bumped._jit_cache_event == "miss"
+    assert bumped._jit_key != first._jit_key
+    assert len(_cache_files(cache_dir)) == 2
+
+
+def test_engine_options_change_keys_new_entry(cache_dir, gadgets_binary):
+    """Different engine options (here: max_steps) produce a different
+    digest — a fresh compile — and a cross-keyed lookup whose header
+    digest mismatches is rejected as stale."""
+    small = JitEmulator(gadgets_binary, max_steps=1_000)
+    large = JitEmulator(gadgets_binary, max_steps=2_000_000)
+    assert small._jit_key != large._jit_key
+    assert small._jit_cache.stats["misses"] == 2
+
+    # Cross-key the stored entries: same binary, wrong options digest in
+    # the header (simulates a digest-prefix collision after an options
+    # change) — must be stale, not served.
+    binary_hash, small_digest = small._jit_key
+    _, large_digest = large._jit_key
+    cache = small._jit_cache
+    crossed_digest = large_digest[:16] + small_digest[16:]
+    os.replace(cache.path_for(binary_hash, small_digest),
+               cache.path_for(binary_hash, crossed_digest))
+    fresh = BlockCache(cache_dir)
+    assert fresh.load(binary_hash, crossed_digest) is None
+    assert fresh.stats["stale"] == 1
+
+
+@pytest.mark.parametrize("damage", ["truncate", "garbage", "no_newline",
+                                    "bad_payload"])
+def test_corrupted_cache_file_recovery(cache_dir, gadgets_binary, damage):
+    """Unreadable entries are counted corrupt, deleted, and recompiled."""
+    emulator = JitEmulator(gadgets_binary)
+    binary_hash, digest = emulator._jit_key
+    path = emulator._jit_cache.path_for(binary_hash, digest)
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if damage == "truncate":
+        damaged = payload[: payload.find(b"\n") + 3]
+    elif damage == "garbage":
+        damaged = b"\xde\xad\xbe\xef" * 8
+    elif damage == "no_newline":
+        damaged = payload.replace(b"\n", b" ")
+    else:  # valid header, unmarshalable payload
+        damaged = payload[: payload.find(b"\n") + 1] + b"not marshal data"
+    with open(path, "wb") as handle:
+        handle.write(damaged)
+
+    fresh = BlockCache(cache_dir)
+    assert fresh.load(binary_hash, digest) is None
+    assert fresh.stats["corrupt"] == 1
+    assert not os.path.exists(path), "corrupt entry must be deleted"
+
+    # recovery: the next construction recompiles and re-publishes
+    jitcache._shared = None
+    jitcache._shared_dir = None
+    recovered = JitEmulator(gadgets_binary)
+    assert recovered._jit_cache_event == "miss"
+    assert recovered._jit_cache.stats["stores"] == 1
+    result = recovered.run(b"\x00" + b"\x05" * 8)
+    assert result.status == "exit"
+
+
+def test_disabled_cache_keeps_memo_only(tmp_path, monkeypatch,
+                                        gadgets_binary):
+    monkeypatch.setenv("REPRO_JIT_CACHE", "0")
+    monkeypatch.setattr(jitcache, "_shared", None)
+    monkeypatch.setattr(jitcache, "_shared_dir", None)
+    first = JitEmulator(gadgets_binary)
+    assert first._jit_cache.directory is None
+    assert first._jit_cache_event == "miss"
+    second = JitEmulator(gadgets_binary)
+    assert second._jit_cache_event == "hit"
+    assert second._jit_cache.stats["memo_hits"] == 1
