@@ -37,16 +37,47 @@ def pytest_configure(config):
     config.addinivalue_line("markers", "paper: regenerates a paper figure/table")
 
 
+def _provenance() -> Dict[str, object]:
+    """Stable artifact provenance: when/where/what produced the numbers.
+
+    ``repro bench diff`` and ``repro bench history`` key their trajectory
+    views on these fields; all are additive to the pre-existing payload
+    (old artifacts without them still diff fine).
+    """
+    import platform
+    import subprocess
+    import time
+
+    commit = ""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "schema": "repro.bench/record",
+        "schema_version": 1,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": commit,
+        "host": platform.node(),
+        "platform": platform.platform(),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write one ``BENCH_<name>.json`` per recorded benchmark."""
     if not _BENCH_RESULTS:
         return
     from repro._version import __version__
 
+    provenance = _provenance()
     os.makedirs(BENCH_DIR, exist_ok=True)
     for name, metrics in sorted(_BENCH_RESULTS.items()):
         payload = {"bench": name, "scale": SCALE, "version": __version__,
-                   **metrics}
+                   **provenance, **metrics}
         path = os.path.join(BENCH_DIR, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, indent=1, sort_keys=True) + "\n")

@@ -77,6 +77,9 @@ from repro.telemetry import (
     aggregate_trace,
     read_trace,
 )
+from repro.telemetry.benchdiff import diff_bench
+from repro.telemetry.export import render_prometheus, serve_metrics
+from repro.telemetry.runs import RunDirectory, RunRegistry
 
 
 def target_listing() -> List[Dict[str, object]]:
@@ -151,4 +154,10 @@ __all__ = [
     "TraceWriter",
     "aggregate_trace",
     "read_trace",
+    # campaign observatory
+    "RunDirectory",
+    "RunRegistry",
+    "diff_bench",
+    "render_prometheus",
+    "serve_metrics",
 ]

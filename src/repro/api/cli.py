@@ -7,7 +7,12 @@ Subcommands::
     repro harden --target gadgets --strategy mask --iterations 400
     repro report --in run.json
     repro bench --target jsmn --input-size 200
+    repro bench diff baseline/ candidate/       # exits 1 on regression
+    repro bench history v1/ v2/ v3/
     repro targets --json
+    repro stats trace.jsonl --html report.html --flamegraph stacks.txt
+    repro monitor --runs-root runs              # serve a recorded run
+    repro runs list
 
 ``fuzz``, ``report``, ``bench`` and ``targets`` are implemented directly
 over :mod:`repro.api`'s Pipeline builder and :class:`~repro.api.result.
@@ -122,6 +127,80 @@ def build_parser() -> argparse.ArgumentParser:
                             "or `repro campaign --trace`)")
     stats.add_argument("--json", action="store_true",
                        help="emit the aggregate as JSON instead of a table")
+    stats.add_argument("--html", metavar="PATH", default=None,
+                       help="write a self-contained HTML report (span tree, "
+                            "critical path, per-path percentiles, hot spots)")
+    stats.add_argument("--flamegraph", metavar="PATH", default=None,
+                       help="write collapsed-stack span self-times "
+                            "(flamegraph.pl / speedscope input)")
+    stats.add_argument("--result", metavar="PATH", default=None,
+                       help="RunResult JSON whose engine profile feeds the "
+                            "HTML hot-spot tables")
+
+    monitor = sub.add_parser(
+        "monitor", help="serve /metrics + /status for a recorded run "
+                        "directory (live while the campaign runs)")
+    monitor.add_argument("--runs-root", default="runs", metavar="ROOT",
+                         help="run registry root (default: runs/)")
+    monitor.add_argument("--run", default=None, metavar="RUN_ID",
+                         help="run id to serve (default: the newest run)")
+    monitor.add_argument("--serve", metavar="[HOST:]PORT", default="",
+                         help="bind address (default 127.0.0.1:9753; "
+                              "port 0 = OS-assigned)")
+    monitor.add_argument("--once", action="store_true",
+                         help="print the Prometheus exposition once to "
+                              "stdout and exit (no server)")
+
+    runs = sub.add_parser(
+        "runs", help="list/inspect/prune the durable run registry")
+    runs_sub = runs.add_subparsers(dest="runs_command", metavar="action")
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--root", default="runs")
+    runs_list.add_argument("--json", action="store_true")
+    runs_show = runs_sub.add_parser("show", help="show one run's manifest "
+                                                 "and latest metrics")
+    runs_show.add_argument("run_id", metavar="RUN_ID")
+    runs_show.add_argument("--root", default="runs")
+    runs_show.add_argument("--json", action="store_true")
+    runs_gc = runs_sub.add_parser("gc", help="delete all but the newest "
+                                             "finished runs")
+    runs_gc.add_argument("--root", default="runs")
+    runs_gc.add_argument("--keep", type=int, default=10)
+    runs_gc.add_argument("--dry-run", action="store_true")
+    return parser
+
+
+def _bench_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench diff",
+        description="Compare two BENCH_*.json snapshots (files or "
+                    "directories); exits 1 when a metric regressed "
+                    "beyond the threshold.")
+    parser.add_argument("old", metavar="OLD",
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("new", metavar="NEW",
+                        help="candidate BENCH_*.json file or directory")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="FRACTION",
+                        help="relative change that flags a metric "
+                             "(default: 0.05 = 5%%)")
+    parser.add_argument("--show-ok", action="store_true",
+                        help="also list metrics within the threshold")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full diff as JSON")
+    return parser
+
+
+def _bench_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench history",
+        description="Line several BENCH_*.json snapshots up "
+                    "chronologically, one column per snapshot.")
+    parser.add_argument("snapshots", metavar="SNAPSHOT", nargs="+",
+                        help="BENCH_*.json files or directories, oldest "
+                             "first")
+    parser.add_argument("--json", action="store_true",
+                        help="emit rows as JSON")
     return parser
 
 
@@ -214,10 +293,164 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
         return 2
     aggregate = aggregate_trace(records)
+    wrote_artifact = False
+    if args.html:
+        from repro.telemetry.report import render_html_report
+
+        profile = None
+        if args.result:
+            try:
+                telemetry = api.RunResult.load(args.result).telemetry or {}
+                profile = telemetry.get("profile")
+            except (OSError, ValueError) as error:
+                print(f"error: cannot load {args.result}: {error}",
+                      file=sys.stderr)
+                return 2
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html_report(aggregate, profile=profile))
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+        wrote_artifact = True
+    if args.flamegraph:
+        from repro.telemetry.report import render_flamegraph
+
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            handle.write(render_flamegraph(aggregate))
+        print(f"wrote collapsed stacks to {args.flamegraph}",
+              file=sys.stderr)
+        wrote_artifact = True
     if args.json:
         print(json.dumps(aggregate, indent=1, sort_keys=True, default=str))
         return 0
-    print(format_trace_stats(aggregate))
+    if not wrote_artifact:
+        print(format_trace_stats(aggregate))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import (
+        MetricsExporter,
+        parse_address,
+        render_prometheus,
+    )
+    from repro.telemetry.runs import RunRegistry
+
+    registry = RunRegistry(args.runs_root)
+    try:
+        if args.run:
+            run = registry.get(args.run)
+        else:
+            runs = registry.runs()
+            if not runs:
+                print(f"error: no runs under {args.runs_root} "
+                      "(start one with `repro campaign --run-dir`)",
+                      file=sys.stderr)
+                return 2
+            run = runs[0]
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.once:
+        sys.stdout.write(render_prometheus(run))
+        return 0
+    host, port = parse_address(args.serve)
+    exporter = MetricsExporter(run, registry=registry, host=host, port=port)
+    print(f"[monitor] serving run {run.run_id} on {exporter.url} "
+          "(/metrics, /status, /runs; Ctrl-C to stop)", file=sys.stderr)
+    exporter.serve_forever()
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.telemetry.runs import (
+        RunRegistry,
+        RunSchemaError,
+        format_runs_table,
+    )
+
+    command = args.runs_command or "list"
+    registry = RunRegistry(getattr(args, "root", "runs"))
+    if command == "list":
+        manifests = registry.list_manifests()
+        if getattr(args, "json", False):
+            print(json.dumps(manifests, indent=1, sort_keys=True))
+        else:
+            print(format_runs_table(manifests))
+        return 0
+    if command == "show":
+        try:
+            run = registry.get(args.run_id)
+            manifest = run.manifest()
+        except (KeyError, RunSchemaError) as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        record = {"manifest": manifest,
+                  "live_counts": run.live_counts()}
+        if args.json:
+            print(json.dumps(record, indent=1, sort_keys=True))
+            return 0
+        print(f"run {manifest.get('run_id')} [{manifest.get('status')}] — "
+              f"{manifest.get('command')} "
+              f"(created {manifest.get('created_at')})")
+        for key in ("target", "engine", "variants", "config_digest",
+                    "finished_at"):
+            if manifest.get(key):
+                print(f"  {key}: {manifest[key]}")
+        counts = run.live_counts()
+        if counts:
+            print("  live counts:")
+            for name, value in counts.items():
+                print(f"    {name} = {value}")
+        return 0
+    if command == "gc":
+        removed = registry.gc(keep=args.keep, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(removed)} run(s)"
+              + (": " + ", ".join(removed) if removed else ""))
+        return 0
+    print(f"error: unknown runs action {command!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_bench_diff(argv: Sequence[str]) -> int:
+    from repro.telemetry import benchdiff
+
+    args = _bench_diff_parser().parse_args(argv)
+    threshold = (args.threshold if args.threshold is not None
+                 else benchdiff.DEFAULT_THRESHOLD)
+    try:
+        old = benchdiff.load_bench_snapshot(args.old)
+        new = benchdiff.load_bench_snapshot(args.new)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    entries = benchdiff.diff_bench(old, new, threshold=threshold)
+    flagged = benchdiff.regressions(entries)
+    if args.json:
+        print(json.dumps({"threshold": threshold, "entries": entries,
+                          "regressions": len(flagged)},
+                         indent=1, sort_keys=True))
+    else:
+        print(benchdiff.format_diff_table(entries, show_ok=args.show_ok))
+    return 1 if flagged else 0
+
+
+def _cmd_bench_history(argv: Sequence[str]) -> int:
+    from repro.telemetry import benchdiff
+
+    args = _bench_history_parser().parse_args(argv)
+    snapshots = []
+    for path in args.snapshots:
+        try:
+            snapshots.append(benchdiff.load_bench_snapshot(path))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    headers, rows = benchdiff.bench_history(snapshots)
+    if args.json:
+        print(json.dumps({"headers": headers, "rows": rows},
+                         indent=1, sort_keys=True))
+    else:
+        print(benchdiff.format_history_table(headers, rows))
     return 0
 
 
@@ -245,6 +478,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         module_name, _ = _FORWARDED[argv[0]]
         module = __import__(module_name, fromlist=["main"])
         return module.main(argv[1:], prog=f"repro {argv[0]}")
+    # `bench diff`/`bench history` compare artifacts instead of running a
+    # measurement; they take positional paths, so route before argparse
+    # sees the measurement flags.
+    if len(argv) >= 2 and argv[0] == "bench" and argv[1] == "diff":
+        return _cmd_bench_diff(argv[2:])
+    if len(argv) >= 2 and argv[0] == "bench" and argv[1] == "history":
+        return _cmd_bench_history(argv[2:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -257,6 +497,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "targets": _cmd_targets,
         "stats": _cmd_stats,
+        "monitor": _cmd_monitor,
+        "runs": _cmd_runs,
     }[args.command]
     try:
         return handler(args)

@@ -133,6 +133,8 @@ class Pipeline:
         self._telemetry = None
         #: kwargs for a session-owned Telemetry.create(...), or None.
         self._telemetry_spec: Optional[Dict[str, object]] = None
+        #: observatory options (serve address, runs root), or None.
+        self._observatory: Optional[Dict[str, object]] = None
         if target is not None:
             self.target(target)
         self.variant(variant)
@@ -212,6 +214,8 @@ class Pipeline:
         progress: bool = False,
         interval: float = 5.0,
         profile_engine: bool = False,
+        serve=None,
+        runs_root=None,
     ) -> "Pipeline":
         """Attach telemetry to the run (observation-only, see
         ``docs/observability.md``).
@@ -223,6 +227,17 @@ class Pipeline:
         records per-opcode/per-address hot spots of the emulator.  The
         resulting snapshot lands in :attr:`RunResult.telemetry` either way.
         Results are bit-identical with or without telemetry.
+
+        Two observatory options work with either form: ``serve`` starts a
+        live HTTP exporter for the run (``/metrics`` in Prometheus text
+        format plus ``/status``; pass ``True`` for the default local
+        address, a port number, or a ``"host:port"`` string — bind port 0
+        to let the OS pick) and ``runs_root`` records the run into a
+        durable run directory under the given root (``True`` for the
+        default ``runs/``): manifest, JSONL trace (when no explicit
+        ``trace`` path is given), worker metrics spool, periodic metrics
+        snapshots and the final ``RunResult`` — browsable with ``repro
+        runs`` and servable after the fact with ``repro monitor``.
         """
         if telemetry is not None:
             self._telemetry = telemetry
@@ -235,6 +250,7 @@ class Pipeline:
                 "interval": float(interval),
                 "profile_engine": bool(profile_engine),
             }
+        self._observatory = {"serve": serve, "runs_root": runs_root}
         return self
 
     # -- stages -------------------------------------------------------------
@@ -419,17 +435,51 @@ class Session:
 
     # -- driver -------------------------------------------------------------
     def execute(self) -> RunResult:
-        telemetry, owned = self._materialize_telemetry()
+        observatory = self.builder._observatory or {}
+        run_dir = self._create_run_dir(observatory)
+        telemetry, owned = self._materialize_telemetry(run_dir)
         if telemetry is None:
             for stage in self.builder._stages:
                 handler = getattr(self, f"_run_{stage.kind}")
                 handler(**stage.params)
             return self.result
 
+        import os
+        import tempfile
+
         from repro.telemetry.context import session as telemetry_session
+        from repro.telemetry.spool import MetricsSpool
 
         self._telemetry = telemetry
+        exporter = None
+        spool_tmp: Optional[str] = None
+        status = "completed"
         try:
+            if run_dir is not None:
+                telemetry.run_dir = run_dir
+                telemetry.spool = MetricsSpool(run_dir.spool_path)
+            serve = observatory.get("serve")
+            if serve not in (None, False):
+                from repro.telemetry.export import parse_address, serve_metrics
+                from repro.telemetry.runs import RunRegistry
+
+                if telemetry.spool is None:
+                    # No run directory: the worker spool still needs a
+                    # file for live mid-round counters.
+                    fd, spool_tmp = tempfile.mkstemp(prefix="repro-spool-",
+                                                     suffix=".jsonl")
+                    os.close(fd)
+                    telemetry.spool = MetricsSpool(spool_tmp)
+                host, port = parse_address(
+                    serve if isinstance(serve, str)
+                    else (str(serve) if isinstance(serve, int)
+                          and not isinstance(serve, bool) else ""))
+                registry = (RunRegistry(os.path.dirname(run_dir.path))
+                            if run_dir is not None else None)
+                exporter = serve_metrics(telemetry, registry=registry,
+                                         host=host, port=port)
+                self._progress(f"serving /metrics and /status on "
+                               f"{exporter.url}")
             with telemetry_session(telemetry):
                 with telemetry.span("pipeline"):
                     for stage in self.builder._stages:
@@ -437,12 +487,47 @@ class Session:
                         with telemetry.span(f"stage:{stage.kind}"):
                             handler(**stage.params)
             self.result.telemetry = telemetry.snapshot()
+        except BaseException:
+            status = "failed"
+            raise
         finally:
+            if exporter is not None:
+                exporter.stop()
+            if run_dir is not None:
+                try:
+                    run_dir.write_metrics_snapshot(telemetry)
+                    run_dir.write_result(self.result)
+                    run_dir.finalize(status=status)
+                except OSError:
+                    pass
+            if spool_tmp is not None:
+                try:
+                    os.unlink(spool_tmp)
+                except OSError:
+                    pass
             if owned:
                 telemetry.close()
         return self.result
 
-    def _materialize_telemetry(self):
+    def _create_run_dir(self, observatory: Dict[str, object]):
+        """Allocate the durable run directory when ``runs_root`` asks."""
+        runs_root = observatory.get("runs_root")
+        if not runs_root:
+            return None
+        from repro.telemetry.runs import DEFAULT_RUNS_ROOT, RunRegistry
+
+        root = runs_root if isinstance(runs_root, str) else DEFAULT_RUNS_ROOT
+        builder = self.builder
+        return RunRegistry(root).create_run(
+            command="pipeline:" + ",".join(
+                stage.kind for stage in builder._stages),
+            target=builder._target,
+            engine=builder._engine,
+            variants=list(builder._spec_variants),
+            config=dict(self.result.context),
+        )
+
+    def _materialize_telemetry(self, run_dir=None):
         """The run's Telemetry bundle and whether this session owns it."""
         builder = self.builder
         if builder._telemetry is not None:
@@ -451,8 +536,13 @@ class Session:
             from repro.telemetry import Telemetry
 
             spec = builder._telemetry_spec
+            trace = spec["trace"]
+            if trace is None and run_dir is not None:
+                # A recorded run always gets its trace unless the caller
+                # routed it elsewhere explicitly.
+                trace = run_dir.trace_path
             return Telemetry.create(
-                trace=spec["trace"],
+                trace=trace,
                 progress=spec["progress"],
                 interval=spec["interval"],
                 profile_engine=spec["profile_engine"],

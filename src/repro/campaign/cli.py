@@ -105,6 +105,19 @@ def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a structured JSONL telemetry trace "
                              "(inspect with `repro stats PATH`)")
+    parser.add_argument("--serve", metavar="[HOST:]PORT", nargs="?",
+                        const="", default=None,
+                        help="serve live /metrics (Prometheus text format) "
+                             "and /status over HTTP for the duration of "
+                             "the campaign (default 127.0.0.1:9753; "
+                             "port 0 = OS-assigned)")
+    parser.add_argument("--run-dir", metavar="ROOT", nargs="?",
+                        const="runs", default=None, dest="run_dir",
+                        help="record the campaign into a durable run "
+                             "directory under ROOT (default: runs/) — "
+                             "manifest, trace, metrics spool/snapshots; "
+                             "browse with `repro runs`, serve with "
+                             "`repro monitor`")
     return parser
 
 
@@ -169,18 +182,66 @@ def main(argv: Optional[Sequence[str]] = None,
         lambda message: print(f"[campaign] {message}", file=sys.stderr)
     )
     telemetry = None
-    if args.progress or args.trace:
+    exporter = None
+    run_dir = None
+    spool_tmp = None
+    observatory = args.serve is not None or args.run_dir is not None
+    if args.progress or args.trace or observatory:
         from repro.telemetry import Telemetry
         from repro.telemetry.context import session as telemetry_session
 
+        run_registry = None
+        trace = args.trace
+        if args.run_dir is not None:
+            from repro.telemetry.runs import RunRegistry
+
+            run_registry = RunRegistry(args.run_dir)
+            run_dir = run_registry.create_run(
+                command="campaign",
+                target=",".join(targets),
+                engine=args.engine,
+                variants=list(spec_variants),
+                config=spec.to_dict(),
+                extra={"fingerprint": spec.fingerprint()},
+            )
+            if trace is None:
+                trace = run_dir.trace_path
+            if not args.quiet:
+                print(f"[campaign] recording run {run_dir.run_id} under "
+                      f"{run_dir.path}", file=sys.stderr)
         telemetry = Telemetry.create(
-            trace=args.trace,
+            trace=trace,
             progress=args.progress,
             interval=args.progress_interval,
             context_info={"command": "campaign",
                           "fingerprint": spec.fingerprint()},
         )
+        if run_dir is not None:
+            from repro.telemetry.spool import MetricsSpool
+
+            telemetry.run_dir = run_dir
+            telemetry.spool = MetricsSpool(run_dir.spool_path)
+        if args.serve is not None:
+            import tempfile
+
+            from repro.telemetry.export import parse_address, serve_metrics
+            from repro.telemetry.spool import MetricsSpool
+
+            if telemetry.spool is None:
+                # Live mid-round counters need a spool file even without
+                # a run directory.
+                fd, spool_tmp = tempfile.mkstemp(prefix="repro-spool-",
+                                                 suffix=".jsonl")
+                os.close(fd)
+                telemetry.spool = MetricsSpool(spool_tmp)
+            host, port = parse_address(args.serve)
+            exporter = serve_metrics(telemetry, registry=run_registry,
+                                     host=host, port=port)
+            if not args.quiet:
+                print(f"[campaign] serving /metrics and /status on "
+                      f"{exporter.url}", file=sys.stderr)
     started = time.time()
+    status = "completed"
     try:
         if telemetry is not None:
             with telemetry_session(telemetry):
@@ -190,13 +251,38 @@ def main(argv: Optional[Sequence[str]] = None,
             summary = run_campaign(spec, checkpoint_path=args.checkpoint,
                                    resume=args.resume, progress=progress)
     except ValueError as error:
+        status = "failed"
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BaseException:
+        status = "failed"
+        raise
     finally:
+        if exporter is not None:
+            exporter.stop()
+        if run_dir is not None and telemetry is not None:
+            try:
+                run_dir.write_metrics_snapshot(telemetry)
+                run_dir.finalize(status=status)
+            except OSError:
+                pass
+        if spool_tmp is not None:
+            try:
+                os.unlink(spool_tmp)
+            except OSError:
+                pass
         if telemetry is not None:
             telemetry.close()
 
     elapsed = time.time() - started
+    if run_dir is not None:
+        try:
+            with open(os.path.join(run_dir.path, "summary.json"), "w",
+                      encoding="utf-8") as handle:
+                handle.write(json.dumps(summary.to_dict(), indent=1,
+                                        sort_keys=True) + "\n")
+        except OSError:
+            pass
     # Write the JSON artifact before touching stdout: a truncated pipe
     # (e.g. `... | head`) kills the process with BrokenPipeError and must
     # not cost the caller their summary file.

@@ -31,6 +31,7 @@ from repro.campaign.worker import WorkerResult, execute_task
 from repro.fuzzing.corpus import Corpus
 from repro.plugins import SCHEDULER_REGISTRY, register_scheduler
 from repro.targets import get_target
+from repro.telemetry import spool as telemetry_spool
 from repro.telemetry.context import active as _active_telemetry
 from repro.telemetry.metrics import merge_counts
 
@@ -69,6 +70,11 @@ class CampaignScheduler:
                 completed_rounds=state.completed_rounds,
                 workers=self.spec.workers,
             )
+        if telemetry is not None and telemetry.spool is not None:
+            # Arm the spool *before* the pool exists: forked workers
+            # inherit the module globals and start appending per-job
+            # counter deltas (see repro.telemetry.spool).
+            telemetry_spool.enable(telemetry.spool.path)
         try:
             for round_index in range(state.completed_rounds, self.spec.rounds):
                 jobs = self.spec.jobs_for_round(round_index)
@@ -103,8 +109,11 @@ class CampaignScheduler:
                             "campaign.checkpoint_writes"
                         ).inc()
                     self._progress(f"checkpoint written to {self.checkpoint_path}")
+                if telemetry is not None and telemetry.run_dir is not None:
+                    telemetry.run_dir.write_metrics_snapshot(telemetry)
         finally:
             self._close_pool()
+            telemetry_spool.disable()
         return summarize(state)
 
     # -- state --------------------------------------------------------------
@@ -155,6 +164,17 @@ class CampaignScheduler:
         for result in results:
             key: GroupKey = result.group
             stats = state.group_stats(key)
+            if result.telemetry_counts:
+                # Worker-side counter deltas (fuzz.*, engine.*,
+                # engine.jit.cache.*) travel home in the result; fold
+                # them into the group stats and the parent registry so
+                # campaign totals cover forked workers too.  Done for
+                # failing jobs as well — they may have executed inputs
+                # before raising.
+                merge_counts(stats.telemetry_counts, result.telemetry_counts)
+                if telemetry is not None:
+                    for name, value in result.telemetry_counts.items():
+                        telemetry.registry.counter(name).inc(value)
             if result.error:
                 # A raising job contributes nothing but its failure record.
                 stats.failed_jobs += 1
@@ -217,6 +237,11 @@ class CampaignScheduler:
                 )
                 if telemetry.heartbeat is not None:
                     telemetry.heartbeat.tick()
+        if telemetry is not None and telemetry.spool is not None:
+            # Every spool line of this round is complete (pool.map blocks
+            # until all results are in) and its counts were just merged
+            # via the WorkerResults above — restart the live tail empty.
+            telemetry.spool.consume()
 
     # -- execution ----------------------------------------------------------
     def _map(self, tasks: List[Task]) -> List[WorkerResult]:

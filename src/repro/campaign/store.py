@@ -53,9 +53,16 @@ class GroupStats:
     #: contribute nothing to the other counters).
     failed_jobs: int = 0
     spec_stats: Dict[str, int] = field(default_factory=dict)
+    #: summed worker-side telemetry counter deltas (``fuzz.*``,
+    #: ``engine.*``, ``engine.jit.cache.*`` — see
+    #: :attr:`repro.campaign.worker.WorkerResult.telemetry_counts`).
+    #: Observation-only bookkeeping: empty in non-telemetry campaigns and
+    #: serialized only when non-empty, so checkpoints written with
+    #: telemetry off are byte-identical to pre-PR-8 ones.
+    telemetry_counts: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "executions": self.executions,
             "crashes": self.crashes,
             "hangs": self.hangs,
@@ -66,6 +73,10 @@ class GroupStats:
             "failed_jobs": self.failed_jobs,
             "spec_stats": dict(sorted(self.spec_stats.items())),
         }
+        if self.telemetry_counts:
+            record["telemetry_counts"] = dict(
+                sorted(self.telemetry_counts.items()))
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict[str, object]) -> "GroupStats":
@@ -79,6 +90,10 @@ class GroupStats:
             speculative_coverage=int(record.get("speculative_coverage", 0)),
             failed_jobs=int(record.get("failed_jobs", 0)),
             spec_stats=dict(record.get("spec_stats", {})),
+            telemetry_counts={
+                str(k): int(v)
+                for k, v in record.get("telemetry_counts", {}).items()
+            },
         )
 
 

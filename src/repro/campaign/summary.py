@@ -33,6 +33,11 @@ class GroupSummary:
     #: unique gadget sites per speculation variant ("pht", "btb", ...).
     by_variant: Dict[str, int] = field(default_factory=dict)
     spec_stats: Dict[str, int] = field(default_factory=dict)
+    #: summed worker-side telemetry counter deltas of this group
+    #: (observation-only; deliberately *not* serialized by ``to_dict``,
+    #: which is the bit-identity basis of the replay tests — a campaign
+    #: with telemetry on must summarize identically to one without).
+    telemetry_counts: Dict[str, int] = field(default_factory=dict)
     #: the deduplicated reports themselves (not serialized by ``to_dict``;
     #: the experiment harness classifies them against ground truth).
     collection: ReportCollection = field(default_factory=ReportCollection)
@@ -184,6 +189,7 @@ def summarize(state: CampaignState) -> CampaignSummary:
             by_category=collection.count_by_category(),
             by_variant=collection.count_by_variant(),
             spec_stats=dict(stats.spec_stats),
+            telemetry_counts=dict(stats.telemetry_counts),
             collection=collection,
         ))
     return summary

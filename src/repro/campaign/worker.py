@@ -172,10 +172,78 @@ class WorkerResult:
     traceback: str = ""
     #: wall-clock seconds the job took (success or failure).
     elapsed_s: float = 0.0
+    #: worker-side telemetry counter deltas (``fuzz.*``, ``engine.*``,
+    #: ``engine.jit.cache.*``) captured when the job ran in a forked pool
+    #: worker of a telemetry-enabled campaign; empty otherwise (in serial
+    #: campaigns the parent registry counts these live).  Additive field:
+    #: results serialized before PR 8 deserialize with it empty.
+    telemetry_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def group(self) -> Tuple[str, str, str]:
         return (self.target, self.tool, self.variant)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (stable ordering, exact round trip)."""
+        return {
+            "job_id": self.job_id,
+            "target": self.target,
+            "tool": self.tool,
+            "variant": self.variant,
+            "shard": self.shard,
+            "round_index": self.round_index,
+            "executions": self.executions,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "total_cycles": self.total_cycles,
+            "total_steps": self.total_steps,
+            "normal_coverage": self.normal_coverage,
+            "speculative_coverage": self.speculative_coverage,
+            "spec_stats": dict(sorted(self.spec_stats.items())),
+            "reports": list(self.reports),
+            "raw_reports": self.raw_reports,
+            "corpus": list(self.corpus),
+            "error": self.error,
+            "traceback": self.traceback,
+            "elapsed_s": self.elapsed_s,
+            "telemetry_counts": dict(sorted(self.telemetry_counts.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "WorkerResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Tolerates records written before ``telemetry_counts`` existed —
+        the field simply comes back empty — so checkpoint-adjacent
+        tooling round-trips across versions.
+        """
+        return cls(
+            job_id=str(record["job_id"]),
+            target=str(record["target"]),
+            tool=str(record["tool"]),
+            variant=str(record["variant"]),
+            shard=int(record.get("shard", 0)),
+            round_index=int(record.get("round_index", 0)),
+            executions=int(record.get("executions", 0)),
+            crashes=int(record.get("crashes", 0)),
+            hangs=int(record.get("hangs", 0)),
+            total_cycles=int(record.get("total_cycles", 0)),
+            total_steps=int(record.get("total_steps", 0)),
+            normal_coverage=int(record.get("normal_coverage", 0)),
+            speculative_coverage=int(record.get("speculative_coverage", 0)),
+            spec_stats={str(k): int(v)
+                        for k, v in record.get("spec_stats", {}).items()},
+            reports=list(record.get("reports", [])),
+            raw_reports=int(record.get("raw_reports", 0)),
+            corpus=list(record.get("corpus", [])),
+            error=str(record.get("error", "")),
+            traceback=str(record.get("traceback", "")),
+            elapsed_s=float(record.get("elapsed_s", 0.0)),
+            telemetry_counts={
+                str(k): int(v)
+                for k, v in record.get("telemetry_counts", {}).items()
+            },
+        )
 
 
 def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResult:
@@ -222,13 +290,32 @@ def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
     A raising job is converted into an error-carrying :class:`WorkerResult`
     instead of propagating (and tearing the whole round down with it): the
     scheduler records the failure and the campaign's other jobs survive.
+
+    In a forked pool worker of a telemetry-enabled campaign (the
+    scheduler armed :mod:`repro.telemetry.spool` before creating the
+    pool) the job runs under a fresh registry-only telemetry bundle: its
+    per-job ``fuzz.*``/``engine.*`` counter deltas travel home in
+    :attr:`WorkerResult.telemetry_counts` (merged into the campaign
+    totals at round end) and are appended to the metrics spool for live
+    mid-round export.  Telemetry is observation-only, so this never
+    changes the job's results.
     """
+    from repro.telemetry import spool as telemetry_spool
+    from repro.telemetry.context import session as telemetry_session
+
     job, seeds = task
+    worker_telemetry = telemetry_spool.worker_telemetry()
+    cache_before = (telemetry_spool.jit_cache_stats()
+                    if worker_telemetry is not None else None)
     started = time.perf_counter()
     try:
-        result = run_job(job, seeds)
+        if worker_telemetry is None:
+            result = run_job(job, seeds)
+        else:
+            with telemetry_session(worker_telemetry):
+                result = run_job(job, seeds)
     except Exception as exc:  # noqa: BLE001 - isolate the failing job
-        return WorkerResult(
+        result = WorkerResult(
             job_id=job.job_id,
             target=job.target,
             tool=job.tool,
@@ -237,9 +324,15 @@ def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
             round_index=job.round_index,
             error=f"{type(exc).__name__}: {exc}",
             traceback=_traceback.format_exc(),
-            elapsed_s=time.perf_counter() - started,
         )
     result.elapsed_s = time.perf_counter() - started
+    if worker_telemetry is not None:
+        result.telemetry_counts = telemetry_spool.collect_counts(
+            worker_telemetry, cache_before)
+        spool_path = telemetry_spool.worker_spool_path()
+        if spool_path is not None and result.telemetry_counts:
+            telemetry_spool.append_counts(spool_path, result.job_id,
+                                          result.telemetry_counts)
     return result
 
 

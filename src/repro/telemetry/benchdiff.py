@@ -1,0 +1,267 @@
+"""Bench trajectory: diff and history over ``BENCH_*.json`` artifacts.
+
+The benchmarks write one ``BENCH_<name>.json`` per run (see
+``benchmarks/conftest.py``): a flat JSON object of numeric metrics plus
+provenance fields (``timestamp``/``commit``/``host``/``scale``).  This
+module compares such artifacts across runs:
+
+* :func:`diff_bench` pairs the metrics of two snapshots (single files or
+  directories of ``BENCH_*`` files), classifies each change with a
+  direction heuristic — ``*_per_sec``-style metrics regress when they
+  *drop*, ``*_cycles``-style ones when they *rise* — and flags moves
+  beyond a configurable threshold.  ``repro bench diff old new`` exits
+  nonzero when any regression is flagged, which is what CI gates on.
+* :func:`bench_history` lines several snapshots up chronologically so a
+  metric's trajectory across commits is one row.
+
+Nested objects (embedded telemetry sections) are flattened to dotted
+keys; non-numeric leaves and provenance fields are ignored as metrics
+but carried as labels.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: provenance/meta keys that are never treated as metrics.
+META_KEYS = frozenset({
+    "bench", "scale", "version", "schema", "schema_version",
+    "timestamp", "commit", "host", "platform",
+})
+
+#: substrings marking a metric where *higher* is better.
+HIGHER_IS_BETTER = ("per_sec", "per_second", "throughput", "rate",
+                    "speedup", "hits", "coverage", "unique")
+#: substrings marking a metric where *lower* is better.
+LOWER_IS_BETTER = ("cycles", "seconds", "elapsed", "time", "overhead",
+                   "misses", "bytes", "latency", "_ns", "_us", "_ms")
+
+#: default regression threshold: relative change that flags a metric.
+DEFAULT_THRESHOLD = 0.05
+
+
+def metric_direction(name: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 unknown."""
+    lowered = name.lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in lowered:
+            return 1
+    for marker in LOWER_IS_BETTER:
+        if marker in lowered:
+            return -1
+    return 0
+
+
+def flatten_metrics(record: Mapping[str, object],
+                    prefix: str = "") -> Dict[str, Number]:
+    """Numeric leaves of one bench record, dotted-key flattened."""
+    flat: Dict[str, Number] = {}
+    for key, value in record.items():
+        if not prefix and key in META_KEYS:
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = value
+        elif isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, prefix=f"{path}."))
+    return flat
+
+
+def load_bench_snapshot(path: str) -> Dict[str, Dict[str, object]]:
+    """Load one snapshot: a ``BENCH_*.json`` file or a directory of them.
+
+    Returns bench name → raw record.  Unreadable files raise — a CI gate
+    must not silently pass on a missing artifact.
+    """
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        if not files:
+            raise FileNotFoundError(f"no BENCH_*.json files under {path}")
+    else:
+        files = [path]
+    snapshot: Dict[str, Dict[str, object]] = {}
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        if not isinstance(record, dict):
+            raise ValueError(f"{file_path}: not a JSON object")
+        name = str(record.get("bench")
+                   or os.path.basename(file_path)[len("BENCH_"):-len(".json")]
+                   or os.path.basename(file_path))
+        snapshot[name] = record
+    return snapshot
+
+
+def snapshot_label(snapshot: Mapping[str, Mapping[str, object]],
+                   fallback: str = "?") -> str:
+    """A short human label for one snapshot (commit or timestamp)."""
+    for record in snapshot.values():
+        commit = str(record.get("commit") or "")
+        stamp = str(record.get("timestamp") or "")
+        if commit:
+            return commit
+        if stamp:
+            return stamp
+    return fallback
+
+
+def diff_bench(
+    old: Mapping[str, Mapping[str, object]],
+    new: Mapping[str, Mapping[str, object]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Compare two snapshots metric by metric.
+
+    Each entry carries ``bench``/``metric``/``old``/``new``, the relative
+    ``change`` (``new/old - 1``; ``None`` when the old value is zero),
+    the ``direction`` heuristic and a ``status``:
+
+    * ``regression`` — moved against its direction by ≥ ``threshold``;
+    * ``improvement`` — moved with its direction by ≥ ``threshold``;
+    * ``ok`` — within the threshold (or direction unknown);
+    * ``added`` / ``removed`` — present on only one side.
+    """
+    entries: List[Dict[str, object]] = []
+    benches = sorted(set(old) | set(new))
+    for bench in benches:
+        old_flat = flatten_metrics(old.get(bench, {}))
+        new_flat = flatten_metrics(new.get(bench, {}))
+        for metric in sorted(set(old_flat) | set(new_flat)):
+            entry: Dict[str, object] = {
+                "bench": bench,
+                "metric": metric,
+                "old": old_flat.get(metric),
+                "new": new_flat.get(metric),
+                "direction": metric_direction(metric),
+                "change": None,
+                "status": "ok",
+            }
+            if metric not in old_flat:
+                entry["status"] = "added"
+            elif metric not in new_flat:
+                entry["status"] = "removed"
+            else:
+                before, after = old_flat[metric], new_flat[metric]
+                if before:
+                    change = after / before - 1.0
+                    entry["change"] = round(change, 6)
+                    direction = entry["direction"]
+                    if direction and abs(change) >= threshold:
+                        moved_with = change * direction > 0
+                        entry["status"] = ("improvement" if moved_with
+                                           else "regression")
+            entries.append(entry)
+    return entries
+
+
+def regressions(entries: Sequence[Mapping[str, object]],
+                ) -> List[Mapping[str, object]]:
+    """The subset of :func:`diff_bench` entries flagged as regressions."""
+    return [entry for entry in entries
+            if entry.get("status") == "regression"]
+
+
+def _format_value(value: Optional[Number]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def format_diff_table(entries: Sequence[Mapping[str, object]],
+                      show_ok: bool = False) -> str:
+    """Render a diff for humans; regressions first, then improvements."""
+    order = {"regression": 0, "improvement": 1, "added": 2, "removed": 3,
+             "ok": 4}
+    visible = [entry for entry in entries
+               if show_ok or entry.get("status") != "ok"]
+    visible.sort(key=lambda entry: (order.get(str(entry.get("status")), 9),
+                                    str(entry.get("bench")),
+                                    str(entry.get("metric"))))
+    if not visible:
+        return "no metric changes beyond threshold"
+    headers = ["status", "bench", "metric", "old", "new", "change"]
+    rows = []
+    for entry in visible:
+        change = entry.get("change")
+        rows.append([
+            str(entry.get("status")),
+            str(entry.get("bench")),
+            str(entry.get("metric")),
+            _format_value(entry.get("old")),
+            _format_value(entry.get("new")),
+            f"{change * 100:+.1f}%" if isinstance(change, float) else "-",
+        ])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    flagged = regressions(entries)
+    lines.append("")
+    lines.append(f"{len(flagged)} regression(s), "
+                 f"{sum(1 for e in entries if e.get('status') == 'improvement')}"
+                 " improvement(s) "
+                 f"across {len(entries)} compared metric(s)")
+    return "\n".join(lines)
+
+
+def bench_history(
+    snapshots: Sequence[Mapping[str, Mapping[str, object]]],
+    labels: Optional[Sequence[str]] = None,
+) -> Tuple[List[str], List[List[str]]]:
+    """Line several snapshots up: one row per bench.metric, one column each.
+
+    Returns ``(headers, rows)`` ready for :func:`format_history_table`.
+    """
+    labels = list(labels or [])
+    while len(labels) < len(snapshots):
+        labels.append(snapshot_label(snapshots[len(labels)],
+                                     fallback=f"#{len(labels)}"))
+    flats: List[Dict[str, Dict[str, Number]]] = []
+    metric_keys: List[Tuple[str, str]] = []
+    seen = set()
+    for snapshot in snapshots:
+        flat = {bench: flatten_metrics(record)
+                for bench, record in snapshot.items()}
+        flats.append(flat)
+        for bench in sorted(flat):
+            for metric in sorted(flat[bench]):
+                if (bench, metric) not in seen:
+                    seen.add((bench, metric))
+                    metric_keys.append((bench, metric))
+    headers = ["bench", "metric"] + labels
+    rows: List[List[str]] = []
+    for bench, metric in metric_keys:
+        row = [bench, metric]
+        for flat in flats:
+            row.append(_format_value(flat.get(bench, {}).get(metric)))
+        rows.append(row)
+    return headers, rows
+
+
+def format_history_table(headers: List[str], rows: List[List[str]]) -> str:
+    if not rows:
+        return "no bench metrics found"
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

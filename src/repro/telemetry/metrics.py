@@ -142,6 +142,18 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram(name, buckets)
         return metric
 
+    def counters(self) -> Dict[str, Counter]:
+        """The live counter objects by name (typed view for exporters)."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """The live gauge objects by name (typed view for exporters)."""
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """The live histogram objects by name (typed view for exporters)."""
+        return dict(self._histograms)
+
     def value(self, name: str, default: Union[int, float] = 0):
         """The current value of a counter or gauge (0 when unknown)."""
         metric = self._counters.get(name) or self._gauges.get(name)

@@ -8,8 +8,11 @@ variant unique gadget sites::
 
     [progress] 1,234 execs (410/s), corpus 57, sites: btb=1 pht=3
 
-Ticks are cheap even at fuzzing rates: only every 16th tick reads the
-clock, everything else is one increment-and-mask.
+Ticks are cheap even at fuzzing rates: the reporter adapts its stride —
+only every Nth tick reads the clock — growing N while ticks arrive much
+faster than the interval and collapsing it back to 1 the moment they
+slow down, so a long-running single-execution job still beats at least
+once per interval instead of stalling behind a fixed 16-tick mask.
 """
 
 from __future__ import annotations
@@ -37,23 +40,51 @@ class HeartbeatReporter:
             lambda line: print(line, file=sys.stderr, flush=True))
         self._clock = clock
         self._ticks = 0
+        #: ticks between clock reads; adapts to the observed tick rate.
+        self._stride = 1
+        self._pending = 0
+        self._last_check: Optional[float] = None
         self._last_time: Optional[float] = None
         self._last_execs = 0
         #: heartbeat lines emitted so far (tests and the final summary).
         self.beats = 0
 
+    #: never amortise more than this many ticks into one clock read.
+    MAX_STRIDE = 4096
+
     # -- hot path ------------------------------------------------------------
     def tick(self) -> None:
-        """Account one execution; maybe emit a line (cheap to call often)."""
+        """Account one execution; maybe emit a line (cheap to call often).
+
+        The stride starts at 1 (every tick reads the clock) and doubles
+        while ticks arrive much faster than the reporting interval, so
+        hot fuzzing loops pay one increment-and-compare per execution.
+        The moment a clock read shows a full interval between checks —
+        a long single execution — the stride collapses back to 1, which
+        guarantees a beat at least once per interval even at one tick
+        per interval.
+        """
         self._ticks += 1
-        if self._ticks & 0xF:
+        self._pending += 1
+        if self._pending < self._stride:
             return
-        self.maybe_beat()
+        self._pending = 0
+        now = self._clock()
+        if self._last_check is not None:
+            gap = now - self._last_check
+            if gap >= self.interval:
+                self._stride = 1
+            elif gap * 4 < self.interval and self._stride < self.MAX_STRIDE:
+                self._stride <<= 1
+        self._last_check = now
+        self.maybe_beat(now=now)
 
     # -- emission ------------------------------------------------------------
-    def maybe_beat(self, force: bool = False) -> bool:
+    def maybe_beat(self, force: bool = False,
+                   now: Optional[float] = None) -> bool:
         """Emit a progress line if ``interval`` elapsed (or ``force``)."""
-        now = self._clock()
+        if now is None:
+            now = self._clock()
         if self._last_time is None:
             # First observation anchors the rate window; emit only if forced.
             self._last_time = now

@@ -1,0 +1,217 @@
+"""The worker metrics spool: live counters across the fork boundary.
+
+The active-telemetry slot is pid-guarded (see
+:mod:`repro.telemetry.context`): a forked pool worker sees no telemetry,
+so before this module existed the workers' ``fuzz.*`` and ``engine.*``
+counters — including the jit engine's compiled-block-cache statistics —
+were simply invisible until PR 8.  The spool closes that gap with two
+halves:
+
+* **Worker side** — the scheduler calls :func:`enable` *before* creating
+  its ``fork`` pool, so every worker inherits the spool coordinates.
+  :func:`worker_telemetry` answers a fresh registry-only
+  :class:`~repro.telemetry.Telemetry` only in such a forked child; the
+  worker runs its job under it, then :func:`collect_counts` extracts the
+  per-job counter deltas (plus ``engine.jit.cache.*`` deltas of the
+  process-wide compiled-block cache) and :func:`append_counts` appends
+  one JSON line to the spool file.  Appends are single ``write`` calls in
+  ``O_APPEND`` mode, so concurrent workers never interleave partial
+  lines.
+
+* **Scheduler side** — a :class:`MetricsSpool` tracks how much of the
+  file has already been folded into the parent registry (the scheduler
+  merges each :attr:`WorkerResult.telemetry_counts` at round end, then
+  calls :meth:`MetricsSpool.consume`).  :meth:`MetricsSpool.unconsumed`
+  sums only the tail beyond that offset, which is what lets the
+  ``/metrics`` exporter serve *live* totals mid-round without ever double
+  counting a job.
+
+Spool file format (``spool.jsonl``): one JSON object per line with
+``pid``, ``job_id`` and ``counts`` (counter name → per-job delta).  The
+format is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import merge_counts
+
+#: pid of the process that enabled the spool (the campaign scheduler);
+#: inherited over ``fork`` so children can tell they are workers.
+_PARENT_PID: Optional[int] = None
+#: spool file path the workers append to; inherited over ``fork``.
+_SPOOL_PATH: Optional[str] = None
+
+
+def enable(path: str) -> None:
+    """Arm the spool for workers forked *after* this call."""
+    global _PARENT_PID, _SPOOL_PATH
+    _PARENT_PID = os.getpid()
+    _SPOOL_PATH = path
+
+
+def disable() -> None:
+    """Disarm the spool (campaign over; idempotent)."""
+    global _PARENT_PID, _SPOOL_PATH
+    _PARENT_PID = None
+    _SPOOL_PATH = None
+
+
+def is_worker() -> bool:
+    """True in a forked child of a process that called :func:`enable`."""
+    return _PARENT_PID is not None and os.getpid() != _PARENT_PID
+
+
+def worker_spool_path() -> Optional[str]:
+    """The spool file a worker should append to (None outside workers)."""
+    return _SPOOL_PATH if is_worker() else None
+
+
+def worker_telemetry():
+    """A fresh registry-only telemetry bundle — in forked workers only.
+
+    Answers ``None`` in the scheduler process itself (there the parent's
+    telemetry is live and counts everything directly; a second registry
+    would double count) and whenever no campaign armed the spool.
+    """
+    if not is_worker():
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry()
+
+
+def collect_counts(telemetry,
+                   cache_stats_before: Optional[Dict[str, int]] = None,
+                   ) -> Dict[str, int]:
+    """One job's counter deltas from a worker-local telemetry bundle.
+
+    Only *counters* are collected — they are per-job deltas by
+    construction (the bundle is created fresh per job) and sum cleanly
+    across jobs, workers and rounds.  Gauges (corpus size, compiled-block
+    table sizes) are point-in-time per process and are deliberately left
+    out.  The jit compiled-block cache is the exception: its statistics
+    are cumulative per *process*, so the caller snapshots them before the
+    job (``cache_stats_before``) and the per-job delta is emitted under
+    ``engine.jit.cache.<key>``.
+    """
+    counts: Dict[str, int] = {}
+    for name, counter in telemetry.registry.counters().items():
+        if counter.value:
+            counts[name] = counter.value
+    if cache_stats_before is not None:
+        after = jit_cache_stats()
+        for key, value in after.items():
+            delta = value - cache_stats_before.get(key, 0)
+            if delta:
+                counts[f"engine.jit.cache.{key}"] = delta
+    return counts
+
+
+def jit_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide compiled-block cache statistics."""
+    from repro.runtime.jitcache import shared_cache
+
+    return dict(shared_cache().stats)
+
+
+def append_counts(path: str, job_id: str, counts: Dict[str, int]) -> None:
+    """Append one job's counter record to the spool file.
+
+    A single sub-4-KiB ``write`` in append mode is atomic on POSIX, so
+    parallel workers cannot corrupt each other's lines; failures (spool
+    directory vanished mid-campaign) are swallowed — the same counts
+    still travel home in the :class:`WorkerResult`.
+    """
+    record = {"pid": os.getpid(), "job_id": job_id,
+              "counts": dict(sorted(counts.items()))}
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        pass
+
+
+def read_records(path: str, offset: int = 0,
+                 ) -> Tuple[List[Dict[str, object]], int]:
+    """Parse spool records starting at byte ``offset``.
+
+    Returns the records and the byte offset just past the last *complete*
+    line — a worker's in-flight partial line is left for the next read.
+    Unparseable complete lines are skipped (a torn write survives as one
+    lost sample, never a dead spool).
+    """
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return records, offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return records, offset
+    for line in data[:end].split(b"\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + end + 1
+
+
+def sum_counts(records: List[Dict[str, object]]) -> Dict[str, int]:
+    """Merge the ``counts`` of several spool records by summing."""
+    totals: Dict[str, int] = {}
+    for record in records:
+        counts = record.get("counts")
+        if isinstance(counts, dict):
+            merge_counts(totals, {str(k): int(v) for k, v in counts.items()})
+    return totals
+
+
+class MetricsSpool:
+    """The scheduler-side view of one spool file.
+
+    Tracks the byte offset up to which records have been folded into the
+    parent metrics registry, so live exports merge exactly the tail.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: bytes of the file already merged into the parent registry.
+        self.consumed_offset = 0
+        # Ensure the file exists so readers (repro monitor) never race
+        # a worker's first append.
+        try:
+            with open(path, "a", encoding="utf-8"):
+                pass
+        except OSError:
+            pass
+
+    def unconsumed(self) -> Dict[str, int]:
+        """Summed counts of every record past the consumed offset."""
+        records, _ = read_records(self.path, self.consumed_offset)
+        return sum_counts(records)
+
+    def unconsumed_records(self) -> List[Dict[str, object]]:
+        """The raw records past the consumed offset (status endpoints)."""
+        records, _ = read_records(self.path, self.consumed_offset)
+        return records
+
+    def consume(self) -> None:
+        """Advance the consumed offset past every complete line.
+
+        Called after the scheduler merged a round's ``WorkerResult``
+        counters into its registry — those registry totals now cover
+        everything the spool recorded, so the tail restarts empty.
+        """
+        _, self.consumed_offset = read_records(self.path,
+                                               self.consumed_offset)

@@ -179,33 +179,71 @@ def read_trace(path: str) -> List[Dict[str, object]]:
     return records
 
 
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted value list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _numeric_delta(current: Dict[str, object],
+                   previous: Dict[str, object]) -> Dict[str, object]:
+    """Non-zero numeric differences between two counter snapshots."""
+    delta: Dict[str, object] = {}
+    for name, value in current.items():
+        if not isinstance(value, (int, float)):
+            continue
+        before = previous.get(name, 0)
+        if not isinstance(before, (int, float)):
+            before = 0
+        if value != before:
+            delta[name] = round(value - before, 6)
+    return delta
+
+
 def aggregate_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
     """Fold a parsed trace into one JSON-ready summary record.
 
     The summary carries the header identity, the span tree (in start
     order, with elapsed/status/error), per-job statistics from ``job`` /
     ``job_failed`` events, and the final counters (the ``trace_end``
-    snapshot, falling back to the last ``span_end`` one).
+    snapshot, falling back to the last ``span_end`` one).  Two derived
+    sections make traces comparable across runs:
+
+    * ``span_paths`` — per span *path*, the count and p50/p90/max of
+      elapsed seconds (repeated spans such as per-round or per-job ones
+      aggregate into one row);
+    * per-span ``counters_delta`` — the numeric counter movement since
+      the previous ``span_end`` snapshot (attribution is to the span
+      that *ended*, i.e. innermost-first for nested spans).
     """
     header = records[0]
     spans: List[Dict[str, object]] = []
     jobs = {"done": 0, "failed": 0, "executions": 0, "elapsed_s": 0.0}
     failures: List[Dict[str, object]] = []
     counters: Dict[str, object] = {}
+    previous_counters: Dict[str, object] = {}
     events = 0
     for record in records[1:]:
         kind = record.get("type")
         if kind == "span_end":
-            spans.append({
+            span: Dict[str, object] = {
                 "name": record.get("name"),
                 "path": record.get("path"),
                 "start_seq": record.get("start_seq", 0),
                 "status": record.get("status"),
                 "elapsed_s": record.get("elapsed_s", 0.0),
                 "error": record.get("error"),
-            })
+            }
             if isinstance(record.get("counters"), dict):
                 counters = record["counters"]
+                delta = _numeric_delta(counters, previous_counters)
+                if delta:
+                    span["counters_delta"] = delta
+                previous_counters = counters
+            spans.append(span)
         elif kind == "job":
             jobs["done"] += 1
             jobs["executions"] += int(record.get("executions", 0))
@@ -223,6 +261,21 @@ def aggregate_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
         elif kind not in ("span_start",):
             events += 1
     spans.sort(key=lambda span: span["start_seq"])
+    by_path: Dict[str, List[float]] = {}
+    for span in spans:
+        path = str(span.get("path") or span.get("name") or "?")
+        by_path.setdefault(path, []).append(
+            float(span.get("elapsed_s") or 0.0))
+    span_paths: Dict[str, Dict[str, object]] = {}
+    for path in sorted(by_path):
+        elapsed = sorted(by_path[path])
+        span_paths[path] = {
+            "count": len(elapsed),
+            "total_s": round(sum(elapsed), 6),
+            "p50_s": round(_percentile(elapsed, 0.50), 6),
+            "p90_s": round(_percentile(elapsed, 0.90), 6),
+            "max_s": round(elapsed[-1], 6),
+        }
     return {
         "kind": header.get("kind"),
         "schema_version": header.get("schema_version"),
@@ -231,6 +284,7 @@ def aggregate_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
         "records": len(records),
         "events": events,
         "spans": spans,
+        "span_paths": span_paths,
         "jobs": jobs,
         "failures": failures,
         "counters": counters,
@@ -278,4 +332,14 @@ def format_trace_stats(aggregate: Dict[str, object]) -> str:
                 value = (f"count={value.get('count', 0)} "
                          f"sum={value.get('sum', 0)}")
             lines.append(f"    {name} = {value}")
+    span_paths = aggregate.get("span_paths") or {}
+    if span_paths:
+        lines.append("  span paths (count, p50/p90/max seconds):")
+        for path in sorted(span_paths):
+            stats = span_paths[path]
+            lines.append(
+                f"    {path}  n={stats.get('count', 0)}  "
+                f"{float(stats.get('p50_s') or 0.0):.3f}/"
+                f"{float(stats.get('p90_s') or 0.0):.3f}/"
+                f"{float(stats.get('max_s') or 0.0):.3f}")
     return "\n".join(lines)

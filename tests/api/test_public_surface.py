@@ -55,6 +55,12 @@ EXPECTED_SURFACE = sorted([
     "TraceWriter",
     "aggregate_trace",
     "read_trace",
+    # campaign observatory
+    "RunDirectory",
+    "RunRegistry",
+    "diff_bench",
+    "render_prometheus",
+    "serve_metrics",
 ])
 
 

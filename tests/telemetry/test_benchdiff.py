@@ -1,0 +1,163 @@
+"""Bench trajectory: direction heuristics, diffing, history, CLI gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main as repro_main
+from repro.telemetry.benchdiff import (
+    DEFAULT_THRESHOLD,
+    bench_history,
+    diff_bench,
+    flatten_metrics,
+    format_diff_table,
+    format_history_table,
+    load_bench_snapshot,
+    metric_direction,
+    regressions,
+)
+
+
+@pytest.mark.parametrize("name,direction", [
+    ("execs_per_sec", 1),
+    ("compile_throughput", 1),
+    ("cache_hits", 1),
+    ("unique_sites", 1),
+    ("total_cycles", -1),
+    ("elapsed_seconds", -1),
+    ("overhead_pct", -1),
+    ("cache_misses", -1),
+    ("p90_latency_ms", -1),
+    ("mystery_quantity", 0),
+])
+def test_metric_direction_heuristics(name, direction):
+    assert metric_direction(name) == direction
+
+
+def test_flatten_metrics_skips_meta_and_non_numeric():
+    record = {"bench": "x", "scale": 2, "commit": "abc", "timestamp": "t",
+              "execs_per_sec": 10.0, "enabled": True, "label": "text",
+              "telemetry": {"metrics": {"engine.cycles": 5}}}
+    assert flatten_metrics(record) == {
+        "execs_per_sec": 10.0,
+        "telemetry.metrics.engine.cycles": 5,
+    }
+
+
+def _snapshot(**metrics):
+    return {"engine": {"bench": "engine", **metrics}}
+
+
+def test_diff_statuses_and_threshold():
+    old = _snapshot(execs_per_sec=100.0, total_cycles=1000, gone_metric=1)
+    new = _snapshot(execs_per_sec=80.0, total_cycles=1040, fresh_metric=2)
+    entries = diff_bench(old, new)
+    by_metric = {entry["metric"]: entry for entry in entries}
+    # 20% drop of a higher-is-better metric: regression.
+    assert by_metric["execs_per_sec"]["status"] == "regression"
+    assert by_metric["execs_per_sec"]["change"] == pytest.approx(-0.2)
+    # 4% rise of a lower-is-better metric: inside the 5% default threshold.
+    assert by_metric["total_cycles"]["status"] == "ok"
+    assert by_metric["gone_metric"]["status"] == "removed"
+    assert by_metric["fresh_metric"]["status"] == "added"
+    assert [e["metric"] for e in regressions(entries)] == ["execs_per_sec"]
+    # A tighter threshold flags the cycles rise too.
+    tight = diff_bench(old, new, threshold=0.02)
+    assert {e["metric"] for e in regressions(tight)} == {
+        "execs_per_sec", "total_cycles"}
+
+
+def test_improvements_and_unknown_direction_never_flag():
+    old = _snapshot(execs_per_sec=100.0, mystery_quantity=10)
+    new = _snapshot(execs_per_sec=150.0, mystery_quantity=2)
+    by_metric = {e["metric"]: e for e in diff_bench(old, new)}
+    assert by_metric["execs_per_sec"]["status"] == "improvement"
+    # Direction unknown: a big move is reported but never gates CI.
+    assert by_metric["mystery_quantity"]["status"] == "ok"
+
+
+def test_zero_old_value_is_not_a_division_crash():
+    entries = diff_bench(_snapshot(cache_hits=0), _snapshot(cache_hits=9))
+    assert entries[0]["change"] is None
+    assert entries[0]["status"] == "ok"
+
+
+def test_diff_table_lists_regressions_first():
+    old = _snapshot(execs_per_sec=100.0, total_cycles=1000)
+    new = _snapshot(execs_per_sec=50.0, total_cycles=500)
+    table = format_diff_table(diff_bench(old, new))
+    body = table.splitlines()[2:]
+    assert body[0].startswith("regression")
+    assert "1 regression(s), 1 improvement(s)" in table
+
+
+def _write_bench(path, name, **metrics):
+    record = {"bench": name, "scale": 1, "version": "0.1", **metrics}
+    path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+
+
+def test_load_snapshot_from_file_and_directory(tmp_path):
+    _write_bench(tmp_path / "BENCH_a.json", "a", execs_per_sec=5)
+    _write_bench(tmp_path / "BENCH_b.json", "b", total_cycles=9)
+    snapshot = load_bench_snapshot(str(tmp_path))
+    assert sorted(snapshot) == ["a", "b"]
+    single = load_bench_snapshot(str(tmp_path / "BENCH_a.json"))
+    assert list(single) == ["a"]
+    with pytest.raises(FileNotFoundError):
+        load_bench_snapshot(str(tmp_path / "empty-dir"))
+
+
+def test_bench_history_lines_snapshots_up():
+    snaps = [_snapshot(execs_per_sec=100.0),
+             _snapshot(execs_per_sec=90.0, fresh=1)]
+    headers, rows = bench_history(snaps, labels=["v1", "v2"])
+    assert headers == ["bench", "metric", "v1", "v2"]
+    table = format_history_table(headers, rows)
+    assert "execs_per_sec" in table and "100" in table and "90" in table
+    # A metric absent from one snapshot renders as '-', not a crash.
+    assert any("-" in row for row in rows)
+
+
+# -- CLI gating (`repro bench diff` exit codes) ------------------------------
+def test_cli_bench_diff_exit_codes(tmp_path, capsys):
+    _write_bench(tmp_path / "old.json", "engine", execs_per_sec=100.0)
+    _write_bench(tmp_path / "ok.json", "engine", execs_per_sec=99.0)
+    _write_bench(tmp_path / "bad.json", "engine", execs_per_sec=80.0)
+
+    assert repro_main(["bench", "diff", str(tmp_path / "old.json"),
+                       str(tmp_path / "ok.json")]) == 0
+    assert repro_main(["bench", "diff", str(tmp_path / "old.json"),
+                       str(tmp_path / "bad.json")]) == 1
+    assert repro_main(["bench", "diff", str(tmp_path / "old.json"),
+                       str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()
+    # An injected regression below a loosened threshold passes again.
+    assert repro_main(["bench", "diff", str(tmp_path / "old.json"),
+                       str(tmp_path / "bad.json"), "--threshold", "0.5"]) == 0
+
+
+def test_cli_bench_diff_json_output(tmp_path, capsys):
+    _write_bench(tmp_path / "old.json", "engine", execs_per_sec=100.0)
+    _write_bench(tmp_path / "bad.json", "engine", execs_per_sec=80.0)
+    code = repro_main(["bench", "diff", str(tmp_path / "old.json"),
+                       str(tmp_path / "bad.json"), "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["regressions"] == 1
+    assert payload["entries"][0]["metric"] == "execs_per_sec"
+    assert payload["entries"][0]["status"] == "regression"
+
+
+def test_cli_bench_history(tmp_path, capsys):
+    _write_bench(tmp_path / "old.json", "engine", execs_per_sec=100.0)
+    _write_bench(tmp_path / "new.json", "engine", execs_per_sec=120.0)
+    assert repro_main(["bench", "history", str(tmp_path / "old.json"),
+                       str(tmp_path / "new.json")]) == 0
+    out = capsys.readouterr().out
+    assert "execs_per_sec" in out and "120" in out
+
+
+def test_default_threshold_is_five_percent():
+    assert DEFAULT_THRESHOLD == 0.05

@@ -85,6 +85,49 @@ def test_tick_is_cheap_and_eventually_beats():
     assert reporter.beats == 1
 
 
+def test_slow_single_executions_still_beat_every_interval():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry, interval=5.0)
+    execs = registry.counter("fuzz.executions")
+    # A pathological job: one execution per 6 seconds, slower than the
+    # reporting interval.  A fixed 1-in-16 tick mask would stay silent
+    # for ~96 s; the adaptive stride collapses to 1 and beats on every
+    # slow tick.
+    for _ in range(10):
+        execs.inc()
+        reporter.tick()
+        clock.now += 6.0
+    assert reporter.beats == 9  # every tick after the anchoring first
+
+
+def test_stride_grows_under_fast_ticking_and_collapses_when_slow():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry, interval=5.0)
+    registry.counter("fuzz.executions").inc(1)
+    # Fast ticking: the stride doubles, amortising clock reads.
+    for _ in range(200):
+        reporter.tick()
+        clock.now += 0.001
+    grown = reporter._stride
+    assert grown > 1
+    # Executions turn slow: the stride collapses back to 1 and stays
+    # there while each tick keeps arriving a full interval apart.
+    clock.now += 10.0
+    for _ in range(grown):
+        reporter.tick()
+        clock.now += 6.0
+    assert reporter._stride == 1
+    assert reporter.beats >= 1
+
+
+def test_stride_never_exceeds_the_cap():
+    registry = MetricsRegistry()
+    reporter, clock, lines = _reporter(registry, interval=1000.0)
+    for _ in range(50_000):
+        reporter.tick()
+    assert reporter._stride <= HeartbeatReporter.MAX_STRIDE
+
+
 def test_force_beat_emits_immediately():
     registry = MetricsRegistry()
     reporter, clock, lines = _reporter(registry)

@@ -1,0 +1,125 @@
+"""Trace reports: critical path, self times, flamegraph, HTML rendering."""
+
+from __future__ import annotations
+
+from repro.telemetry.report import (
+    critical_path,
+    render_flamegraph,
+    render_html_report,
+    self_times,
+)
+from repro.telemetry.tracing import TraceWriter, aggregate_trace, read_trace
+
+
+def _aggregate(tmp_path):
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    path = str(tmp_path / "trace.jsonl")
+    writer = TraceWriter(path, context={"command": "campaign"},
+                         registry=registry)
+    with writer.span("campaign"):
+        with writer.span("round:0"):
+            writer.event("job", job_id="j0", executions=10, elapsed_s=0.5)
+            registry.counter("campaign.executions").inc(10)
+        with writer.span("round:1"):
+            pass
+    writer.close()
+    return aggregate_trace(read_trace(path))
+
+
+def _spans(*specs):
+    return [{"path": path, "name": path.rsplit("/", 1)[-1],
+             "elapsed_s": elapsed, "status": "ok"}
+            for path, elapsed in specs]
+
+
+def test_critical_path_follows_heaviest_chain():
+    spans = _spans(("campaign", 10.0),
+                   ("campaign/round:0", 2.0),
+                   ("campaign/round:1", 7.0),
+                   ("campaign/round:1/merge", 1.0))
+    chain = [span["path"] for span in critical_path(spans)]
+    assert chain == ["campaign", "campaign/round:1",
+                     "campaign/round:1/merge"]
+
+
+def test_self_times_subtract_direct_children():
+    spans = _spans(("campaign", 10.0),
+                   ("campaign/round:0", 2.0),
+                   ("campaign/round:1", 7.0))
+    totals = self_times(spans)
+    assert totals["campaign"] == 1.0  # 10 - (2 + 7)
+    assert totals["campaign/round:0"] == 2.0
+
+
+def test_self_times_split_children_across_repeated_instances():
+    # Two instances of the same path share their children's total evenly,
+    # so summed self time stays consistent with inclusive time.
+    spans = _spans(("a", 4.0), ("a", 6.0), ("a/b", 2.0))
+    totals = self_times(spans)
+    assert totals["a"] == (4.0 - 1.0) + (6.0 - 1.0)
+
+
+def test_flamegraph_collapsed_stack_format():
+    spans = _spans(("campaign", 10.0),
+                   ("campaign/round:0", 4.0),
+                   ("campaign/round:1", 5.0))
+    lines = render_flamegraph({"spans": spans}).splitlines()
+    assert "campaign 1000000" in lines  # 1s self time in µs
+    assert "campaign;round:0 4000000" in lines
+    assert "campaign;round:1 5000000" in lines
+    # Frames use ';' separators only: ready for flamegraph.pl/speedscope.
+    for line in lines:
+        frames, value = line.rsplit(" ", 1)
+        assert int(value) > 0
+        assert "/" not in frames
+
+
+def test_flamegraph_of_empty_aggregate_is_empty():
+    assert render_flamegraph({"spans": []}) == ""
+
+
+def test_html_report_is_self_contained_and_complete(tmp_path):
+    aggregate = _aggregate(tmp_path)
+    profile = {
+        "per_opcode": {"load": 120, "store": 30},
+        "hot_spots": [{"address": "0x400010", "count": 55,
+                       "function": "parse"}],
+        "addresses_seen": 17,
+    }
+    page = render_html_report(aggregate, profile=profile, title="smoke")
+    assert page.startswith("<!doctype html>")
+    assert "<script" not in page and "http" not in page.split("</style>")[1]
+    assert "<title>smoke</title>" in page
+    assert "<code>command=campaign</code>" in page
+    # Span tree + critical path + per-path percentiles.
+    assert "Span tree" in page and "critical path:" in page
+    assert "Per-path timings" in page
+    assert "campaign/round:0" in page
+    # Jobs and counters sections.
+    assert "1 completed" in page
+    assert "Final counters" in page
+    # Engine profile tables.
+    assert "Engine hot spots" in page and "0x400010" in page
+    assert "Per-opcode executions" in page and "load" in page
+
+
+def test_html_report_escapes_untrusted_strings():
+    aggregate = {
+        "version": "0.1", "schema_version": 1, "records": 3,
+        "context": {"command": "<script>alert(1)</script>"},
+        "spans": _spans(("<b>span</b>", 1.0)),
+        "counters": {}, "jobs": {}, "span_paths": {},
+    }
+    page = render_html_report(aggregate)
+    assert "<script>alert(1)</script>" not in page
+    assert "&lt;script&gt;" in page
+    assert "<b>span</b>" not in page
+
+
+def test_html_report_without_spans_or_profile_degrades_gracefully():
+    page = render_html_report({"version": "0.1", "schema_version": 1,
+                               "records": 0, "spans": []})
+    assert "no spans recorded" in page
+    assert "Engine hot spots" not in page

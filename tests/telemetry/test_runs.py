@@ -1,0 +1,139 @@
+"""Run registry: manifest round-trip, snapshots, listing and gc."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro._version import __version__
+from repro.telemetry import MetricsSpool, Telemetry
+from repro.telemetry import spool as telemetry_spool
+from repro.telemetry.runs import (
+    RUN_KIND,
+    RUN_SCHEMA_VERSION,
+    RunDirectory,
+    RunRegistry,
+    RunSchemaError,
+    config_digest,
+    format_runs_table,
+)
+
+
+def test_manifest_round_trip(tmp_path):
+    config = {"iterations": 200, "seed": 0}
+    run = RunDirectory.create(
+        root=str(tmp_path), command="campaign", target="jsmn", engine="jit",
+        variants=["pht", "btb"], config=config, extra={"fingerprint": "abc"})
+    manifest = run.manifest()
+    assert manifest["kind"] == RUN_KIND
+    assert manifest["schema_version"] == RUN_SCHEMA_VERSION
+    assert manifest["run_id"] == run.run_id
+    assert manifest["version"] == __version__
+    assert manifest["status"] == "running"
+    assert manifest["command"] == "campaign"
+    assert manifest["target"] == "jsmn"
+    assert manifest["engine"] == "jit"
+    assert manifest["variants"] == ["pht", "btb"]
+    assert manifest["config"] == config
+    assert manifest["config_digest"] == config_digest(config)
+    assert manifest["fingerprint"] == "abc"
+    # Identical configurations digest identically; any change diverges.
+    assert config_digest({"seed": 0, "iterations": 200}) == \
+        manifest["config_digest"]
+    assert config_digest({"iterations": 201, "seed": 0}) != \
+        manifest["config_digest"]
+
+
+def test_finalize_stamps_status_and_finish_time(tmp_path):
+    run = RunDirectory.create(root=str(tmp_path), command="campaign")
+    run.finalize(status="completed", rounds=4)
+    manifest = run.manifest()
+    assert manifest["status"] == "completed"
+    assert manifest["rounds"] == 4
+    assert manifest["finished_at"].endswith("Z")
+
+
+def test_same_second_runs_get_disambiguating_suffixes(tmp_path):
+    first = RunDirectory.create(root=str(tmp_path), run_id="fixed")
+    second = RunDirectory.create(root=str(tmp_path), run_id="fixed")
+    assert first.run_id == "fixed"
+    assert second.run_id == "fixed.1"
+    assert os.path.isdir(second.path)
+
+
+def test_foreign_manifest_is_rejected(tmp_path):
+    run = RunDirectory.create(root=str(tmp_path))
+    with open(run.manifest_path, "w", encoding="utf-8") as handle:
+        json.dump({"kind": "something/else", "schema_version": 1}, handle)
+    with pytest.raises(RunSchemaError, match="not a repro.telemetry/run"):
+        run.manifest()
+    with open(run.manifest_path, "w", encoding="utf-8") as handle:
+        json.dump({"kind": RUN_KIND,
+                   "schema_version": RUN_SCHEMA_VERSION + 1}, handle)
+    with pytest.raises(RunSchemaError, match="unsupported"):
+        run.manifest()
+
+
+def test_metrics_snapshots_record_types_and_spool_offset(tmp_path):
+    run = RunDirectory.create(root=str(tmp_path))
+    bundle = Telemetry()
+    bundle.registry.counter("fuzz.executions").inc(10)
+    bundle.registry.gauge("fuzz.corpus_size").set(4)
+    bundle.spool = MetricsSpool(run.spool_path)
+    telemetry_spool.append_counts(run.spool_path, "j0",
+                                  {"fuzz.executions": 10})
+    bundle.spool.consume()  # merged into the registry above
+    run.write_metrics_snapshot(bundle)
+    snapshot = run.latest_metrics()
+    assert snapshot["seq"] == 1
+    assert snapshot["metrics"]["fuzz.executions"] == 10
+    assert snapshot["types"]["fuzz.executions"] == "counter"
+    assert snapshot["types"]["fuzz.corpus_size"] == "gauge"
+    assert snapshot["spool_offset"] == os.path.getsize(run.spool_path)
+    # live_counts = snapshot + spool tail past the recorded offset.
+    telemetry_spool.append_counts(run.spool_path, "j1",
+                                  {"fuzz.executions": 5})
+    live = run.live_counts()
+    assert live["fuzz.executions"] == 15
+    assert live["fuzz.corpus_size"] == 4
+
+
+def test_registry_lists_newest_first_and_skips_foreign_dirs(tmp_path):
+    registry = RunRegistry(str(tmp_path))
+    registry.create_run(run_id="20260101-000000-1", command="campaign")
+    registry.create_run(run_id="20260102-000000-1", command="fuzz")
+    os.makedirs(tmp_path / "not-a-run")
+    manifests = registry.list_manifests()
+    assert [m["run_id"] for m in manifests] == [
+        "20260102-000000-1", "20260101-000000-1"]
+    table = format_runs_table(manifests)
+    assert "20260102-000000-1" in table.splitlines()[2]
+    assert registry.get("20260101-000000-1").run_id == "20260101-000000-1"
+    with pytest.raises(KeyError):
+        registry.get("missing")
+
+
+def test_gc_keeps_newest_and_never_touches_running_runs(tmp_path):
+    registry = RunRegistry(str(tmp_path))
+    for index in range(4):
+        run = registry.create_run(run_id=f"2026010{index}-000000-1")
+        if index > 0:
+            run.finalize(status="completed")
+    # run 0 oldest..run 3 newest; run 0 is still "running".
+    would = registry.gc(keep=1, dry_run=True)
+    assert would == ["20260101-000000-1", "20260102-000000-1"]
+    assert len(registry.runs()) == 4  # dry run removed nothing
+    removed = registry.gc(keep=1)
+    assert removed == would
+    left = [run.run_id for run in registry.runs()]
+    assert left == ["20260103-000000-1", "20260100-000000-1"]
+
+
+def test_empty_registry_is_harmless(tmp_path):
+    registry = RunRegistry(str(tmp_path / "never-created"))
+    assert registry.runs() == []
+    assert registry.list_manifests() == []
+    assert registry.gc() == []
+    assert format_runs_table([]) == "no runs recorded"

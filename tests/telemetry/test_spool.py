@@ -1,0 +1,131 @@
+"""Worker metrics spool: fork detection, append/read, consume offsets."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry import Telemetry
+from repro.telemetry import spool as telemetry_spool
+from repro.telemetry.spool import MetricsSpool
+
+
+def _fake_fork(monkeypatch):
+    """Make this process look like a forked child of the enabler."""
+    monkeypatch.setattr(telemetry_spool, "_PARENT_PID", os.getpid() + 1)
+
+
+def test_disarmed_spool_yields_no_worker_telemetry():
+    telemetry_spool.disable()
+    assert telemetry_spool.is_worker() is False
+    assert telemetry_spool.worker_telemetry() is None
+    assert telemetry_spool.worker_spool_path() is None
+
+
+def test_parent_process_is_not_a_worker(tmp_path):
+    # The scheduler itself armed the spool: its own pid matches, so the
+    # parent must NOT get a second registry (serial campaigns count
+    # directly into the parent registry; a worker bundle would double).
+    telemetry_spool.enable(str(tmp_path / "spool.jsonl"))
+    try:
+        assert telemetry_spool.is_worker() is False
+        assert telemetry_spool.worker_telemetry() is None
+    finally:
+        telemetry_spool.disable()
+
+
+def test_forked_child_gets_fresh_registry_only_telemetry(tmp_path, monkeypatch):
+    path = str(tmp_path / "spool.jsonl")
+    telemetry_spool.enable(path)
+    try:
+        _fake_fork(monkeypatch)
+        assert telemetry_spool.is_worker() is True
+        assert telemetry_spool.worker_spool_path() == path
+        bundle = telemetry_spool.worker_telemetry()
+        assert isinstance(bundle, Telemetry)
+        assert bundle.trace is None and bundle.heartbeat is None
+    finally:
+        telemetry_spool.disable()
+
+
+def test_collect_counts_takes_counters_and_cache_deltas():
+    bundle = Telemetry()
+    bundle.registry.counter("fuzz.executions").inc(25)
+    bundle.registry.counter("engine.rollbacks").inc(3)
+    bundle.registry.counter("never.incremented")  # zero: dropped
+    bundle.registry.gauge("fuzz.corpus_size").set(9)  # gauges: dropped
+    before = telemetry_spool.jit_cache_stats()
+    counts = telemetry_spool.collect_counts(bundle, before)
+    assert counts["fuzz.executions"] == 25
+    assert counts["engine.rollbacks"] == 3
+    assert "never.incremented" not in counts
+    assert "fuzz.corpus_size" not in counts
+    # Cache stats did not move between the two snapshots: no cache keys.
+    assert not any(k.startswith("engine.jit.cache.") for k in counts)
+
+
+def test_append_and_read_round_trip(tmp_path):
+    path = str(tmp_path / "spool.jsonl")
+    telemetry_spool.append_counts(path, "job-a", {"fuzz.executions": 10})
+    telemetry_spool.append_counts(path, "job-b", {"fuzz.executions": 5,
+                                                  "engine.rollbacks": 2})
+    records, offset = telemetry_spool.read_records(path)
+    assert [r["job_id"] for r in records] == ["job-a", "job-b"]
+    assert all(r["pid"] == os.getpid() for r in records)
+    assert offset == os.path.getsize(path)
+    assert telemetry_spool.sum_counts(records) == {
+        "fuzz.executions": 15, "engine.rollbacks": 2}
+
+
+def test_partial_last_line_is_left_for_the_next_read(tmp_path):
+    path = str(tmp_path / "spool.jsonl")
+    telemetry_spool.append_counts(path, "done", {"fuzz.executions": 1})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"pid": 1, "job_id": "inflight", "counts": {')  # torn
+    records, offset = telemetry_spool.read_records(path)
+    assert [r["job_id"] for r in records] == ["done"]
+    # Once the writer finishes the line, a read from the offset sees it.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('"fuzz.executions": 4}}\n')
+    more, _ = telemetry_spool.read_records(path, offset)
+    assert [r["job_id"] for r in more] == ["inflight"]
+
+
+def test_garbage_line_is_one_lost_sample_not_a_dead_spool(tmp_path):
+    path = str(tmp_path / "spool.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"pid": 1, "job_id": "ok",
+                                 "counts": {"fuzz.executions": 2}}) + "\n")
+    records, _ = telemetry_spool.read_records(path)
+    assert [r["job_id"] for r in records] == ["ok"]
+
+
+def test_metrics_spool_consume_advances_past_merged_records(tmp_path):
+    path = str(tmp_path / "spool.jsonl")
+    spool = MetricsSpool(path)
+    assert os.path.exists(path)  # created eagerly so readers never race
+    assert spool.unconsumed() == {}
+    telemetry_spool.append_counts(path, "r0", {"fuzz.executions": 10})
+    assert spool.unconsumed() == {"fuzz.executions": 10}
+    spool.consume()  # scheduler merged round 0 into its registry
+    assert spool.unconsumed() == {}
+    telemetry_spool.append_counts(path, "r1", {"fuzz.executions": 7})
+    assert spool.unconsumed() == {"fuzz.executions": 7}
+
+
+def test_telemetry_merged_counts_includes_spool_tail(tmp_path):
+    bundle = Telemetry()
+    bundle.registry.counter("fuzz.executions").inc(100)
+    bundle.spool = MetricsSpool(str(tmp_path / "spool.jsonl"))
+    telemetry_spool.append_counts(bundle.spool.path, "live",
+                                  {"fuzz.executions": 30,
+                                   "engine.jit.cache.memo_hits": 2})
+    merged = bundle.merged_counts()
+    assert merged["fuzz.executions"] == 130
+    assert merged["engine.jit.cache.memo_hits"] == 2
+    # After the round merge the registry owns the counts; the consumed
+    # tail must not be added twice.
+    bundle.registry.counter("fuzz.executions").inc(30)
+    bundle.spool.consume()
+    assert bundle.merged_counts()["fuzz.executions"] == 130

@@ -150,3 +150,45 @@ def test_writer_borrows_open_file_objects(tmp_path):
     assert lines[0]["type"] == "trace_start"
     assert lines[-1]["type"] == "trace_end"
     buffer.write("still open")  # borrowed sinks are not closed
+
+
+def test_aggregate_span_path_percentiles(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(path))
+    with writer.span("campaign"):
+        for _ in range(5):
+            with writer.span("round"):
+                pass
+    writer.close()
+
+    aggregate = aggregate_trace(read_trace(str(path)))
+    rounds = aggregate["span_paths"]["campaign/round"]
+    assert rounds["count"] == 5
+    assert rounds["p50_s"] <= rounds["p90_s"] <= rounds["max_s"]
+    assert rounds["total_s"] >= rounds["max_s"]
+    assert aggregate["span_paths"]["campaign"]["count"] == 1
+
+    rendered = format_trace_stats(aggregate)
+    assert "span paths (count, p50/p90/max seconds):" in rendered
+    assert "campaign/round  n=5" in rendered
+
+
+def test_aggregate_attributes_counter_deltas_to_ending_spans(tmp_path):
+    registry = MetricsRegistry()
+    path = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(path), registry=registry)
+    with writer.span("campaign"):
+        with writer.span("round:0"):
+            registry.counter("campaign.executions").inc(10)
+        with writer.span("round:1"):
+            registry.counter("campaign.executions").inc(7)
+    writer.close()
+
+    aggregate = aggregate_trace(read_trace(str(path)))
+    spans = {span["path"]: span for span in aggregate["spans"]}
+    assert spans["campaign/round:0"]["counters_delta"] == {
+        "campaign.executions": 10}
+    assert spans["campaign/round:1"]["counters_delta"] == {
+        "campaign.executions": 7}
+    # The outer span ends last: everything already attributed inward.
+    assert "counters_delta" not in spans["campaign"]
