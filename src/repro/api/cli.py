@@ -40,6 +40,14 @@ _FORWARDED = {
                "detect, patch, and verify one target"),
 }
 
+#: Fuzzing-service subcommands, dispatched through repro.service.cli
+#: (which keeps submit/status import-light urllib clients).
+_SERVICE_COMMANDS = {
+    "serve": "run the fuzzing service (durable queue + workers + HTTP API)",
+    "submit": "submit a campaign to a running service",
+    "status": "query a running service's campaigns",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -68,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--rounds", type=int, default=1)
     fuzz.add_argument("--shards", type=int, default=1)
     fuzz.add_argument("--workers", type=int, default=1)
+    fuzz.add_argument("--scheduler", default="pool",
+                      help="campaign scheduler plugin "
+                           f"({', '.join(api.scheduler_names())}; "
+                           "default: pool); results are identical across "
+                           "schedulers")
     fuzz.add_argument("--seed", type=int, default=1234)
     fuzz.add_argument("--max-input-size", type=int, default=1024)
     fuzz.add_argument("--checkpoint", metavar="PATH", default=None)
@@ -88,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "spots into the telemetry snapshot")
 
     for name, (_, help_text) in _FORWARDED.items():
+        fwd = sub.add_parser(name, help=help_text, add_help=False)
+        fwd.add_argument("rest", nargs=argparse.REMAINDER)
+
+    for name, help_text in _SERVICE_COMMANDS.items():
         fwd = sub.add_parser(name, help=help_text, add_help=False)
         fwd.add_argument("rest", nargs=argparse.REMAINDER)
 
@@ -233,7 +250,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                .variants(*spec_variants)
                .fuzz(iterations=args.iterations, rounds=args.rounds,
                      shards=args.shards, checkpoint=args.checkpoint,
-                     resume=args.resume))
+                     resume=args.resume, scheduler=args.scheduler))
         if args.progress or args.trace or args.profile_engine:
             run = run.telemetry(trace=args.trace, progress=args.progress,
                                 interval=args.progress_interval,
@@ -478,6 +495,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         module_name, _ = _FORWARDED[argv[0]]
         module = __import__(module_name, fromlist=["main"])
         return module.main(argv[1:], prog=f"repro {argv[0]}")
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        from repro.service import cli as service_cli
+
+        return service_cli.main(argv, prog="repro")
     # `bench diff`/`bench history` compare artifacts instead of running a
     # measurement; they take positional paths, so route before argparse
     # sees the measurement flags.

@@ -61,6 +61,20 @@ ProgressFn = Callable[[str], None]
 BENCH_TOOLS = ("teapot", "specfuzz", "spectaint")
 
 
+def _check_scheduler(name: str) -> None:
+    """Validate a scheduler name, importing lazily-registered plugins.
+
+    ``repro.service`` registers the ``service`` scheduler on import;
+    :func:`repro.plugins.scheduler_names` pulls every registering
+    subsystem in before the registry rejects the name.
+    """
+    if name not in SCHEDULER_REGISTRY:
+        from repro.plugins import scheduler_names
+
+        scheduler_names()
+    SCHEDULER_REGISTRY.get(name)
+
+
 class PipelineError(ValueError):
     """A malformed pipeline: bad stage order or unknown plugin name."""
 
@@ -265,7 +279,7 @@ class Pipeline:
     ) -> "Pipeline":
         """Fuzz the target: one campaign group through the scheduler."""
         self._require_target("fuzz")
-        SCHEDULER_REGISTRY.get(scheduler)
+        _check_scheduler(scheduler)
         self._stages.append(_Stage("fuzz", {
             "iterations": int(iterations), "rounds": int(rounds),
             "shards": int(shards), "checkpoint": checkpoint,
@@ -312,7 +326,7 @@ class Pipeline:
             raise PipelineError("refuzz() verifies a hardened binary: add a "
                                 "harden() stage first")
         if scheduler is not None:
-            SCHEDULER_REGISTRY.get(scheduler)
+            _check_scheduler(scheduler)
         self._stages.append(_Stage("refuzz", {
             "iterations": iterations, "rounds": rounds,
             "scheduler": scheduler,
@@ -338,7 +352,7 @@ class Pipeline:
         control, or the keyword shorthand (``targets`` defaults to every
         registered target; ``tools``/``variants`` to the builder's).
         """
-        SCHEDULER_REGISTRY.get(scheduler)
+        _check_scheduler(scheduler)
         if spec is None:
             spec = CampaignSpec(
                 targets=tuple(targets if targets is not None

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.spec import TOOLS, VARIANTS, CampaignSpec
+from repro.plugins import scheduler_names
 from repro.runtime.fastpath import engine_names
 from repro.targets import injectable_targets, runnable_targets
 
@@ -87,6 +88,26 @@ def build_parser(prog: str = "repro-campaign") -> argparse.ArgumentParser:
                              "produces identical results — jit is the "
                              "block-compiled throughput tier, legacy keeps "
                              "the reference implementation selectable")
+    parser.add_argument("--scheduler", choices=tuple(scheduler_names()),
+                        default="pool",
+                        help="campaign scheduler plugin (default: pool — "
+                             "the multiprocessing pool; serial never forks; "
+                             "service runs the durable job queue + worker "
+                             "fleet of repro.service); results are "
+                             "identical across schedulers")
+    parser.add_argument("--job-timeout", type=float, default=0.0,
+                        metavar="SECONDS", dest="job_timeout",
+                        help="per-job wall-clock cap (default: 0 = "
+                             "unlimited); a timed-out job is recorded as "
+                             "failed instead of stalling its worker slot")
+    parser.add_argument("--job-retries", type=int, default=0, metavar="N",
+                        dest="job_retries",
+                        help="retries per failing/timed-out job with "
+                             "exponential backoff (default: 0)")
+    parser.add_argument("--job-retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS", dest="job_retry_backoff",
+                        help="base of the per-job retry backoff "
+                             "(default: 0.5)")
     parser.add_argument("--checkpoint", metavar="PATH", default=None,
                         help="write a JSON checkpoint after every round")
     parser.add_argument("--resume", action="store_true",
@@ -174,6 +195,9 @@ def main(argv: Optional[Sequence[str]] = None,
             workers=max(1, args.workers),
             engine=args.engine,
             spec_variants=tuple(spec_variants),
+            job_timeout_s=max(0.0, args.job_timeout),
+            job_max_attempts=1 + max(0, args.job_retries),
+            job_retry_backoff_s=max(0.0, args.job_retry_backoff),
         )
     except ValueError as error:
         parser.error(str(error))
@@ -246,10 +270,12 @@ def main(argv: Optional[Sequence[str]] = None,
         if telemetry is not None:
             with telemetry_session(telemetry):
                 summary = run_campaign(spec, checkpoint_path=args.checkpoint,
-                                       resume=args.resume, progress=progress)
+                                       resume=args.resume, progress=progress,
+                                       scheduler=args.scheduler)
         else:
             summary = run_campaign(spec, checkpoint_path=args.checkpoint,
-                                   resume=args.resume, progress=progress)
+                                   resume=args.resume, progress=progress,
+                                   scheduler=args.scheduler)
     except ValueError as error:
         status = "failed"
         print(f"error: {error}", file=sys.stderr)

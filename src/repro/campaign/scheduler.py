@@ -39,6 +39,111 @@ Task = Tuple[JobSpec, Optional[List[bytes]]]
 ProgressFn = Callable[[str], None]
 
 
+def seeds_for_job(state: CampaignState, job: JobSpec) -> Optional[List[bytes]]:
+    """The corpus shard assigned to one job.
+
+    Round 0 of a fresh campaign starts from the target's seed inputs;
+    later rounds start from the merged cross-worker corpus of the
+    previous round, sharded round-robin.  Shared by the pool scheduler
+    and the service dispatcher so both hand out identical shards.
+    """
+    corpus = state.corpus(job.group)
+    if corpus is None:
+        corpus = Corpus(list(get_target(job.target).seeds))
+    return corpus.shards(job.shard_count)[job.shard]
+
+
+def merge_worker_result(state: CampaignState, result: WorkerResult,
+                        telemetry=None,
+                        progress: Optional[ProgressFn] = None) -> int:
+    """Fold one worker result into the campaign state; returns new sites.
+
+    This is the single merge rule of the whole system — the pool
+    scheduler applies it per round in job order, and the service's
+    streaming ingestor applies it result-by-result (also in job order) —
+    so every execution strategy produces bit-identical campaign state.
+    The rules (sum counters, max the coverage gauges, dedup reports by
+    site) mirror :meth:`repro.fuzzing.fuzzer.CampaignResult.merge`; keep
+    the two in step.
+    """
+    key: GroupKey = result.group
+    stats = state.group_stats(key)
+    if result.telemetry_counts:
+        # Worker-side counter deltas (fuzz.*, engine.*,
+        # engine.jit.cache.*) travel home in the result; fold them into
+        # the group stats and the parent registry so campaign totals
+        # cover forked workers too.  Done for failing jobs as well —
+        # they may have executed inputs before raising.
+        merge_counts(stats.telemetry_counts, result.telemetry_counts)
+        if telemetry is not None:
+            for name, value in result.telemetry_counts.items():
+                telemetry.registry.counter(name).inc(value)
+    if result.error:
+        # A raising job contributes nothing but its failure record.
+        stats.failed_jobs += 1
+        if progress is not None:
+            progress(f"job {result.job_id} FAILED: {result.error}")
+        if telemetry is not None:
+            telemetry.registry.counter("campaign.jobs_failed").inc()
+            telemetry.event(
+                "job_failed",
+                job_id=result.job_id,
+                group=group_key_str(key),
+                error=result.error,
+                traceback=result.traceback,
+                elapsed_s=round(result.elapsed_s, 6),
+            )
+        return 0
+    stats.executions += result.executions
+    stats.crashes += result.crashes
+    stats.hangs += result.hangs
+    stats.total_cycles += result.total_cycles
+    stats.total_steps += result.total_steps
+    stats.normal_coverage = max(stats.normal_coverage,
+                                result.normal_coverage)
+    stats.speculative_coverage = max(stats.speculative_coverage,
+                                     result.speculative_coverage)
+    merge_counts(stats.spec_stats, result.spec_stats)
+    new_sites = state.store.add_serialized(key, result.reports,
+                                           result.raw_reports)
+
+    merged = state.corpora.get(key)
+    incoming = Corpus.from_dicts(result.corpus)
+    if merged is None:
+        state.corpora[key] = incoming
+    else:
+        merged.merge(incoming)
+
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.counter("campaign.executions").inc(result.executions)
+        registry.counter("campaign.jobs_done").inc()
+        registry.counter("campaign.reports_raw").inc(result.raw_reports)
+        registry.counter("campaign.reports_unique").inc(new_sites)
+        registry.counter("campaign.dedup_hits").inc(
+            max(0, len(result.reports) - new_sites)
+        )
+        site_totals: dict = {}
+        for group in state.store.keys():
+            merge_counts(
+                site_totals,
+                state.store.collection(group).count_by_variant(),
+            )
+        for variant, count in site_totals.items():
+            registry.gauge(f"campaign.sites.{variant}").set(count)
+        telemetry.event(
+            "job",
+            job_id=result.job_id,
+            group=group_key_str(key),
+            executions=result.executions,
+            new_sites=new_sites,
+            elapsed_s=round(result.elapsed_s, 6),
+        )
+        if telemetry.heartbeat is not None:
+            telemetry.heartbeat.tick()
+    return new_sites
+
+
 @register_scheduler("pool")
 class CampaignScheduler:
     """Runs a whole campaign matrix with corpus sync and checkpointing."""
@@ -139,104 +244,19 @@ class CampaignScheduler:
                              spec_dict=self.spec.to_dict())
 
     def _seeds_for(self, state: CampaignState, job: JobSpec) -> Optional[List[bytes]]:
-        """The corpus shard assigned to one job.
-
-        Round 0 of a fresh campaign starts from the target's seed inputs;
-        later rounds start from the merged cross-worker corpus of the
-        previous round, sharded round-robin.
-        """
-        corpus = state.corpus(job.group)
-        if corpus is None:
-            corpus = Corpus(list(get_target(job.target).seeds))
-        return corpus.shards(job.shard_count)[job.shard]
+        return seeds_for_job(state, job)
 
     def _merge_round(self, state: CampaignState,
                      results: Sequence[WorkerResult]) -> None:
         """Fold one round's worker results into the campaign state.
 
         Results arrive in job order (``pool.map`` preserves it), so the
-        merge is deterministic regardless of completion order.  The rules
-        (sum counters, max the coverage gauges, dedup reports by site)
-        mirror :meth:`repro.fuzzing.fuzzer.CampaignResult.merge` — keep
-        the two in step.
+        merge is deterministic regardless of completion order.
         """
         telemetry = _active_telemetry()
         for result in results:
-            key: GroupKey = result.group
-            stats = state.group_stats(key)
-            if result.telemetry_counts:
-                # Worker-side counter deltas (fuzz.*, engine.*,
-                # engine.jit.cache.*) travel home in the result; fold
-                # them into the group stats and the parent registry so
-                # campaign totals cover forked workers too.  Done for
-                # failing jobs as well — they may have executed inputs
-                # before raising.
-                merge_counts(stats.telemetry_counts, result.telemetry_counts)
-                if telemetry is not None:
-                    for name, value in result.telemetry_counts.items():
-                        telemetry.registry.counter(name).inc(value)
-            if result.error:
-                # A raising job contributes nothing but its failure record.
-                stats.failed_jobs += 1
-                self._progress(f"job {result.job_id} FAILED: {result.error}")
-                if telemetry is not None:
-                    telemetry.registry.counter("campaign.jobs_failed").inc()
-                    telemetry.event(
-                        "job_failed",
-                        job_id=result.job_id,
-                        group=group_key_str(key),
-                        error=result.error,
-                        traceback=result.traceback,
-                        elapsed_s=round(result.elapsed_s, 6),
-                    )
-                continue
-            stats.executions += result.executions
-            stats.crashes += result.crashes
-            stats.hangs += result.hangs
-            stats.total_cycles += result.total_cycles
-            stats.total_steps += result.total_steps
-            stats.normal_coverage = max(stats.normal_coverage,
-                                        result.normal_coverage)
-            stats.speculative_coverage = max(stats.speculative_coverage,
-                                             result.speculative_coverage)
-            merge_counts(stats.spec_stats, result.spec_stats)
-            new_sites = state.store.add_serialized(key, result.reports,
-                                                   result.raw_reports)
-
-            merged = state.corpora.get(key)
-            incoming = Corpus.from_dicts(result.corpus)
-            if merged is None:
-                state.corpora[key] = incoming
-            else:
-                merged.merge(incoming)
-
-            if telemetry is not None:
-                registry = telemetry.registry
-                registry.counter("campaign.executions").inc(result.executions)
-                registry.counter("campaign.jobs_done").inc()
-                registry.counter("campaign.reports_raw").inc(result.raw_reports)
-                registry.counter("campaign.reports_unique").inc(new_sites)
-                registry.counter("campaign.dedup_hits").inc(
-                    max(0, len(result.reports) - new_sites)
-                )
-                site_totals: dict = {}
-                for group in state.store.keys():
-                    merge_counts(
-                        site_totals,
-                        state.store.collection(group).count_by_variant(),
-                    )
-                for variant, count in site_totals.items():
-                    registry.gauge(f"campaign.sites.{variant}").set(count)
-                telemetry.event(
-                    "job",
-                    job_id=result.job_id,
-                    group=group_key_str(key),
-                    executions=result.executions,
-                    new_sites=new_sites,
-                    elapsed_s=round(result.elapsed_s, 6),
-                )
-                if telemetry.heartbeat is not None:
-                    telemetry.heartbeat.tick()
+            merge_worker_result(state, result, telemetry=telemetry,
+                                progress=self._progress)
         if telemetry is not None and telemetry.spool is not None:
             # Every spool line of this round is complete (pool.map blocks
             # until all results are in) and its counts were just merged
@@ -306,9 +326,16 @@ def run_campaign(
 
     ``scheduler`` names a plugin from
     :data:`repro.plugins.SCHEDULER_REGISTRY` (``"pool"`` — the default
-    multiprocessing scheduler — or ``"serial"``, plus any
+    multiprocessing scheduler — ``"serial"``, ``"service"`` — the durable
+    queue + worker fleet of :mod:`repro.service` — plus any
     ``@register_scheduler`` plugin).
     """
+    if scheduler not in SCHEDULER_REGISTRY:
+        # Lazily pull in the subsystems that register schedulers on
+        # import (repro.service registers "service") before rejecting.
+        from repro.plugins import scheduler_names
+
+        scheduler_names()
     scheduler_cls = SCHEDULER_REGISTRY.get(scheduler)
     runner = scheduler_cls(spec, checkpoint_path=checkpoint_path,
                            progress=progress)

@@ -65,6 +65,16 @@ class JobSpec:
     #: speculation variant this job simulates ("pht", "btb", "rsb", "stl").
     #: The third matrix axis: each variant of a group gets its own jobs.
     spec_variant: str = "pht"
+    #: wall-clock execution cap in seconds (0 = unlimited, the historic
+    #: behavior).  A job past its deadline is abandoned and reported as a
+    #: failed job instead of stalling its pool slot forever.
+    timeout_s: float = 0.0
+    #: how many times the worker attempts the job before reporting the
+    #: failure (1 = no retries, the historic behavior).
+    max_attempts: int = 1
+    #: base of the exponential retry backoff in seconds (attempt ``n``
+    #: sleeps ``retry_backoff_s * 2**(n-1)`` before re-running).
+    retry_backoff_s: float = 0.5
 
     @property
     def group(self) -> Tuple[str, str, str]:
@@ -86,6 +96,55 @@ class JobSpec:
         return (f"{self.target}/{self.tool}/{self.variant} "
                 f"r{self.round_index} s{self.shard + 1}/{self.shard_count}"
                 f"{suffix}")
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: the wire format of the service job queue.
+
+        The robustness knobs (``timeout_s``/``max_attempts``/
+        ``retry_backoff_s``) are serialized only when non-default, so
+        records written before they existed round-trip byte-identically.
+        """
+        record: Dict[str, object] = {
+            "target": self.target,
+            "tool": self.tool,
+            "variant": self.variant,
+            "shard": self.shard,
+            "shard_count": self.shard_count,
+            "round_index": self.round_index,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "max_input_size": self.max_input_size,
+            "engine": self.engine,
+            "spec_variant": self.spec_variant,
+        }
+        if self.timeout_s:
+            record["timeout_s"] = self.timeout_s
+        if self.max_attempts != 1:
+            record["max_attempts"] = self.max_attempts
+        if self.retry_backoff_s != 0.5:
+            record["retry_backoff_s"] = self.retry_backoff_s
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "JobSpec":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return cls(
+            target=str(record["target"]),
+            tool=str(record["tool"]),
+            variant=str(record.get("variant", "vanilla")),
+            shard=int(record.get("shard", 0)),
+            shard_count=int(record.get("shard_count", 1)),
+            round_index=int(record.get("round_index", 0)),
+            iterations=int(record.get("iterations", 0)),
+            seed=int(record.get("seed", 0)),
+            max_input_size=int(record.get("max_input_size", 1024)),
+            engine=str(record.get("engine", "fast")),
+            spec_variant=str(record.get("spec_variant", "pht")),
+            timeout_s=float(record.get("timeout_s", 0.0)),
+            max_attempts=int(record.get("max_attempts", 1)),
+            retry_backoff_s=float(record.get("retry_backoff_s", 0.5)),
+        )
 
 
 @dataclass(frozen=True)
@@ -130,6 +189,16 @@ class CampaignSpec:
     #: jobs simply add reports/executions on top); per-variant results stay
     #: separable because every report site carries its variant.
     spec_variants: Tuple[str, ...] = ("pht",)
+    #: per-job wall-clock cap in seconds (0 = unlimited).  Pure execution
+    #: robustness, like ``workers``: a timed-out job becomes a
+    #: ``failed_jobs`` entry instead of stalling its slot, and the knob is
+    #: excluded from the checkpoint fingerprint (and omitted from
+    #: checkpoints when left at its default).
+    job_timeout_s: float = 0.0
+    #: attempts per job before it is recorded as failed (1 = no retries).
+    job_max_attempts: int = 1
+    #: base of the per-job exponential retry backoff in seconds.
+    job_retry_backoff_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -162,6 +231,12 @@ class CampaignSpec:
                 raise ValueError(
                     f"unknown speculation variant {spec_variant!r}; "
                     f"expected one of {tuple(model_names())}")
+        if self.job_timeout_s < 0:
+            raise ValueError("job_timeout_s must be >= 0 (0 = unlimited)")
+        if self.job_max_attempts < 1:
+            raise ValueError("job_max_attempts must be >= 1")
+        if self.job_retry_backoff_s < 0:
+            raise ValueError("job_retry_backoff_s must be >= 0")
         if (
             all(tool == "spectaint" for tool in self.tools)
             and "pht" not in self.spec_variants
@@ -230,13 +305,20 @@ class CampaignSpec:
                         max_input_size=self.max_input_size,
                         engine=self.engine,
                         spec_variant=spec_variant,
+                        timeout_s=self.job_timeout_s,
+                        max_attempts=self.job_max_attempts,
+                        retry_backoff_s=self.job_retry_backoff_s,
                     ))
         return jobs
 
     # -- serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready form for the checkpoint file."""
-        return {
+        """JSON-ready form for the checkpoint file.
+
+        The job-robustness knobs are recorded only when non-default, so
+        checkpoints written before they existed stay byte-identical.
+        """
+        record: Dict[str, object] = {
             "targets": list(self.targets),
             "tools": list(self.tools),
             "variants": list(self.variants),
@@ -251,6 +333,13 @@ class CampaignSpec:
             "engine": self.engine,
             "spec_variants": list(self.spec_variants),
         }
+        if self.job_timeout_s:
+            record["job_timeout_s"] = self.job_timeout_s
+        if self.job_max_attempts != 1:
+            record["job_max_attempts"] = self.job_max_attempts
+        if self.job_retry_backoff_s != 0.5:
+            record["job_retry_backoff_s"] = self.job_retry_backoff_s
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict[str, object]) -> "CampaignSpec":
@@ -269,6 +358,9 @@ class CampaignSpec:
             skip_uninjectable=bool(record.get("skip_uninjectable", True)),
             engine=str(record.get("engine", "fast")),
             spec_variants=tuple(record.get("spec_variants", ("pht",))),
+            job_timeout_s=float(record.get("job_timeout_s", 0.0)),
+            job_max_attempts=int(record.get("job_max_attempts", 1)),
+            job_retry_backoff_s=float(record.get("job_retry_backoff_s", 0.5)),
         )
 
     def fingerprint(self) -> str:
@@ -287,6 +379,11 @@ class CampaignSpec:
         record.pop("workers")
         record.pop("engine")
         record.pop("spec_variants")
+        # Robustness knobs (timeouts/retries) are execution mechanics: a
+        # job that completes produces the same result at any timeout.
+        record.pop("job_timeout_s", None)
+        record.pop("job_max_attempts", None)
+        record.pop("job_retry_backoff_s", None)
         text = "|".join(f"{key}={record[key]}" for key in sorted(record))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 

@@ -11,6 +11,7 @@ combination exactly once per campaign.
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback as _traceback
 from contextlib import contextmanager
@@ -284,6 +285,43 @@ def run_job(job: JobSpec, seeds: Optional[Sequence[bytes]] = None) -> WorkerResu
     )
 
 
+class JobTimeoutError(Exception):
+    """A job exceeded its :attr:`JobSpec.timeout_s` wall-clock budget."""
+
+
+def _run_job_deadline(job: JobSpec,
+                      seeds: Optional[List[bytes]]) -> WorkerResult:
+    """Run one job, enforcing the job's wall-clock timeout (if any).
+
+    The emulator is pure Python with no cancellation points, so the
+    timeout runs the job on a daemon thread and abandons it at the
+    deadline: the runaway thread dies with the worker process, and its
+    partial results are discarded (a retried job re-derives everything
+    from its seed, so abandonment never corrupts campaign state).
+    """
+    if job.timeout_s <= 0:
+        return run_job(job, seeds)
+    box: Dict[str, object] = {}
+
+    def call() -> None:
+        try:
+            box["result"] = run_job(job, seeds)
+        except BaseException as exc:  # noqa: BLE001 - crosses the thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=call, daemon=True,
+                              name=f"job-{job.job_id}")
+    thread.start()
+    thread.join(job.timeout_s)
+    if thread.is_alive():
+        raise JobTimeoutError(
+            f"job exceeded its {job.timeout_s:g}s wall-clock budget")
+    error = box.get("error")
+    if error is not None:
+        raise error  # type: ignore[misc]
+    return box["result"]  # type: ignore[return-value]
+
+
 def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
     """Pool entry point: unpack one (job, seeds) task and run it.
 
@@ -308,23 +346,34 @@ def execute_task(task: Tuple[JobSpec, Optional[List[bytes]]]) -> WorkerResult:
     cache_before = (telemetry_spool.jit_cache_stats()
                     if worker_telemetry is not None else None)
     started = time.perf_counter()
-    try:
-        if worker_telemetry is None:
-            result = run_job(job, seeds)
-        else:
-            with telemetry_session(worker_telemetry):
-                result = run_job(job, seeds)
-    except Exception as exc:  # noqa: BLE001 - isolate the failing job
-        result = WorkerResult(
-            job_id=job.job_id,
-            target=job.target,
-            tool=job.tool,
-            variant=job.variant,
-            shard=job.shard,
-            round_index=job.round_index,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=_traceback.format_exc(),
-        )
+    attempts = max(1, job.max_attempts)
+    result = None
+    for attempt in range(1, attempts + 1):
+        try:
+            if worker_telemetry is None:
+                result = _run_job_deadline(job, seeds)
+            else:
+                with telemetry_session(worker_telemetry):
+                    result = _run_job_deadline(job, seeds)
+            break
+        except Exception as exc:  # noqa: BLE001 - isolate the failing job
+            if attempt < attempts:
+                # Deterministic exponential backoff before the retry; a
+                # retried job replays from its derived seed, so a
+                # transient failure costs time, never correctness.
+                time.sleep(job.retry_backoff_s * (2 ** (attempt - 1)))
+                continue
+            suffix = (f" (after {attempts} attempts)" if attempts > 1 else "")
+            result = WorkerResult(
+                job_id=job.job_id,
+                target=job.target,
+                tool=job.tool,
+                variant=job.variant,
+                shard=job.shard,
+                round_index=job.round_index,
+                error=f"{type(exc).__name__}: {exc}{suffix}",
+                traceback=_traceback.format_exc(),
+            )
     result.elapsed_s = time.perf_counter() - started
     if worker_telemetry is not None:
         result.telemetry_counts = telemetry_spool.collect_counts(

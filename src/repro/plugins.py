@@ -284,6 +284,7 @@ def strategy_names() -> List[str]:
 def scheduler_names() -> List[str]:
     """Registered campaign-scheduler names."""
     import repro.campaign.scheduler  # noqa: F401  (registers built-ins)
+    import repro.service.scheduler  # noqa: F401  (registers "service")
 
     return SCHEDULER_REGISTRY.names()
 

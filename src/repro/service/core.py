@@ -1,0 +1,353 @@
+"""The fuzzing service façade: submit campaigns, drive them, watch them.
+
+A :class:`FuzzService` owns one durable :class:`~repro.service.queue.
+JobQueue`, one :class:`~repro.service.worker.WorkerFleet` and one
+:class:`~repro.telemetry.runs.RunRegistry` under a single root
+directory::
+
+    service-root/
+        queue/    # jobs / leases / done  (crash-safe work records)
+        runs/     # one telemetry run directory per campaign
+        state/    # per-campaign checkpoint files
+
+``submit`` registers a campaign and returns immediately; a driver
+thread expands the spec round by round, enqueues each round's jobs with
+their corpus shards, and feeds completions to a
+:class:`~repro.service.ingest.StreamingIngestor` (which merges them in
+job order, so the final summary is bit-identical to the batch
+schedulers').  Rounds are sequential by construction — round ``r+1``'s
+seeds derive from the corpus merged out of round ``r`` — but every job
+*within* a round runs concurrently across the fleet, and completions
+merge as they arrive.
+
+The service survives worker deaths (expired leases re-offer jobs) and
+its own restarts (checkpoints resume a campaign mid-flight); the HTTP
+layer in :mod:`repro.service.httpapi` is a thin veneer over the
+``submit``/``status``/``reports``/``cancel`` methods here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro._version import __version__
+from repro.campaign.scheduler import ProgressFn, seeds_for_job
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignState, group_key_str
+from repro.campaign.summary import CampaignSummary, summarize
+from repro.campaign.worker import WorkerResult
+from repro.service.ingest import StreamingIngestor
+from repro.service.queue import JobQueue
+from repro.service.worker import WorkerFleet
+from repro.telemetry import Telemetry
+from repro.telemetry.runs import RunRegistry
+
+#: Artifact tag of the ``GET /v1/campaigns/<id>`` status body.
+STATUS_KIND = "repro.service/campaign-status"
+STATUS_SCHEMA_VERSION = 1
+
+_campaign_seq = itertools.count(1)
+
+
+class UnknownCampaignError(KeyError):
+    """Asked about a campaign id this service never saw."""
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class _Campaign:
+    """One submitted campaign's mutable service-side record."""
+
+    def __init__(self, campaign_id: str, spec: CampaignSpec,
+                 checkpoint_path: str, run_dir) -> None:
+        self.campaign_id = campaign_id
+        self.spec = spec
+        self.checkpoint_path = checkpoint_path
+        self.run_dir = run_dir
+        self.status = "queued"
+        self.error = ""
+        self.summary: Optional[CampaignSummary] = None
+        self.created_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.jobs_total = 0
+        self.jobs_done = 0
+        self.rounds_completed = 0
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+        self.lock = threading.Lock()
+
+
+class FuzzService:
+    """Durable queue + worker fleet + per-campaign driver threads."""
+
+    def __init__(
+        self,
+        root: str,
+        workers: int = 2,
+        visibility_timeout: float = 30.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.queue = JobQueue(os.path.join(self.root, "queue"))
+        self.registry = RunRegistry(os.path.join(self.root, "runs"))
+        self.state_dir = os.path.join(self.root, "state")
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.poll_interval = poll_interval
+        self.fleet = WorkerFleet(self.queue, count=workers,
+                                 visibility_timeout=visibility_timeout,
+                                 poll_interval=poll_interval)
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._drivers: Dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "FuzzService":
+        if not self._started:
+            self.fleet.start()
+            self._started = True
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Cancel every live campaign and stop the fleet."""
+        with self._lock:
+            campaigns = list(self._campaigns.values())
+            drivers = list(self._drivers.values())
+        for campaign in campaigns:
+            campaign.cancel_event.set()
+        for driver in drivers:
+            driver.join(timeout=timeout)
+        self.fleet.stop(timeout=timeout)
+        self._started = False
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec: CampaignSpec, resume: bool = False,
+               checkpoint_path: Optional[str] = None,
+               progress: Optional[ProgressFn] = None) -> str:
+        """Register a campaign and start driving it; returns its id."""
+        fingerprint = spec.fingerprint()
+        campaign_id = f"c{next(_campaign_seq):04d}-{fingerprint[:8]}"
+        if checkpoint_path is None:
+            checkpoint_path = os.path.join(self.state_dir,
+                                           campaign_id + ".json")
+        run_dir = self.registry.create_run(
+            command="service",
+            target=",".join(spec.targets),
+            engine=spec.engine,
+            variants=list(spec.spec_variants),
+            config=spec.to_dict(),
+            extra={"campaign_id": campaign_id},
+        )
+        campaign = _Campaign(campaign_id, spec, checkpoint_path, run_dir)
+        with self._lock:
+            self._campaigns[campaign_id] = campaign
+            driver = threading.Thread(
+                target=self._drive, args=(campaign, resume, progress),
+                name=f"repro-service-driver-{campaign_id}", daemon=True)
+            self._drivers[campaign_id] = driver
+        self.start()
+        driver.start()
+        return campaign_id
+
+    # -- the driver ----------------------------------------------------------
+    def _drive(self, campaign: _Campaign, resume: bool,
+               progress: Optional[ProgressFn]) -> None:
+        telemetry = Telemetry.create(trace=campaign.run_dir.trace_path)
+        telemetry.run_dir = campaign.run_dir
+        try:
+            state = self._initial_state(campaign, resume)
+            with campaign.lock:
+                campaign.status = "running"
+                campaign.rounds_completed = state.completed_rounds
+            telemetry.event(
+                "campaign_start",
+                fingerprint=state.fingerprint,
+                rounds=campaign.spec.rounds,
+                completed_rounds=state.completed_rounds,
+                workers=len(self.fleet.workers),
+            )
+            ingestor = StreamingIngestor(
+                state, telemetry=telemetry, progress=progress,
+                checkpoint_path=campaign.checkpoint_path,
+                run_dir=campaign.run_dir)
+            for round_index in range(state.completed_rounds,
+                                     campaign.spec.rounds):
+                if campaign.cancel_event.is_set():
+                    raise _Cancelled()
+                self._run_round(campaign, state, ingestor, round_index,
+                                telemetry, progress)
+                with campaign.lock:
+                    campaign.rounds_completed = state.completed_rounds
+            summary = summarize(state)
+            with campaign.lock:
+                campaign.summary = summary
+                campaign.status = "completed"
+                campaign.finished_at = time.time()
+            campaign.run_dir.finalize(
+                status="completed",
+                unique_gadgets=summary.total_unique_gadgets(),
+                executions=summary.total_executions(),
+            )
+        except _Cancelled:
+            self.queue.cancel(campaign.campaign_id)
+            with campaign.lock:
+                campaign.status = "cancelled"
+                campaign.finished_at = time.time()
+            campaign.run_dir.finalize(status="cancelled")
+        except Exception as error:  # noqa: BLE001 - surfaced via status
+            with campaign.lock:
+                campaign.status = "failed"
+                campaign.error = f"{type(error).__name__}: {error}"
+                campaign.finished_at = time.time()
+            campaign.run_dir.finalize(status="failed", error=campaign.error)
+        finally:
+            telemetry.close()
+            campaign.done_event.set()
+
+    def _initial_state(self, campaign: _Campaign,
+                       resume: bool) -> CampaignState:
+        fingerprint = campaign.spec.fingerprint()
+        if resume:
+            try:
+                state = CampaignState.load(campaign.checkpoint_path)
+            except FileNotFoundError:
+                state = None
+            if state is not None:
+                if state.fingerprint != fingerprint:
+                    raise ValueError(
+                        "checkpoint was produced by a different campaign "
+                        f"spec (fingerprint {state.fingerprint} != "
+                        f"{fingerprint}); refusing to resume")
+                return state
+        return CampaignState(fingerprint=fingerprint,
+                             spec_dict=campaign.spec.to_dict())
+
+    def _run_round(self, campaign: _Campaign, state: CampaignState,
+                   ingestor: StreamingIngestor, round_index: int,
+                   telemetry, progress: Optional[ProgressFn]) -> None:
+        spec = campaign.spec
+        jobs = spec.jobs_for_round(round_index)
+        if progress is not None:
+            progress(f"round {round_index + 1}/{spec.rounds}: "
+                     f"{len(jobs)} jobs over "
+                     f"{len(self.fleet.workers)} worker(s)")
+        ingestor.begin_round(jobs)
+        fingerprints = [
+            self.queue.submit(campaign.campaign_id, job,
+                              seeds_for_job(state, job))
+            for job in jobs
+        ]
+        with campaign.lock:
+            campaign.jobs_total += len(jobs)
+        registry = telemetry.registry
+        registry.counter("campaign.jobs_queued").inc(len(jobs))
+        registry.gauge("campaign.jobs_running").set(len(jobs))
+        with telemetry.span(f"round:{round_index}"):
+            pending = dict(zip(fingerprints, jobs))
+            while pending:
+                if campaign.cancel_event.is_set():
+                    raise _Cancelled()
+                token = self.queue.change_token()
+                harvested = False
+                for fingerprint in list(pending):
+                    record = self.queue.result(fingerprint)
+                    if record is None:
+                        continue
+                    del pending[fingerprint]
+                    harvested = True
+                    result = WorkerResult.from_dict(record["result"])
+                    ingestor.offer(result)
+                    with campaign.lock:
+                        campaign.jobs_done += 1
+                    registry.gauge("campaign.jobs_running").set(len(pending))
+                if not harvested:
+                    # Completions signal the queue's condition variable;
+                    # the poll interval only bounds cross-process lag and
+                    # the cancel-check latency.
+                    self.queue.wait_for_change(token, self.poll_interval)
+        registry.gauge("campaign.jobs_running").set(0)
+        ingestor.finish_round()
+
+    # -- observation ---------------------------------------------------------
+    def _campaign(self, campaign_id: str) -> _Campaign:
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise UnknownCampaignError(
+                f"unknown campaign {campaign_id!r}; known: "
+                f"{sorted(self._campaigns) or '(none)'}")
+        return campaign
+
+    def campaign_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._campaigns)
+
+    def status(self, campaign_id: str) -> Dict[str, object]:
+        """The status record one ``GET /v1/campaigns/<id>`` returns."""
+        campaign = self._campaign(campaign_id)
+        with campaign.lock:
+            record: Dict[str, object] = {
+                "kind": STATUS_KIND,
+                "schema_version": STATUS_SCHEMA_VERSION,
+                "version": __version__,
+                "campaign_id": campaign.campaign_id,
+                "status": campaign.status,
+                "fingerprint": campaign.spec.fingerprint(),
+                "spec": campaign.spec.to_dict(),
+                "run_id": campaign.run_dir.run_id,
+                "rounds": campaign.spec.rounds,
+                "rounds_completed": campaign.rounds_completed,
+                "jobs_total": campaign.jobs_total,
+                "jobs_done": campaign.jobs_done,
+                "created_at": campaign.created_at,
+                "finished_at": campaign.finished_at,
+            }
+            if campaign.error:
+                record["error"] = campaign.error
+            if campaign.summary is not None:
+                record["summary"] = campaign.summary.to_dict()
+        return record
+
+    def statuses(self) -> List[Dict[str, object]]:
+        return [self.status(campaign_id)
+                for campaign_id in self.campaign_ids()]
+
+    def reports(self, campaign_id: str) -> Dict[str, object]:
+        """Deduplicated per-group reports of one (finished) campaign."""
+        campaign = self._campaign(campaign_id)
+        with campaign.lock:
+            summary = campaign.summary
+        if summary is None:
+            return {"campaign_id": campaign_id, "groups": {},
+                    "status": campaign.status}
+        groups = {
+            group_key_str(group.key): group.collection.to_dicts()
+            for group in summary.groups
+        }
+        return {"campaign_id": campaign_id, "status": campaign.status,
+                "groups": groups}
+
+    def cancel(self, campaign_id: str) -> Dict[str, object]:
+        """Request cancellation (idempotent); returns the fresh status."""
+        campaign = self._campaign(campaign_id)
+        campaign.cancel_event.set()
+        return self.status(campaign_id)
+
+    def wait(self, campaign_id: str,
+             timeout: Optional[float] = None) -> Optional[CampaignSummary]:
+        """Block until a campaign finishes; its summary (None if not
+        completed — cancelled, failed, or timed out)."""
+        campaign = self._campaign(campaign_id)
+        campaign.done_event.wait(timeout)
+        with campaign.lock:
+            return campaign.summary
+
+
+class _Cancelled(Exception):
+    """Internal control flow: the campaign's cancel event fired."""

@@ -1,0 +1,115 @@
+"""Streaming result ingestion: merge worker results as they complete.
+
+The batch schedulers merge a whole round at once (``pool.map`` hands
+results back in job order).  The service gets completions in *arrival*
+order — whichever worker finishes first — but
+:meth:`repro.fuzzing.corpus.Corpus.merge` is coverage-novelty greedy and
+therefore order-dependent, so merging out of order would change corpus
+contents and downstream seeds.  The :class:`StreamingIngestor` restores
+determinism with an ordered-prefix buffer: results are held per job and
+folded into the campaign state with
+:func:`repro.campaign.scheduler.merge_worker_result` the moment the
+*next job in round order* is available.  The merged prefix grows as
+completions trickle in, and the final state is bit-identical to a
+serial run's.
+
+Round boundaries trigger the same durability work the batch scheduler
+does between rounds: ``completed_rounds`` advances, the checkpoint file
+is rewritten atomically, and a metrics snapshot lands in the campaign's
+run directory so ``repro runs show`` / ``repro monitor`` observe the
+live service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.campaign.scheduler import ProgressFn, merge_worker_result
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import CampaignState
+from repro.campaign.worker import WorkerResult
+
+
+class StreamingIngestor:
+    """Order-preserving incremental merge into one campaign's state."""
+
+    def __init__(
+        self,
+        state: CampaignState,
+        telemetry=None,
+        progress: Optional[ProgressFn] = None,
+        checkpoint_path: Optional[str] = None,
+        run_dir=None,
+    ) -> None:
+        self.state = state
+        self.telemetry = telemetry
+        self.progress = progress
+        self.checkpoint_path = checkpoint_path
+        self.run_dir = run_dir
+        #: job ids of the active round, in deterministic round order.
+        self._order: List[str] = []
+        #: index into :attr:`_order` of the next job to merge.
+        self._next = 0
+        self._buffer: Dict[str, WorkerResult] = {}
+        #: results merged since construction (across rounds).
+        self.merged = 0
+        #: unique gadget sites discovered since construction.
+        self.new_sites = 0
+
+    # -- round protocol ------------------------------------------------------
+    def begin_round(self, jobs: List[JobSpec]) -> None:
+        """Arm the ingestor with one round's jobs (defines merge order)."""
+        if not self.round_complete:
+            raise RuntimeError("previous round still has unmerged jobs")
+        self._order = [job.job_id for job in jobs]
+        self._next = 0
+        self._buffer.clear()
+
+    @property
+    def round_complete(self) -> bool:
+        return self._next >= len(self._order)
+
+    def offer(self, result: WorkerResult) -> int:
+        """Buffer one completion; merge every newly-contiguous prefix job.
+
+        Returns the number of results merged by this call (0 when the
+        result arrived ahead of an unfinished predecessor).
+        """
+        self._buffer[result.job_id] = result
+        merged = 0
+        while (self._next < len(self._order)
+               and self._order[self._next] in self._buffer):
+            ready = self._buffer.pop(self._order[self._next])
+            site_count = merge_worker_result(self.state, ready,
+                                             telemetry=self.telemetry,
+                                             progress=self.progress)
+            self.new_sites += site_count
+            self.merged += 1
+            self._next += 1
+            merged += 1
+        if merged and self.run_dir is not None and self.telemetry is not None:
+            # Live observability: refresh metrics/latest.json as the
+            # merged prefix grows, not just at round boundaries.
+            self.run_dir.write_metrics_snapshot(self.telemetry)
+        return merged
+
+    def finish_round(self) -> None:
+        """Round barrier: advance counters, checkpoint, snapshot."""
+        if not self.round_complete:
+            raise RuntimeError(
+                f"round incomplete: merged {self._next} of "
+                f"{len(self._order)} jobs")
+        self.state.completed_rounds += 1
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.gauge("campaign.rounds_completed").set(
+                self.state.completed_rounds)
+            if self.telemetry.heartbeat is not None:
+                self.telemetry.heartbeat.maybe_beat(force=True)
+        if self.checkpoint_path:
+            self.state.save(self.checkpoint_path)
+            if self.telemetry is not None:
+                self.telemetry.registry.counter(
+                    "campaign.checkpoint_writes").inc()
+        if self.run_dir is not None and self.telemetry is not None:
+            self.run_dir.write_metrics_snapshot(self.telemetry)

@@ -1,0 +1,149 @@
+"""The worker fleet: threads pulling leased jobs off the durable queue.
+
+Each :class:`ServiceWorker` loops claim → execute → complete against one
+:class:`~repro.service.queue.JobQueue`.  Execution goes through the
+ordinary :func:`repro.campaign.worker.execute_task` entry point, so the
+per-job timeout/retry policy, telemetry capture and error boxing are
+exactly the batch schedulers' (an exception becomes an error-carrying
+:class:`~repro.campaign.worker.WorkerResult`, recorded as a failed job —
+it never poisons the queue).
+
+A shared :class:`WorkerFleet` heartbeat thread renews every in-flight
+lease at a third of the visibility timeout, so leases only expire when a
+worker has genuinely stopped making progress (crashed, killed, hung past
+its job timeout).  When that happens the queue re-offers the job and
+another worker replays it from its derived seed — results are
+deterministic, so the retry merges identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.worker import WorkerResult, execute_task
+from repro.service.queue import JobLease, JobQueue
+
+
+class ServiceWorker(threading.Thread):
+    """One queue consumer; a daemon thread with a cooperative stop flag."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        name: str = "worker",
+        visibility_timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        stop_event: Optional[threading.Event] = None,
+    ) -> None:
+        super().__init__(name=f"repro-service-{name}", daemon=True)
+        self.queue = queue
+        self.worker_name = name
+        self.visibility_timeout = visibility_timeout
+        self.poll_interval = poll_interval
+        self.stop_event = stop_event or threading.Event()
+        #: jobs this worker completed (observability only).
+        self.completed = 0
+        self._lease_lock = threading.Lock()
+        self._active: Optional[Tuple[str, str]] = None  # (fingerprint, token)
+
+    # -- lifecycle -----------------------------------------------------------
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            token = self.queue.change_token()
+            lease = self.queue.claim(self.worker_name,
+                                     self.visibility_timeout)
+            if lease is None:
+                # Wake on the next submit/release instead of burning the
+                # full poll interval (which still bounds the wait — other
+                # processes feeding the queue can't signal us).
+                self.queue.wait_for_change(token, self.poll_interval)
+                continue
+            with self._lease_lock:
+                self._active = (lease.fingerprint, lease.token)
+            try:
+                result = self._execute(lease)
+                if self.queue.complete(lease.fingerprint, lease.token,
+                                       result.to_dict()):
+                    self.completed += 1
+            except BaseException as error:  # noqa: BLE001 - keep consuming
+                # execute_task boxes job errors; anything reaching here is
+                # fleet-level (a test-injected crash, interpreter teardown).
+                # Release the job for someone else and keep the loop alive.
+                self.queue.fail(lease.fingerprint, lease.token,
+                                f"{type(error).__name__}: {error}")
+            finally:
+                with self._lease_lock:
+                    self._active = None
+
+    def _execute(self, lease: JobLease) -> WorkerResult:
+        """Run one leased job (overridable: crash tests substitute this)."""
+        return execute_task((lease.job_spec(), lease.seeds()))
+
+    # -- heartbeat support ----------------------------------------------------
+    def active_lease(self) -> Optional[Tuple[str, str]]:
+        with self._lease_lock:
+            return self._active
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+class WorkerFleet:
+    """N workers plus the heartbeat that keeps their leases alive."""
+
+    def __init__(self, queue: JobQueue, count: int = 2,
+                 visibility_timeout: float = 30.0,
+                 poll_interval: float = 0.05) -> None:
+        self.queue = queue
+        self.visibility_timeout = visibility_timeout
+        self._stop = threading.Event()
+        self.workers: List[ServiceWorker] = [
+            ServiceWorker(queue, name=f"w{index}",
+                          visibility_timeout=visibility_timeout,
+                          poll_interval=poll_interval,
+                          stop_event=self._stop)
+            for index in range(max(1, count))
+        ]
+        self._heartbeat: Optional[threading.Thread] = None
+
+    def start(self) -> "WorkerFleet":
+        for worker in self.workers:
+            worker.start()
+        if self._heartbeat is None:
+            self._heartbeat = threading.Thread(
+                target=self._renew_loop, name="repro-service-heartbeat",
+                daemon=True)
+            self._heartbeat.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for worker in self.workers:
+            worker.join(timeout=timeout)
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=timeout)
+            self._heartbeat = None
+
+    def _renew_loop(self) -> None:
+        interval = max(0.05, self.visibility_timeout / 3.0)
+        while not self._stop.wait(interval):
+            for worker in self.workers:
+                active = worker.active_lease()
+                if active is None or not worker.is_alive():
+                    # A dead worker's lease is deliberately left to
+                    # expire: that is the crash-recovery path.
+                    continue
+                fingerprint, token = active
+                self.queue.renew(fingerprint, token,
+                                 self.visibility_timeout)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "workers": len(self.workers),
+            "alive": sum(1 for worker in self.workers if worker.is_alive()),
+            "busy": sum(1 for worker in self.workers
+                        if worker.active_lease() is not None),
+            "completed": sum(worker.completed for worker in self.workers),
+        }

@@ -42,6 +42,38 @@ def test_store_dedups_across_workers():
     assert store.collection(KEY).total_raw == 9
 
 
+def test_add_serialized_is_idempotent():
+    """Feeding the same worker payload twice must not inflate uniques.
+
+    The service queue's exactly-once completion leans on this: a
+    re-delivered result merges to the same unique-site totals.
+    """
+    store = ReportStore()
+    payload = report_dicts(0x100, 0x104, 0x108)
+    assert store.add_serialized(KEY, payload, raw_count=3) == 3
+    assert store.add_serialized(KEY, payload, raw_count=3) == 0
+    assert store.unique_count(KEY) == 3
+    assert store.collection(KEY).count_by_variant() == \
+        ReportStore.from_dict(store.to_dict()).collection(KEY).count_by_variant()
+
+
+def test_cross_order_merge_same_uniques():
+    """Site dedup is order-independent: shuffled payloads, same totals."""
+    payloads = [report_dicts(0x100, 0x104), report_dicts(0x104, 0x108),
+                report_dicts(0x108, 0x10c), report_dicts(0x100)]
+    forward = ReportStore()
+    for payload in payloads:
+        forward.add_serialized(KEY, payload)
+    shuffled = ReportStore()
+    for payload in reversed(payloads):
+        shuffled.add_serialized(KEY, payload)
+    assert forward.total_unique() == shuffled.total_unique() == 4
+    assert forward.collection(KEY).count_by_variant() == \
+        shuffled.collection(KEY).count_by_variant()
+    assert forward.collection(KEY).total_raw == \
+        shuffled.collection(KEY).total_raw
+
+
 def test_store_keeps_groups_separate():
     store = ReportStore()
     store.add_serialized(KEY, report_dicts(0x100))

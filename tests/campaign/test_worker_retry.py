@@ -1,0 +1,144 @@
+"""Per-job timeouts and bounded retries in the campaign worker path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.campaign.worker as worker_module
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.worker import JobTimeoutError, WorkerResult, execute_task
+
+
+def _spec(**overrides):
+    params = dict(targets=("gadgets",), tools=("teapot",),
+                  variants=("vanilla",), iterations=20, rounds=1, shards=1,
+                  seed=3)
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def _job(**overrides):
+    params = dict(target="gadgets", tool="teapot", iterations=5, seed=1)
+    params.update(overrides)
+    return JobSpec(**params)
+
+
+def _ok_result(job):
+    return WorkerResult(job_id=job.job_id, target=job.target, tool=job.tool,
+                        variant=job.variant, shard=job.shard,
+                        round_index=job.round_index, executions=5)
+
+
+def test_retry_recovers_from_transient_failure(monkeypatch):
+    calls = []
+
+    def flaky(job, seeds=None):
+        calls.append(1)
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return _ok_result(job)
+
+    monkeypatch.setattr(worker_module, "run_job", flaky)
+    monkeypatch.setattr(time, "sleep", lambda s: None)
+    result = execute_task((_job(max_attempts=3, retry_backoff_s=0.01), None))
+    assert result.error == ""
+    assert result.executions == 5
+    assert len(calls) == 2
+
+
+def test_retry_budget_is_bounded_and_reported(monkeypatch):
+    calls = []
+
+    def always_fails(job, seeds=None):
+        calls.append(1)
+        raise RuntimeError("persistent")
+
+    monkeypatch.setattr(worker_module, "run_job", always_fails)
+    monkeypatch.setattr(time, "sleep", lambda s: None)
+    result = execute_task((_job(max_attempts=3, retry_backoff_s=0.01), None))
+    assert len(calls) == 3
+    assert result.error == "RuntimeError: persistent (after 3 attempts)"
+    assert "persistent" in result.traceback
+
+
+def test_retry_backoff_is_exponential(monkeypatch):
+    sleeps = []
+
+    def always_fails(job, seeds=None):
+        raise RuntimeError("nope")
+
+    monkeypatch.setattr(worker_module, "run_job", always_fails)
+    monkeypatch.setattr(time, "sleep", sleeps.append)
+    execute_task((_job(max_attempts=4, retry_backoff_s=0.5), None))
+    assert sleeps == [0.5, 1.0, 2.0]  # backoff * 2**(attempt-1)
+
+
+def test_timeout_abandons_a_stuck_job(monkeypatch):
+    real_sleep = time.sleep
+
+    def hangs(job, seeds=None):
+        real_sleep(30)
+
+    monkeypatch.setattr(worker_module, "run_job", hangs)
+    result = execute_task((_job(timeout_s=0.1), None))
+    assert result.error.startswith(JobTimeoutError.__name__)
+    assert "0.1s wall-clock budget" in result.error
+
+
+def test_deadline_runner_passes_results_and_errors_through():
+    job = _job(timeout_s=5.0)
+    ran = worker_module._run_job_deadline(job, None)
+    assert ran.executions == 5
+    assert ran.error == ""
+
+    def boom(job, seeds=None):
+        raise ValueError("from thread")
+
+    import unittest.mock
+    with unittest.mock.patch.object(worker_module, "run_job", boom):
+        with pytest.raises(ValueError, match="from thread"):
+            worker_module._run_job_deadline(job, None)
+
+
+def test_spec_threads_robustness_knobs_into_jobs():
+    spec = _spec(job_timeout_s=2.5, job_max_attempts=3,
+                 job_retry_backoff_s=0.25)
+    job = spec.jobs_for_round(0)[0]
+    assert job.timeout_s == 2.5
+    assert job.max_attempts == 3
+    assert job.retry_backoff_s == 0.25
+
+
+def test_robustness_knobs_do_not_change_fingerprint_or_old_checkpoints():
+    plain = _spec()
+    tuned = _spec(job_timeout_s=9.0, job_max_attempts=4,
+                  job_retry_backoff_s=1.5)
+    assert plain.fingerprint() == tuned.fingerprint()
+    # Default knobs stay out of the serialized form entirely, so
+    # pre-existing checkpoints remain byte-identical.
+    record = plain.to_dict()
+    assert "job_timeout_s" not in record
+    assert "job_max_attempts" not in record
+    assert "job_retry_backoff_s" not in record
+    assert CampaignSpec.from_dict(tuned.to_dict()) == tuned
+
+
+def test_job_spec_round_trips_with_and_without_knobs():
+    plain = _job()
+    record = plain.to_dict()
+    assert "timeout_s" not in record
+    assert "max_attempts" not in record
+    assert JobSpec.from_dict(record) == plain
+    tuned = _job(timeout_s=1.0, max_attempts=2, retry_backoff_s=0.1)
+    assert JobSpec.from_dict(tuned.to_dict()) == tuned
+
+
+def test_spec_validates_robustness_knobs():
+    with pytest.raises(ValueError, match="job_timeout_s"):
+        _spec(job_timeout_s=-1.0)
+    with pytest.raises(ValueError, match="job_max_attempts"):
+        _spec(job_max_attempts=0)
+    with pytest.raises(ValueError, match="job_retry_backoff_s"):
+        _spec(job_retry_backoff_s=-0.5)

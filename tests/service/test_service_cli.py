@@ -1,0 +1,77 @@
+"""The serve/submit/status command surface (client side over a live API)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import main
+from repro.service.core import FuzzService
+from repro.service.httpapi import ServiceApiServer
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = FuzzService(str(tmp_path / "svc"), workers=2,
+                          visibility_timeout=30.0).start()
+    api = ServiceApiServer(service).start()
+    try:
+        yield api
+    finally:
+        api.stop()
+        service.stop()
+
+
+def test_submit_wait_and_status_round_trip(server, capsys):
+    code = main(["submit", "--url", server.url, "--targets", "gadgets",
+                 "--iterations", "20", "--rounds", "1", "--seed", "13",
+                 "--wait", "--poll", "0.05", "--json"])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["status"] == "completed"
+    campaign_id = record["campaign_id"]
+
+    assert main(["status", "--url", server.url]) == 0
+    out = capsys.readouterr().out
+    assert campaign_id in out and "completed" in out
+
+    assert main(["status", "--url", server.url, campaign_id,
+                 "--reports"]) == 0
+    out = capsys.readouterr().out
+    assert "unique site(s)" in out
+
+
+def test_submit_from_spec_file(server, tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "targets": ["gadgets"], "tools": ["teapot"],
+        "iterations": 10, "rounds": 1, "seed": 13,
+    }))
+    code = main(["submit", "--url", server.url, "--spec", str(spec_path),
+                 "--wait", "--poll", "0.05"])
+    assert code == 0
+    assert "completed" in capsys.readouterr().out
+
+
+def test_unreachable_service_is_a_clean_error(capsys):
+    code = main(["status", "--url", "http://127.0.0.1:9"])
+    assert code == 2
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_invalid_spec_is_a_clean_error(server, capsys):
+    code = main(["submit", "--url", server.url, "--targets", "doesnotexist",
+                 "--iterations", "5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "HTTP 400" in err
+
+
+def test_repro_cli_routes_service_commands(capsys):
+    from repro.api.cli import main as repro_main
+
+    with pytest.raises(SystemExit):
+        repro_main(["serve", "--help"])
+    out = capsys.readouterr().out
+    assert "usage: repro serve" in out
