@@ -7,4 +7,4 @@ telemetry layer stamps it into trace headers, ``RunResult`` artifacts and
 produced it.
 """
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"

@@ -12,6 +12,7 @@ Subcommands::
     repro targets --json
     repro stats trace.jsonl --html report.html --flamegraph stacks.txt
     repro monitor --runs-root runs              # serve a recorded run
+    repro top http://127.0.0.1:8642             # live service dashboard
     repro runs list
 
 ``fuzz``, ``report``, ``bench`` and ``targets`` are implemented directly
@@ -167,6 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--once", action="store_true",
                          help="print the Prometheus exposition once to "
                               "stdout and exit (no server)")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running service URL or a "
+                    "run directory")
+    top.add_argument("target", nargs="?", default="http://127.0.0.1:8642",
+                     metavar="URL|RUN_DIR",
+                     help="service base URL or run-directory path "
+                          "(default: http://127.0.0.1:8642)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame to stdout and exit (CI mode)")
+    top.add_argument("--json", action="store_true",
+                     help="print one raw sample as JSON and exit")
 
     runs = sub.add_parser(
         "runs", help="list/inspect/prune the durable run registry")
@@ -377,6 +393,33 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry import top as telemetry_top
+
+    if args.json:
+        try:
+            record = telemetry_top.sample(args.target)
+        except telemetry_top.TopError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
+    return telemetry_top.run_top(args.target, interval=args.interval,
+                                 once=args.once)
+
+
+def _run_trace_stats(run) -> Optional[dict]:
+    """Aggregate a run directory's ``trace.jsonl`` (None when absent)."""
+    from repro.telemetry import aggregate_trace, read_trace
+    from repro.telemetry.tracing import TraceError
+
+    try:
+        records = read_trace(run.trace_path)
+    except (OSError, TraceError, ValueError):
+        return None
+    return aggregate_trace(records)
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.telemetry.runs import (
         RunRegistry,
@@ -400,10 +443,13 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         except (KeyError, RunSchemaError) as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
+        aggregate = _run_trace_stats(run)
         record = {"manifest": manifest,
                   "live_counts": run.live_counts()}
+        if aggregate is not None:
+            record["trace"] = aggregate
         if args.json:
-            print(json.dumps(record, indent=1, sort_keys=True))
+            print(json.dumps(record, indent=1, sort_keys=True, default=str))
             return 0
         print(f"run {manifest.get('run_id')} [{manifest.get('status')}] — "
               f"{manifest.get('command')} "
@@ -417,6 +463,27 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print("  live counts:")
             for name, value in counts.items():
                 print(f"    {name} = {value}")
+        if aggregate is not None:
+            from repro.telemetry.report import critical_path
+
+            span_paths = aggregate.get("span_paths") or {}
+            top_paths = sorted(
+                span_paths.items(),
+                key=lambda item: -float(item[1].get("total_s", 0.0)))[:8]
+            if top_paths:
+                print("  trace (top span paths by total time):")
+                for path, stats in top_paths:
+                    print(f"    {path}: {stats.get('count', 0)}x "
+                          f"total {stats.get('total_s', 0.0)}s "
+                          f"p50 {stats.get('p50_s', 0.0)}s "
+                          f"p90 {stats.get('p90_s', 0.0)}s")
+            chain = critical_path(list(aggregate.get("spans") or []))
+            if chain:
+                print("  critical path: "
+                      + " > ".join(
+                          f"{span.get('name')} "
+                          f"({float(span.get('elapsed_s') or 0.0):.3f}s)"
+                          for span in chain))
         return 0
     if command == "gc":
         removed = registry.gc(keep=args.keep, dry_run=args.dry_run)
@@ -519,6 +586,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "targets": _cmd_targets,
         "stats": _cmd_stats,
         "monitor": _cmd_monitor,
+        "top": _cmd_top,
         "runs": _cmd_runs,
     }[args.command]
     try:

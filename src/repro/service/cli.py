@@ -80,6 +80,16 @@ def _serve_parser(sub) -> None:
                        metavar="SECONDS",
                        help="lease duration; a worker silent this long "
                             "loses its job to someone else (default: 30)")
+    serve.add_argument("--log-json", metavar="PATH", default=None,
+                       help="append structured JSONL logs (trace-correlated "
+                            "service events) to PATH ('-' for stderr)")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error"),
+                       help="minimum structured-log severity "
+                            "(default: info)")
+    serve.add_argument("--no-observe", action="store_true",
+                       help="disable the service observatory (no metrics, "
+                            "no distributed job tracing)")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -87,19 +97,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.core import FuzzService
     from repro.service.httpapi import ServiceApiServer
     from repro.telemetry.export import parse_address
+    from repro.telemetry.logging import StructuredLogger
 
     host, port = parse_address(args.address, default_port=DEFAULT_PORT)
+    log = None
+    if args.log_json:
+        sink = sys.stderr if args.log_json == "-" else args.log_json
+        log = StructuredLogger(sink, level=args.log_level)
     service = FuzzService(args.root, workers=max(1, args.workers),
-                          visibility_timeout=args.visibility_timeout)
+                          visibility_timeout=args.visibility_timeout,
+                          observe=not args.no_observe, log=log)
     service.start()
     server = ServiceApiServer(service, host=host, port=port)
     print(f"[repro] fuzzing service on {server.url} "
           f"({len(service.fleet.workers)} workers, root {service.root})",
           file=sys.stderr)
+    service.log.info("service_started", logger="service.cli", url=server.url,
+                     workers=len(service.fleet.workers), root=service.root,
+                     observe=service.observe)
     try:
         server.serve_forever()
     finally:
         service.stop()
+        service.log.info("service_stopped", logger="service.cli")
+        if log is not None:
+            log.close()
     return 0
 
 

@@ -44,7 +44,9 @@ from repro.service.ingest import StreamingIngestor
 from repro.service.queue import JobQueue
 from repro.service.worker import WorkerFleet
 from repro.telemetry import Telemetry
+from repro.telemetry.logging import StructuredLogger
 from repro.telemetry.runs import RunRegistry
+from repro.telemetry.tracing import derive_span_id, new_trace_id
 
 #: Artifact tag of the ``GET /v1/campaigns/<id>`` status body.
 STATUS_KIND = "repro.service/campaign-status"
@@ -69,6 +71,8 @@ class _Campaign:
         self.spec = spec
         self.checkpoint_path = checkpoint_path
         self.run_dir = run_dir
+        #: distributed-trace id stamped into every queued job record.
+        self.trace_id = new_trace_id()
         self.status = "queued"
         self.error = ""
         self.summary: Optional[CampaignSummary] = None
@@ -91,21 +95,46 @@ class FuzzService:
         workers: int = 2,
         visibility_timeout: float = 30.0,
         poll_interval: float = 0.02,
+        observe: bool = True,
+        log: Optional[StructuredLogger] = None,
     ) -> None:
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
-        self.queue = JobQueue(os.path.join(self.root, "queue"))
+        self.started_at = time.time()
+        #: ``observe=False`` turns the service observatory off: no
+        #: service-level metrics registry, no trace context stamped into
+        #: queue records, no lifecycle span merging — queue records stay
+        #: byte-identical to schema v1 and the instrumentation cost
+        #: drops to a handful of ``is not None`` checks.  Campaign
+        #: summaries are bit-identical either way (observation only).
+        self.observe = observe
+        self.log = log if log is not None else StructuredLogger(None)
+        #: service-level telemetry (queue depth, fleet, job latency) —
+        #: distinct from the per-campaign driver bundles that write the
+        #: run directories.
+        self.telemetry: Optional[Telemetry] = Telemetry() if observe else None
+        registry = self.telemetry.registry if self.telemetry else None
+        self.queue = JobQueue(os.path.join(self.root, "queue"),
+                              registry=registry,
+                              log=self.log.bind(logger="service.queue"))
         self.registry = RunRegistry(os.path.join(self.root, "runs"))
         self.state_dir = os.path.join(self.root, "state")
         os.makedirs(self.state_dir, exist_ok=True)
         self.poll_interval = poll_interval
         self.fleet = WorkerFleet(self.queue, count=workers,
                                  visibility_timeout=visibility_timeout,
-                                 poll_interval=poll_interval)
+                                 poll_interval=poll_interval,
+                                 registry=registry,
+                                 log=self.log.bind(logger="service.worker"),
+                                 meta=observe)
         self._campaigns: Dict[str, _Campaign] = {}
         self._drivers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
         self._started = False
+
+    @property
+    def uptime_s(self) -> float:
+        return max(0.0, time.time() - self.started_at)
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "FuzzService":
@@ -145,6 +174,10 @@ class FuzzService:
             extra={"campaign_id": campaign_id},
         )
         campaign = _Campaign(campaign_id, spec, checkpoint_path, run_dir)
+        self.log.info("campaign_submitted", logger="service.core",
+                      campaign_id=campaign_id, trace_id=campaign.trace_id,
+                      fingerprint=fingerprint, run_id=run_dir.run_id,
+                      resume=resume or None)
         with self._lock:
             self._campaigns[campaign_id] = campaign
             driver = threading.Thread(
@@ -160,6 +193,9 @@ class FuzzService:
                progress: Optional[ProgressFn]) -> None:
         telemetry = Telemetry.create(trace=campaign.run_dir.trace_path)
         telemetry.run_dir = campaign.run_dir
+        log = self.log.bind(logger="service.core",
+                            campaign_id=campaign.campaign_id,
+                            trace_id=campaign.trace_id)
         try:
             state = self._initial_state(campaign, resume)
             with campaign.lock:
@@ -168,10 +204,15 @@ class FuzzService:
             telemetry.event(
                 "campaign_start",
                 fingerprint=state.fingerprint,
+                trace_id=campaign.trace_id,
                 rounds=campaign.spec.rounds,
                 completed_rounds=state.completed_rounds,
                 workers=len(self.fleet.workers),
             )
+            log.info("campaign_started", fingerprint=state.fingerprint,
+                     rounds=campaign.spec.rounds,
+                     resumed_rounds=state.completed_rounds,
+                     run_id=campaign.run_dir.run_id)
             ingestor = StreamingIngestor(
                 state, telemetry=telemetry, progress=progress,
                 checkpoint_path=campaign.checkpoint_path,
@@ -194,18 +235,23 @@ class FuzzService:
                 unique_gadgets=summary.total_unique_gadgets(),
                 executions=summary.total_executions(),
             )
+            log.info("campaign_completed",
+                     unique_gadgets=summary.total_unique_gadgets(),
+                     executions=summary.total_executions())
         except _Cancelled:
             self.queue.cancel(campaign.campaign_id)
             with campaign.lock:
                 campaign.status = "cancelled"
                 campaign.finished_at = time.time()
             campaign.run_dir.finalize(status="cancelled")
+            log.warning("campaign_cancelled")
         except Exception as error:  # noqa: BLE001 - surfaced via status
             with campaign.lock:
                 campaign.status = "failed"
                 campaign.error = f"{type(error).__name__}: {error}"
                 campaign.finished_at = time.time()
             campaign.run_dir.finalize(status="failed", error=campaign.error)
+            log.error("campaign_failed", error=campaign.error)
         finally:
             telemetry.close()
             campaign.done_event.set()
@@ -238,9 +284,13 @@ class FuzzService:
                      f"{len(jobs)} jobs over "
                      f"{len(self.fleet.workers)} worker(s)")
         ingestor.begin_round(jobs)
+        round_span_id = derive_span_id(campaign.trace_id,
+                                       "round", round_index)
         fingerprints = [
             self.queue.submit(campaign.campaign_id, job,
-                              seeds_for_job(state, job))
+                              seeds_for_job(state, job),
+                              trace=self._job_trace_context(
+                                  campaign, job, round_span_id))
             for job in jobs
         ]
         with campaign.lock:
@@ -262,7 +312,9 @@ class FuzzService:
                     del pending[fingerprint]
                     harvested = True
                     result = WorkerResult.from_dict(record["result"])
-                    ingestor.offer(result)
+                    ingestor.offer(result,
+                                   lifecycle=self._job_lifecycle(
+                                       fingerprint, record))
                     with campaign.lock:
                         campaign.jobs_done += 1
                     registry.gauge("campaign.jobs_running").set(len(pending))
@@ -274,7 +326,83 @@ class FuzzService:
         registry.gauge("campaign.jobs_running").set(0)
         ingestor.finish_round()
 
+    # -- distributed tracing -------------------------------------------------
+    def _job_trace_context(self, campaign: _Campaign, job,
+                           round_span_id: str) -> Optional[Dict[str, object]]:
+        """The trace context stamped into one queued job record."""
+        if not self.observe:
+            return None
+        return {
+            "trace_id": campaign.trace_id,
+            "span_id": derive_span_id(campaign.trace_id, job.job_id,
+                                      "submit"),
+            "parent_span_id": round_span_id,
+            "campaign_id": campaign.campaign_id,
+        }
+
+    def _job_lifecycle(self, fingerprint: str,
+                       record: Dict[str, object],
+                       ) -> Optional[Dict[str, object]]:
+        """A completion record → the ingestor's lifecycle block."""
+        if not self.observe:
+            return None
+        meta = record.get("meta")
+        if not isinstance(meta, dict):
+            return None  # v1 record, or a terminal failure (no worker ran)
+        lifecycle: Dict[str, object] = dict(meta)
+        lifecycle["fingerprint"] = fingerprint
+        completed = record.get("completed_at")
+        if isinstance(completed, (int, float)):
+            lifecycle["completed_at"] = completed
+        return lifecycle
+
     # -- observation ---------------------------------------------------------
+    def metrics_view(self):
+        """A render-ready view of the service-level metrics.
+
+        Refreshes the pull-style gauges (queue depth, fleet liveness,
+        per-worker utilization) from the live queue and fleet, then
+        returns a :class:`~repro.telemetry.export.MetricsView` the
+        Prometheus renderer accepts.  With ``observe=False`` the view is
+        empty — ``/metrics`` then serves no families rather than 404ing,
+        so scrapers keep a stable target.
+        """
+        from repro.telemetry.export import MetricsView
+
+        if self.telemetry is None:
+            return MetricsView()
+        self.queue.observe_gauges()
+        self.fleet.observe_gauges()
+        return MetricsView.from_telemetry(self.telemetry)
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` body: liveness plus identity."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(self.uptime_s, 3),
+            "observe": self.observe,
+        }
+
+    def readiness(self) -> Dict[str, object]:
+        """The ``/readyz`` body; ``ready`` gates the 200-vs-503 choice."""
+        counts = self.fleet.counts()
+        ready = bool(self._started and counts["alive"] > 0)
+        return {
+            "ready": ready,
+            "started": self._started,
+            "workers_alive": counts["alive"],
+            "workers": counts["workers"],
+        }
+
+    def fleet_status(self) -> Dict[str, object]:
+        """The ``/v1/fleet`` body: per-worker rows plus the counts."""
+        return {
+            "kind": "repro.service/fleet-status",
+            "schema_version": 1,
+            "counts": self.fleet.counts(),
+            "workers": self.fleet.describe(),
+        }
     def _campaign(self, campaign_id: str) -> _Campaign:
         with self._lock:
             campaign = self._campaigns.get(campaign_id)
@@ -298,6 +426,7 @@ class FuzzService:
                 "version": __version__,
                 "campaign_id": campaign.campaign_id,
                 "status": campaign.status,
+                "trace_id": campaign.trace_id,
                 "fingerprint": campaign.spec.fingerprint(),
                 "spec": campaign.spec.to_dict(),
                 "run_id": campaign.run_dir.run_id,

@@ -12,12 +12,16 @@ dependencies).  Routes::
     GET  /v1/campaigns/<id>/reports deduplicated per-group gadget reports
     POST /v1/campaigns/<id>/cancel  request cancellation
     GET  /v1/queue                  queue-depth and fleet counters
+    GET  /v1/fleet                  per-worker status (heartbeat, job)
+    GET  /metrics                   Prometheus exposition (service.*)
+    GET  /healthz                   liveness (always 200 while serving)
+    GET  /readyz                    readiness (503 until workers run)
 
 The submit body is a campaign-spec mapping (``CampaignSpec.to_dict``
 shape) either bare or wrapped as ``{"spec": {...}}``; extra top-level
 keys ``resume`` (bool) are honoured.  Errors come back as JSON
-``{"error": ...}`` with 400 (bad request body), 404 (unknown campaign
-or route) or 500.
+``{"error": ...}`` with 400 (bad request body or headers), 404 (unknown
+campaign or route), 413 (body over :data:`MAX_BODY_BYTES`) or 500.
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ from typing import Dict, Optional, Tuple
 from repro._version import __version__
 from repro.campaign.spec import CampaignSpec
 from repro.service.core import FuzzService, UnknownCampaignError
+from repro.telemetry.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+
+#: Hard cap on request bodies: a campaign spec is a few KB, so anything
+#: beyond this is either a mistake or an attempt to exhaust memory.
+MAX_BODY_BYTES = 1 << 20
 
 _HELP = """repro fuzzing service
 endpoints:
@@ -39,6 +48,10 @@ endpoints:
   GET  /v1/campaigns/<id>/reports
   POST /v1/campaigns/<id>/cancel
   GET  /v1/queue
+  GET  /v1/fleet
+  GET  /metrics
+  GET  /healthz
+  GET  /readyz
 """
 
 
@@ -91,13 +104,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, verb: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        log = self.service.log
         try:
             self._route(verb, path)
+            log.debug("http_request", logger="service.http", verb=verb,
+                      path=path)
         except _ApiError as error:
+            log.warning("http_client_error", logger="service.http",
+                        verb=verb, path=path, code=error.code,
+                        error=str(error))
             self._reply_json(error.code, {"error": str(error)})
         except UnknownCampaignError as error:
+            log.warning("http_client_error", logger="service.http",
+                        verb=verb, path=path, code=404, error=str(error))
             self._reply_json(404, {"error": str(error)})
         except Exception as error:  # never kill the serving thread
+            log.error("http_server_error", logger="service.http", verb=verb,
+                      path=path, error=f"{type(error).__name__}: {error}")
             try:
                 self._reply_json(500, {"error": f"{type(error).__name__}: "
                                                 f"{error}"})
@@ -108,6 +131,20 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/" and verb == "GET":
             self._reply(200, "text/plain; charset=utf-8",
                         _HELP.encode("utf-8"))
+            return
+        if path == "/metrics" and verb == "GET":
+            body = render_prometheus(self.service.metrics_view())
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+            return
+        if path == "/healthz" and verb == "GET":
+            self._reply_json(200, self.service.health())
+            return
+        if path == "/readyz" and verb == "GET":
+            readiness = self.service.readiness()
+            self._reply_json(200 if readiness["ready"] else 503, readiness)
+            return
+        if path == "/v1/fleet" and verb == "GET":
+            self._reply_json(200, self.service.fleet_status())
             return
         if path == "/v1/queue" and verb == "GET":
             record: Dict[str, object] = dict(self.service.queue.stats())
@@ -141,14 +178,48 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
     def _read_body(self) -> Dict[str, object]:
-        length = int(self.headers.get("Content-Length", 0) or 0)
+        """The request body as parsed JSON, or an :class:`_ApiError`.
+
+        Every malformed-input path — a junk or negative Content-Length,
+        a body over the cap, bytes that aren't UTF-8 JSON, JSON that
+        isn't an object — maps to a structured 400/413 JSON envelope
+        instead of leaking a raw 500 out of the parsing internals.
+        """
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length or 0)
+        except (TypeError, ValueError):
+            raise _ApiError(400,
+                            f"invalid Content-Length header: {raw_length!r}")
+        if length < 0:
+            raise _ApiError(400,
+                            f"invalid Content-Length header: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            # Drain the body (chunked, bounded) so a well-behaved client
+            # finishes its upload and reads the 413 instead of dying on a
+            # broken pipe; past the drain cap we just close the socket.
+            remaining = min(length, 8 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            raise _ApiError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES}-byte limit")
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise _ApiError(400, "empty request body")
         try:
-            return json.loads(raw.decode("utf-8"))
+            body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as error:
             raise _ApiError(400, f"request body is not JSON: {error}")
+        if not isinstance(body, dict):
+            raise _ApiError(
+                400, "request body must be a JSON object, not "
+                     f"{type(body).__name__}")
+        return body
 
     def _reply_json(self, code: int, record: Dict[str, object]) -> None:
         body = json.dumps(record, indent=1, sort_keys=True).encode("utf-8")

@@ -31,6 +31,17 @@ semantics:
 In-process threads additionally serialize ``claim`` through a lock so a
 fleet of worker threads never burns syscalls racing each other; the
 on-disk protocol alone is what keeps *cross-process* access safe.
+
+Observability (schema v2, backward compatible with v1 records): job
+records may carry a ``trace`` context (``trace_id`` + span ids, stamped
+at submit) and completion records a ``meta`` block (worker, attempt,
+claim/execute timestamps, the echoed trace context) — both optional, so
+v1 records round-trip untouched and a queue with observability off
+writes byte-identical records to v1.  When a metrics ``registry`` is
+attached the queue feeds ``service.queue.*`` counters/gauges and the
+``service.job.*`` latency histograms; a structured ``log`` gets one
+event per lifecycle transition.  Both are observation-only: nothing
+reads them back.
 """
 
 from __future__ import annotations
@@ -49,7 +60,9 @@ from repro.campaign.spec import JobSpec
 
 #: Artifact tag of every record this queue writes.
 QUEUE_KIND = "repro.service/job"
-QUEUE_SCHEMA_VERSION = 1
+#: v2 added the optional ``trace`` (job records) and ``meta`` (done
+#: records) blocks; readers tolerate their absence, so v1 records load.
+QUEUE_SCHEMA_VERSION = 2
 
 #: Lease takeovers allowed before a job is declared failed (a crash loop
 #: must not re-offer a poisonous job forever).  Distinct from the in-worker
@@ -77,10 +90,17 @@ class JobLease:
     attempt: int
     #: the full job record (``campaign_id``, ``job`` dict, ``seeds`` hex).
     record: Dict[str, object]
+    #: wall-clock second this lease (re)started — queue-wait attribution.
+    claimed_at: float = 0.0
 
     @property
     def campaign_id(self) -> str:
         return str(self.record.get("campaign_id", ""))
+
+    def trace_context(self) -> Optional[Dict[str, object]]:
+        """The trace context stamped at submit (None on v1 records)."""
+        trace = self.record.get("trace")
+        return trace if isinstance(trace, dict) else None
 
     def job_spec(self) -> JobSpec:
         return JobSpec.from_dict(self.record["job"])
@@ -120,7 +140,8 @@ class JobQueue:
     """The durable queue; see the module docstring for the protocol."""
 
     def __init__(self, root: str,
-                 max_lease_attempts: int = DEFAULT_MAX_LEASE_ATTEMPTS) -> None:
+                 max_lease_attempts: int = DEFAULT_MAX_LEASE_ATTEMPTS,
+                 registry=None, log=None) -> None:
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.leases_dir = os.path.join(self.root, "leases")
@@ -128,6 +149,14 @@ class JobQueue:
         for directory in (self.jobs_dir, self.leases_dir, self.done_dir):
             os.makedirs(directory, exist_ok=True)
         self.max_lease_attempts = max(1, max_lease_attempts)
+        #: optional MetricsRegistry fed with service.queue.* / service.job.*.
+        self.registry = registry
+        #: optional StructuredLogger (one event per lifecycle transition).
+        self.log = log
+        #: fingerprint → terminal status, filled lazily by :meth:`stats`
+        #: so the failed-count scan reads each done record exactly once
+        #: (and therefore survives process restarts, unlike a counter).
+        self._done_status: Dict[str, str] = {}
         self._claim_lock = threading.Lock()
         # In-process change notification: submit/complete/fail bump the
         # sequence and wake waiters, so same-process pollers (the driver
@@ -147,10 +176,32 @@ class JobQueue:
     def _done_path(self, fingerprint: str) -> str:
         return os.path.join(self.done_dir, fingerprint + ".json")
 
+    # -- instrumentation -----------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            from repro.telemetry.metrics import LATENCY_BUCKETS_S
+            self.registry.histogram(name,
+                                    buckets=LATENCY_BUCKETS_S).observe(value)
+
+    def _log(self, level: str, event: str, **fields: object) -> None:
+        if self.log is not None:
+            self.log.log(level, event, **fields)
+
     # -- submission ----------------------------------------------------------
     def submit(self, campaign_id: str, job: JobSpec,
-               seeds: Optional[Sequence[bytes]] = None) -> str:
-        """Enqueue one job; idempotent, returns the job fingerprint."""
+               seeds: Optional[Sequence[bytes]] = None,
+               trace: Optional[Dict[str, object]] = None) -> str:
+        """Enqueue one job; idempotent, returns the job fingerprint.
+
+        ``trace`` is an optional distributed-trace context (``trace_id``
+        plus span ids) stamped into the record and echoed back through
+        the lease and completion paths; it never affects the
+        fingerprint, so re-submitting with or without one stays a no-op.
+        """
         fingerprint = job_fingerprint(campaign_id, job)
         path = self._job_path(fingerprint)
         if not os.path.exists(path):
@@ -164,7 +215,13 @@ class JobQueue:
             }
             if seeds is not None:
                 record["seeds"] = [entry.hex() for entry in seeds]
+            if trace is not None:
+                record["trace"] = dict(trace)
             _atomic_write_json(path, record)
+            self._count("service.queue.submitted")
+            self._log("debug", "job_submitted", fingerprint=fingerprint,
+                      campaign_id=campaign_id, job_id=job.job_id,
+                      trace_id=(trace or {}).get("trace_id"))
         self._signal_change()
         return fingerprint
 
@@ -222,6 +279,7 @@ class JobQueue:
             if float(existing.get("deadline", 0.0)) > now:
                 return None  # live lease (or cooldown) — not available
             attempt = int(existing.get("attempt", 1)) + 1
+            self._count("service.queue.lease_timeouts")
             if attempt > self.max_lease_attempts:
                 # The job keeps killing its workers; fail it for good so
                 # the campaign can finish with a failed_jobs entry
@@ -255,9 +313,25 @@ class JobQueue:
             # new token; the previous holder's renew/complete calls fail
             # their token check from here on.
             _atomic_write_json(lease_path, lease_record)
+            self._count("service.queue.lease_takeovers")
+            self._log("warning", "lease_takeover", fingerprint=fingerprint,
+                      owner=owner, previous_owner=existing.get("owner"),
+                      attempt=attempt,
+                      trace_id=(job_record.get("trace") or {}).get(
+                          "trace_id"))
+        self._count("service.queue.claims")
+        if attempt == 1:
+            # Queue wait is submit → *first* claim; a takeover's wait is
+            # the previous holder's visibility timeout, not queue depth.
+            enqueued = float(job_record.get("enqueued_at", now) or now)
+            self._observe("service.job.queue_wait_s", max(0.0, now - enqueued))
+        self._log("debug", "job_claimed", fingerprint=fingerprint,
+                  owner=owner, attempt=attempt,
+                  campaign_id=job_record.get("campaign_id"),
+                  trace_id=(job_record.get("trace") or {}).get("trace_id"))
         return JobLease(fingerprint=fingerprint, token=token, owner=owner,
                         deadline=lease_record["deadline"], attempt=attempt,
-                        record=job_record)
+                        record=job_record, claimed_at=now)
 
     # -- lease upkeep --------------------------------------------------------
     def renew(self, fingerprint: str, token: str,
@@ -272,7 +346,8 @@ class JobQueue:
         return True
 
     def complete(self, fingerprint: str, token: str,
-                 result: Dict[str, object]) -> bool:
+                 result: Dict[str, object],
+                 meta: Optional[Dict[str, object]] = None) -> bool:
         """Record a finished job exactly once.
 
         Returns ``True`` if this call's result became the job's
@@ -282,7 +357,13 @@ class JobQueue:
         is not required to still be valid: a slow-but-alive worker whose
         lease lapsed may still land its (identical, deterministic)
         result if nobody beat it to the link.
+
+        ``meta`` is an optional observability block (worker name,
+        attempt, claim/execute timestamps, echoed trace context) the
+        ingestor turns into lifecycle spans; it never affects which
+        completion wins.
         """
+        now = time.time()
         done_path = self._done_path(fingerprint)
         record: Dict[str, object] = {
             "kind": QUEUE_KIND,
@@ -290,9 +371,11 @@ class JobQueue:
             "fingerprint": fingerprint,
             "status": "completed",
             "token": token,
-            "completed_at": time.time(),
+            "completed_at": now,
             "result": result,
         }
+        if meta is not None:
+            record["meta"] = dict(meta)
         directory = os.path.dirname(done_path)
         fd, tmp_path = tempfile.mkstemp(prefix=".done-", suffix=".tmp",
                                         dir=directory)
@@ -302,7 +385,23 @@ class JobQueue:
             try:
                 os.link(tmp_path, done_path)  # EXCL: first completion wins
             except FileExistsError:
+                self._count("service.queue.stale_completions")
+                self._log("debug", "stale_completion",
+                          fingerprint=fingerprint)
                 return False
+            self._count("service.queue.jobs_completed")
+            if self.registry is not None:
+                job_record = _read_json(self._job_path(fingerprint)) or {}
+                enqueued = job_record.get("enqueued_at")
+                if isinstance(enqueued, (int, float)):
+                    self._observe("service.job.e2e_s",
+                                  max(0.0, now - float(enqueued)))
+            trace_id = None
+            if meta is not None:
+                trace_id = (meta.get("trace") or {}).get("trace_id") \
+                    if isinstance(meta.get("trace"), dict) else None
+            self._log("debug", "job_completed", fingerprint=fingerprint,
+                      trace_id=trace_id)
             return True
         finally:
             os.unlink(tmp_path)
@@ -349,6 +448,9 @@ class JobQueue:
             "last_error": error,
         }
         _atomic_write_json(lease_path, cooldown)
+        self._count("service.queue.job_retries")
+        self._log("info", "job_retry", fingerprint=fingerprint,
+                  attempt=attempt, error=error)
         self._signal_change()
         return True
 
@@ -389,6 +491,12 @@ class JobQueue:
                 os.link(tmp_path, done_path)
             except FileExistsError:
                 pass
+            else:
+                self._count(f"service.queue.jobs_{status}")
+                self._log("warning", f"job_{status}",
+                          fingerprint=fingerprint, error=error or None,
+                          trace_id=(job_record.get("trace") or {}).get(
+                              "trace_id"))
         finally:
             os.unlink(tmp_path)
             self._signal_change()
@@ -438,20 +546,53 @@ class JobQueue:
         return _read_json(self._done_path(fingerprint))
 
     def stats(self) -> Dict[str, int]:
-        """Queue-depth counters for the status endpoints."""
-        def _count(directory: str) -> int:
-            try:
-                return sum(1 for name in os.listdir(directory)
-                           if name.endswith(".json")
-                           and not name.startswith("."))
-            except OSError:
-                return 0
+        """Queue-depth counters for the status/metrics endpoints.
 
-        submitted = _count(self.jobs_dir)
-        done = _count(self.done_dir)
+        ``failed`` counts terminal ``status != "completed"`` done
+        records by reading each record once (the status cache persists
+        across calls and the scan itself survives process restarts —
+        unlike an in-memory counter, a fresh queue over the same root
+        reports the same figure).
+        """
+        def _names(directory: str) -> List[str]:
+            try:
+                return [name[:-len(".json")]
+                        for name in os.listdir(directory)
+                        if name.endswith(".json")
+                        and not name.startswith(".")]
+            except OSError:
+                return []
+
+        done_names = _names(self.done_dir)
+        for fingerprint in done_names:
+            if fingerprint not in self._done_status:
+                record = _read_json(self._done_path(fingerprint))
+                if record is None:
+                    continue  # mid-link; picked up on the next scan
+                self._done_status[fingerprint] = str(
+                    record.get("status", "completed"))
+        failed = sum(1 for fingerprint in done_names
+                     if self._done_status.get(fingerprint,
+                                              "completed") != "completed")
+        submitted = len(_names(self.jobs_dir))
+        done = len(done_names)
         return {
             "submitted": submitted,
-            "leased": _count(self.leases_dir),
+            "leased": len(_names(self.leases_dir)),
             "done": done,
+            "failed": failed,
             "pending": max(0, submitted - done),
         }
+
+    def observe_gauges(self) -> Dict[str, int]:
+        """Refresh the ``service.queue.*`` depth gauges from :meth:`stats`.
+
+        Called by the ``/metrics`` scrape path (pull-style gauges: depth
+        is derived state, so sampling at scrape time is both cheap and
+        always consistent with the on-disk truth).  Returns the stats.
+        """
+        stats = self.stats()
+        if self.registry is not None:
+            for name in ("pending", "leased", "done", "failed"):
+                self.registry.gauge(f"service.queue.{name}").set(stats[name])
+        return stats

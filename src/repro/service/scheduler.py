@@ -12,7 +12,10 @@ way to exercise lease/requeue machinery under the ordinary campaign
 API.
 
 Set ``REPRO_SERVICE_DIR`` to keep the queue/run directories around for
-inspection instead of using (and deleting) a temp directory.
+inspection instead of using (and deleting) a temp directory, and
+``REPRO_SERVICE_OBSERVE=0`` to switch the service observatory (metrics
++ distributed job tracing) off — summaries are bit-identical either
+way.
 """
 
 from __future__ import annotations
@@ -28,6 +31,9 @@ from repro.service.core import FuzzService
 
 #: Environment override for the ephemeral service root.
 SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+#: Set to ``0`` to run the ephemeral service with observability off.
+SERVICE_OBSERVE_ENV = "REPRO_SERVICE_OBSERVE"
 
 
 @register_scheduler("service")
@@ -49,6 +55,7 @@ class ServiceCampaignScheduler(CampaignScheduler):
             root,
             workers=max(1, self.spec.workers),
             visibility_timeout=self.visibility_timeout,
+            observe=os.environ.get(SERVICE_OBSERVE_ENV, "1") != "0",
         )
         try:
             campaign_id = service.submit(

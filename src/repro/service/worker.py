@@ -14,6 +14,16 @@ worker has genuinely stopped making progress (crashed, killed, hung past
 its job timeout).  When that happens the queue re-offers the job and
 another worker replays it from its derived seed — results are
 deterministic, so the retry merges identically.
+
+Observability: each worker tracks its last-heartbeat instant, its
+cumulative busy seconds and the job it currently holds; the fleet's
+:meth:`WorkerFleet.describe` turns that into the ``/v1/fleet`` rows
+(heartbeat age, utilization, current job).  With observability enabled
+(``meta=True``, the service default) a completing worker attaches the
+observability ``meta`` block — attempt, claim/execute timing, the
+echoed trace context — that the ingestor merges into the campaign's
+trace as cross-process lifecycle spans.  With it disabled the complete
+call is byte-identical to schema v1.
 """
 
 from __future__ import annotations
@@ -36,6 +46,9 @@ class ServiceWorker(threading.Thread):
         visibility_timeout: float = 30.0,
         poll_interval: float = 0.05,
         stop_event: Optional[threading.Event] = None,
+        registry=None,
+        log=None,
+        meta: bool = True,
     ) -> None:
         super().__init__(name=f"repro-service-{name}", daemon=True)
         self.queue = queue
@@ -43,14 +56,24 @@ class ServiceWorker(threading.Thread):
         self.visibility_timeout = visibility_timeout
         self.poll_interval = poll_interval
         self.stop_event = stop_event or threading.Event()
+        self.registry = registry
+        self.log = log
+        self.meta = meta
         #: jobs this worker completed (observability only).
         self.completed = 0
+        #: wall-clock seconds spent executing jobs (observability only).
+        self.busy_s = 0.0
+        self.started_at: Optional[float] = None
+        self.last_heartbeat: Optional[float] = None
         self._lease_lock = threading.Lock()
         self._active: Optional[Tuple[str, str]] = None  # (fingerprint, token)
+        self._current: Optional[Dict[str, object]] = None
 
     # -- lifecycle -----------------------------------------------------------
     def run(self) -> None:
+        self.started_at = self.last_heartbeat = time.time()
         while not self.stop_event.is_set():
+            self.last_heartbeat = time.time()
             token = self.queue.change_token()
             lease = self.queue.claim(self.worker_name,
                                      self.visibility_timeout)
@@ -62,29 +85,96 @@ class ServiceWorker(threading.Thread):
                 continue
             with self._lease_lock:
                 self._active = (lease.fingerprint, lease.token)
+                self._current = {
+                    "fingerprint": lease.fingerprint,
+                    "job_id": str(lease.record.get("job", {}).get(
+                        "job_id", "")) or None,
+                    "campaign_id": lease.campaign_id,
+                    "attempt": lease.attempt,
+                    "claimed_at": lease.claimed_at,
+                }
+            started = time.perf_counter()
             try:
                 result = self._execute(lease)
+                elapsed = time.perf_counter() - started
+                meta = self._meta_block(lease, elapsed) if self.meta else None
                 if self.queue.complete(lease.fingerprint, lease.token,
-                                       result.to_dict()):
+                                       result.to_dict(), meta=meta):
                     self.completed += 1
+                    if self.registry is not None:
+                        self.registry.counter(
+                            "service.worker.jobs_completed").inc()
+                        from repro.telemetry.metrics import LATENCY_BUCKETS_S
+                        self.registry.histogram(
+                            "service.job.exec_s",
+                            buckets=LATENCY_BUCKETS_S).observe(elapsed)
             except BaseException as error:  # noqa: BLE001 - keep consuming
                 # execute_task boxes job errors; anything reaching here is
                 # fleet-level (a test-injected crash, interpreter teardown).
                 # Release the job for someone else and keep the loop alive.
+                elapsed = time.perf_counter() - started
+                if self.log is not None:
+                    self.log.error(
+                        "worker_error", worker=self.worker_name,
+                        fingerprint=lease.fingerprint,
+                        error=f"{type(error).__name__}: {error}")
                 self.queue.fail(lease.fingerprint, lease.token,
                                 f"{type(error).__name__}: {error}")
             finally:
+                self.busy_s += time.perf_counter() - started
+                self.last_heartbeat = time.time()
                 with self._lease_lock:
                     self._active = None
+                    self._current = None
 
     def _execute(self, lease: JobLease) -> WorkerResult:
         """Run one leased job (overridable: crash tests substitute this)."""
         return execute_task((lease.job_spec(), lease.seeds()))
 
+    def _meta_block(self, lease: JobLease,
+                    exec_elapsed_s: float) -> Dict[str, object]:
+        """The completion-record observability block (schema v2)."""
+        meta: Dict[str, object] = {
+            "worker": self.worker_name,
+            "attempt": lease.attempt,
+            "claimed_at": lease.claimed_at,
+            "exec_elapsed_s": round(exec_elapsed_s, 6),
+        }
+        enqueued = lease.record.get("enqueued_at")
+        if isinstance(enqueued, (int, float)):
+            meta["enqueued_at"] = enqueued
+        trace = lease.trace_context()
+        if trace is not None:
+            meta["trace"] = dict(trace)
+        return meta
+
     # -- heartbeat support ----------------------------------------------------
     def active_lease(self) -> Optional[Tuple[str, str]]:
         with self._lease_lock:
             return self._active
+
+    def current_job(self) -> Optional[Dict[str, object]]:
+        """The job this worker holds right now (None when idle)."""
+        with self._lease_lock:
+            return dict(self._current) if self._current is not None else None
+
+    def describe(self, now: Optional[float] = None) -> Dict[str, object]:
+        """One ``/v1/fleet`` row: liveness, utilization, current job."""
+        now = time.time() if now is None else now
+        uptime = max(0.0, now - self.started_at) if self.started_at else 0.0
+        record: Dict[str, object] = {
+            "name": self.worker_name,
+            "alive": self.is_alive(),
+            "busy": self.active_lease() is not None,
+            "completed": self.completed,
+            "busy_s": round(self.busy_s, 3),
+            "uptime_s": round(uptime, 3),
+            "utilization": round(self.busy_s / uptime, 4) if uptime else 0.0,
+            "heartbeat_age_s": (round(now - self.last_heartbeat, 3)
+                                if self.last_heartbeat is not None else None),
+            "current_job": self.current_job(),
+        }
+        return record
 
     def stop(self) -> None:
         self.stop_event.set()
@@ -95,15 +185,18 @@ class WorkerFleet:
 
     def __init__(self, queue: JobQueue, count: int = 2,
                  visibility_timeout: float = 30.0,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 registry=None, log=None, meta: bool = True) -> None:
         self.queue = queue
         self.visibility_timeout = visibility_timeout
+        self.registry = registry
         self._stop = threading.Event()
         self.workers: List[ServiceWorker] = [
             ServiceWorker(queue, name=f"w{index}",
                           visibility_timeout=visibility_timeout,
                           poll_interval=poll_interval,
-                          stop_event=self._stop)
+                          stop_event=self._stop,
+                          registry=registry, log=log, meta=meta)
             for index in range(max(1, count))
         ]
         self._heartbeat: Optional[threading.Thread] = None
@@ -121,7 +214,8 @@ class WorkerFleet:
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
         for worker in self.workers:
-            worker.join(timeout=timeout)
+            if worker.ident is not None:  # never-started fleets stop cleanly
+                worker.join(timeout=timeout)
         if self._heartbeat is not None:
             self._heartbeat.join(timeout=timeout)
             self._heartbeat = None
@@ -136,8 +230,11 @@ class WorkerFleet:
                     # expire: that is the crash-recovery path.
                     continue
                 fingerprint, token = active
-                self.queue.renew(fingerprint, token,
-                                 self.visibility_timeout)
+                if self.queue.renew(fingerprint, token,
+                                    self.visibility_timeout):
+                    # A successful renew is proof of life for a worker
+                    # stuck inside one long job (its loop isn't turning).
+                    worker.last_heartbeat = time.time()
 
     def counts(self) -> Dict[str, int]:
         return {
@@ -147,3 +244,20 @@ class WorkerFleet:
                         if worker.active_lease() is not None),
             "completed": sum(worker.completed for worker in self.workers),
         }
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Per-worker status rows (the ``/v1/fleet`` body)."""
+        now = time.time()
+        return [worker.describe(now) for worker in self.workers]
+
+    def observe_gauges(self) -> Dict[str, int]:
+        """Refresh ``service.fleet.*`` gauges from the live counts."""
+        counts = self.counts()
+        if self.registry is not None:
+            for name in ("workers", "alive", "busy"):
+                self.registry.gauge(f"service.fleet.{name}").set(counts[name])
+            for worker in self.workers:
+                self.registry.gauge(
+                    f"service.worker.utilization.{worker.worker_name}").set(
+                        worker.describe().get("utilization", 0.0))
+        return counts

@@ -40,7 +40,9 @@ from repro.telemetry.export import (
     render_prometheus,
     serve_metrics,
 )
+from repro.telemetry.logging import LEVELS, StructuredLogger, parse_level
 from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
@@ -63,7 +65,9 @@ from repro.telemetry.tracing import (
     TraceError,
     TraceWriter,
     aggregate_trace,
+    derive_span_id,
     format_trace_stats,
+    new_trace_id,
     read_trace,
 )
 
@@ -298,4 +302,11 @@ __all__ = [
     "bench_history",
     "format_diff_table",
     "load_bench_snapshot",
+    # service observatory (PR 10)
+    "StructuredLogger",
+    "parse_level",
+    "LEVELS",
+    "LATENCY_BUCKETS_S",
+    "new_trace_id",
+    "derive_span_id",
 ]

@@ -39,6 +39,7 @@ _LABEL_RULES: Tuple[Tuple[str, str], ...] = (
     ("campaign.sites.", "variant"),
     ("fuzz.sites.", "variant"),
     ("engine.entered.", "model"),
+    ("service.worker.utilization.", "worker"),
 )
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")

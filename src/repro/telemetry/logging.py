@@ -1,0 +1,130 @@
+"""Structured JSONL logging with trace correlation.
+
+One log record is one JSON object per line::
+
+    {"ts": 1754500000.123456, "level": "info", "event": "job_completed",
+     "logger": "service.worker", "trace_id": "...", "campaign_id": "...",
+     "fingerprint": "...", "worker": "w0", "elapsed_s": 0.42}
+
+Fixed fields are ``ts`` (epoch seconds), ``level`` (``debug`` / ``info``
+/ ``warning`` / ``error``), ``event`` (a stable snake_case name — the
+thing grep and log pipelines key on) and ``logger`` (the emitting
+component).  Everything else is free-form context; the service stamps
+trace-correlation fields (``trace_id``, ``span_id``, ``campaign_id``,
+job ``fingerprint``) wherever it has them, so one ``grep trace_id``
+follows a job across the submit/claim/execute/complete/ingest hops that
+the distributed trace records as spans.
+
+:class:`StructuredLogger` is deliberately tiny: a sink (path or stream),
+a level threshold, and bound context inherited by :meth:`bind` children.
+A logger built with ``sink=None`` is disabled and every call is a cheap
+no-op, so components can hold a logger unconditionally instead of
+guarding each call site — the same "observation only, one cheap check"
+contract the metrics layer follows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Optional
+
+#: Level names in severity order; the threshold comparison is numeric.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30,
+                          "error": 40}
+
+
+def parse_level(name: str) -> int:
+    """A level name → its numeric severity (raises on unknown names)."""
+    try:
+        return LEVELS[str(name).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; expected one of "
+            f"{', '.join(sorted(LEVELS, key=LEVELS.get))}")
+
+
+class StructuredLogger:
+    """A JSONL logger: one sorted-key JSON object per line, flushed.
+
+    ``sink`` is a path (opened append-mode and owned), an open text
+    stream (borrowed), or ``None`` (disabled — every call no-ops).
+    ``context`` fields are stamped into every record; :meth:`bind`
+    returns a child sharing the sink, lock and threshold with extra
+    bound context, so per-component loggers are free.
+    """
+
+    def __init__(self, sink=None, level: str = "info",
+                 context: Optional[Dict[str, object]] = None,
+                 clock=time.time) -> None:
+        if sink is None:
+            self._file = None
+            self._owns_file = False
+        elif hasattr(sink, "write"):
+            self._file = sink
+            self._owns_file = False
+        else:
+            self._file = open(sink, "a", encoding="utf-8")
+            self._owns_file = True
+        self.threshold = parse_level(level)
+        self.context: Dict[str, object] = dict(context or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._file is not None
+
+    def bind(self, **context: object) -> "StructuredLogger":
+        """A child logger with extra context (shares sink/lock/level)."""
+        child = StructuredLogger.__new__(StructuredLogger)
+        child._file = self._file
+        child._owns_file = False
+        child.threshold = self.threshold
+        child.context = {**self.context, **context}
+        child._clock = self._clock
+        child._lock = self._lock
+        return child
+
+    # -- emission ------------------------------------------------------------
+    def log(self, level: str, event: str, **fields: object) -> None:
+        if self._file is None or LEVELS.get(level, 0) < self.threshold:
+            return
+        record: Dict[str, object] = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "event": event,
+            **self.context,
+            **{key: value for key, value in fields.items()
+               if value is not None},
+        }
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            try:
+                self._file.write(line)
+                self._file.flush()
+            except (OSError, ValueError):
+                # A closed or full sink must never take the service down.
+                pass
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+    def close(self) -> None:
+        """Release an owned sink (borrowed streams are left open)."""
+        if self._owns_file and self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None

@@ -25,6 +25,15 @@ DEFAULT_BUCKETS: Tuple[int, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
 )
 
+#: bucket bounds for latency histograms measured in (fractional)
+#: seconds — the integer DEFAULT_BUCKETS would collapse sub-second
+#: waits into the first bucket.  Used by the ``service.job.*`` queue
+#: and job-latency families.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 300.0,
+)
+
 
 def merge_counts(into: Dict[str, int],
                  other: Mapping[str, int]) -> Dict[str, int]:

@@ -23,8 +23,10 @@ self-contained.  ``repro stats <trace.jsonl>`` renders the aggregate via
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
@@ -35,6 +37,25 @@ TRACE_KIND = "repro.telemetry/trace"
 
 #: Bump on any backwards-incompatible change to the trace layout.
 TRACE_SCHEMA_VERSION = 1
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (one per campaign/request)."""
+    return uuid.uuid4().hex
+
+
+def derive_span_id(trace_id: str, *parts: object) -> str:
+    """A deterministic 16-hex-char span id from a trace id plus parts.
+
+    Distributed lifecycle spans (submit/claim/execute/ingest of one
+    queued job) derive their ids from stable coordinates — trace id, job
+    fingerprint, phase, attempt — instead of random draws, so a lease
+    takeover or a crash-replay of the same attempt reconstructs the
+    *same* span id (idempotent merge), while a genuine retry (attempt+1)
+    gets a distinct one.
+    """
+    canonical = "|".join((trace_id,) + tuple(str(part) for part in parts))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 class TraceError(ValueError):
@@ -131,6 +152,30 @@ class TraceWriter:
         if self.registry is not None:
             record["counters"] = self.registry.snapshot()
         self._emit(record)
+
+    def merge_span(self, name: str, path: str, elapsed_s: float,
+                   status: str = "ok", **fields: object) -> None:
+        """Record a span that happened *elsewhere* (another thread,
+        process, or machine) as a single ``span_end`` record.
+
+        Distributed lifecycle phases — a queued job's queue wait, its
+        execution on a worker, the lag until its result merged — are
+        measured where they happen and merged here after the fact, so
+        they aggregate into ``span_paths`` (and render in the HTML
+        report/flamegraph) exactly like locally bracketed spans.  No
+        ``span_start`` is written and no counters snapshot is attached:
+        the span did not run on this writer's thread, so counter
+        movement cannot be attributed to it.
+        """
+        self._emit({
+            "type": "span_end",
+            "name": name,
+            "path": path,
+            "start_seq": self._seq,
+            "status": status,
+            "elapsed_s": round(max(0.0, float(elapsed_s)), 6),
+            **fields,
+        })
 
     def close(self) -> None:
         """Write the ``trace_end`` record and release an owned sink."""

@@ -1,0 +1,208 @@
+"""The service observatory end-to-end: endpoints, traces, bit-identity.
+
+One small campaign driven through the live HTTP API must leave behind
+(a) a ``/metrics`` exposition carrying the ``service.queue.*`` gauges
+and ``service.job.*`` latency histograms, (b) correct health/readiness
+endpoints, (c) a ``trace.jsonl`` in the campaign's run directory from
+which the full cross-process job lifecycle — submit, claim, execute,
+complete, ingest — reconstructs with queue-wait attribution, and (d)
+with observability disabled, a summary bit-identical to the observed
+run's (observation never feeds back into execution).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.service.core import FuzzService
+from repro.service.httpapi import MAX_BODY_BYTES, ServiceApiServer
+from repro.telemetry import aggregate_trace, read_trace
+from repro.telemetry.logging import StructuredLogger
+from repro.telemetry.tracing import derive_span_id
+
+SPEC = dict(targets=("gadgets",), tools=("teapot",), iterations=30,
+            rounds=2, shards=2, seed=7, spec_variants=("pht",))
+
+
+def _get(url, expect=200):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, f"{url}: {error.code}"
+        return error.code, error.read().decode("utf-8")
+
+
+def _post_raw(url, data, headers=None, expect=200):
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {"Content-Type":
+                                            "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, f"{url}: {error.code}"
+        return error.code, error.read().decode("utf-8")
+
+
+@pytest.fixture()
+def observed(tmp_path):
+    log_buffer = io.StringIO()
+    service = FuzzService(
+        str(tmp_path / "svc"), workers=2, visibility_timeout=30.0,
+        log=StructuredLogger(log_buffer, level="debug")).start()
+    api = ServiceApiServer(service).start()
+    try:
+        yield service, api, log_buffer
+    finally:
+        api.stop()
+        service.stop()
+
+
+def test_observatory_end_to_end(observed):
+    service, api, log_buffer = observed
+    campaign_id = service.submit(CampaignSpec(**SPEC))
+    summary = service.wait(campaign_id, timeout=120)
+    assert summary is not None
+
+    # -- health & readiness --------------------------------------------------
+    code, body = _get(api.url + "/healthz")
+    health = json.loads(body)
+    assert code == 200 and health["status"] == "ok" and health["observe"]
+    code, body = _get(api.url + "/readyz")
+    assert code == 200 and json.loads(body)["ready"] is True
+
+    # -- fleet ---------------------------------------------------------------
+    code, body = _get(api.url + "/v1/fleet")
+    fleet = json.loads(body)
+    assert fleet["counts"]["workers"] == 2
+    names = {row["name"] for row in fleet["workers"]}
+    assert names == {"w0", "w1"}
+    for row in fleet["workers"]:
+        assert row["alive"] is True
+        assert 0.0 <= row["utilization"] <= 1.0
+        assert row["heartbeat_age_s"] >= 0.0
+
+    # -- /metrics ------------------------------------------------------------
+    code, exposition = _get(api.url + "/metrics")
+    assert code == 200
+    jobs_total = json.loads(_get(
+        api.url + f"/v1/campaigns/{campaign_id}")[1])["jobs_total"]
+    assert f"repro_service_queue_done {jobs_total}" in exposition
+    assert "repro_service_queue_pending 0" in exposition
+    assert (f"repro_service_queue_submitted_total {jobs_total}"
+            in exposition)
+    assert f"repro_service_job_exec_s_count {jobs_total}" in exposition
+    assert f"repro_service_job_e2e_s_count {jobs_total}" in exposition
+    assert 'repro_service_worker_utilization{worker="w0"}' in exposition
+
+    # -- the distributed trace ----------------------------------------------
+    status = service.status(campaign_id)
+    trace_id = status["trace_id"]
+    trace_path = os.path.join(service.registry.root, status["run_id"],
+                              "trace.jsonl")
+    records = read_trace(trace_path)
+    lifecycles = [r for r in records if r.get("type") == "job_lifecycle"]
+    assert len(lifecycles) == jobs_total
+    for event in lifecycles:
+        assert event["trace_id"] == trace_id
+        # The complete journey, in causal order, with queue-wait broken
+        # out from execution and ingest lag.
+        assert (event["submitted_ts"] <= event["claimed_ts"]
+                <= event["completed_ts"] <= event["ingested_ts"])
+        assert event["queue_wait_s"] >= 0.0
+        assert event["exec_s"] > 0.0
+        assert event["ingest_lag_s"] >= 0.0
+
+    aggregate = aggregate_trace(records)
+    for phase in ("job/queue_wait", "job/execute", "job/ingest_lag"):
+        stats = aggregate["span_paths"][phase]
+        assert stats["count"] == jobs_total
+        assert stats["p50_s"] <= stats["p90_s"] <= stats["max_s"]
+    # Span ids are the deterministic derivation — and therefore unique
+    # per (job, phase, attempt).
+    execute_spans = [r for r in records if r.get("type") == "span_end"
+                     and r.get("path") == "job/execute"]
+    ids = [span["span_id"] for span in execute_spans]
+    assert len(set(ids)) == len(ids) == jobs_total
+    for span in execute_spans:
+        assert span["span_id"] == derive_span_id(
+            trace_id, span["fingerprint"], "execute", span["attempt"])
+
+    # -- structured logs correlate with the trace ---------------------------
+    logged = [json.loads(line)
+              for line in log_buffer.getvalue().splitlines()]
+    events = {record["event"] for record in logged}
+    assert {"campaign_submitted", "campaign_started", "job_submitted",
+            "job_claimed", "job_completed",
+            "campaign_completed"} <= events
+    correlated = [r for r in logged if r.get("trace_id") == trace_id]
+    assert len(correlated) >= jobs_total  # one grep follows the campaign
+
+
+def test_request_body_hardening(observed):
+    _, api, _ = observed
+    submit = api.url + "/v1/campaigns"
+    # Oversized body → 413 with a JSON envelope, not a raw 500.
+    code, body = _post_raw(submit, b"x" * (MAX_BODY_BYTES + 1), expect=413)
+    assert code == 413 and "error" in json.loads(body)
+    # Junk Content-Length → 400.
+    code, body = _post_raw(submit, b"{}",
+                           headers={"Content-Type": "application/json",
+                                    "Content-Length": "banana"},
+                           expect=400)
+    assert code == 400 and "Content-Length" in json.loads(body)["error"]
+    # Non-object JSON → 400 naming the offending type.
+    code, body = _post_raw(submit, b"[1, 2, 3]", expect=400)
+    assert code == 400 and "list" in json.loads(body)["error"]
+    # Unparseable bytes → 400.
+    code, body = _post_raw(submit, b"{nope", expect=400)
+    assert code == 400 and "not JSON" in json.loads(body)["error"]
+    # Empty body → 400.
+    code, body = _post_raw(submit, b"", expect=400)
+    assert code == 400
+
+
+def test_disabled_observability_is_bit_identical(tmp_path):
+    observed = FuzzService(str(tmp_path / "on"), workers=2,
+                           observe=True).start()
+    disabled = FuzzService(str(tmp_path / "off"), workers=2,
+                           observe=False).start()
+    try:
+        spec = CampaignSpec(**SPEC)
+        summary_on = observed.wait(observed.submit(spec), timeout=120)
+        summary_off = disabled.wait(disabled.submit(spec), timeout=120)
+        assert summary_on.to_dict() == summary_off.to_dict()
+        # The unobserved queue writes v1-shaped records: no trace, no meta.
+        jobs_dir = os.path.join(str(tmp_path / "off"), "queue", "jobs")
+        for name in os.listdir(jobs_dir):
+            with open(os.path.join(jobs_dir, name)) as handle:
+                assert "trace" not in json.load(handle)
+        done_dir = os.path.join(str(tmp_path / "off"), "queue", "done")
+        for name in os.listdir(done_dir):
+            with open(os.path.join(done_dir, name)) as handle:
+                assert "meta" not in json.load(handle)
+        # And /metrics over a disabled service is an empty exposition,
+        # not an error (scrape targets stay stable).
+        assert disabled.metrics_view().merged_counts() == {}
+    finally:
+        observed.stop()
+        disabled.stop()
+
+
+def test_readyz_is_503_before_start(tmp_path):
+    service = FuzzService(str(tmp_path / "svc"), workers=1)
+    api = ServiceApiServer(service).start()
+    try:
+        code, body = _get(api.url + "/readyz", expect=503)
+        assert code == 503 and json.loads(body)["ready"] is False
+    finally:
+        api.stop()
+        service.stop()

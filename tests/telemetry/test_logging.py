@@ -1,0 +1,101 @@
+"""Structured JSONL logging: shape, levels, binding, disabled no-op."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.logging import LEVELS, StructuredLogger, parse_level
+
+
+def _lines(buffer: io.StringIO):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+def test_records_are_one_sorted_json_object_per_line():
+    buffer = io.StringIO()
+    log = StructuredLogger(buffer, level="debug", clock=lambda: 123.456)
+    log.info("job_completed", worker="w0", elapsed_s=0.5)
+    log.debug("job_claimed", fingerprint="abcd")
+    records = _lines(buffer)
+    assert [record["event"] for record in records] == [
+        "job_completed", "job_claimed"]
+    assert records[0] == {"ts": 123.456, "level": "info",
+                          "event": "job_completed", "worker": "w0",
+                          "elapsed_s": 0.5}
+    # Lines are emitted with sorted keys (stable for diffing/grepping).
+    first_line = buffer.getvalue().splitlines()[0]
+    assert first_line == json.dumps(records[0], sort_keys=True)
+
+
+def test_none_valued_fields_are_dropped():
+    buffer = io.StringIO()
+    log = StructuredLogger(buffer)
+    log.info("event", trace_id=None, worker="w0")
+    (record,) = _lines(buffer)
+    assert "trace_id" not in record and record["worker"] == "w0"
+
+
+def test_level_threshold_filters():
+    buffer = io.StringIO()
+    log = StructuredLogger(buffer, level="warning")
+    log.debug("a")
+    log.info("b")
+    log.warning("c")
+    log.error("d")
+    assert [record["event"] for record in _lines(buffer)] == ["c", "d"]
+
+
+def test_bind_merges_context_and_shares_sink():
+    buffer = io.StringIO()
+    root = StructuredLogger(buffer, level="debug",
+                            context={"service": "repro"})
+    child = root.bind(logger="service.queue", campaign_id="c1")
+    child.info("job_submitted", fingerprint="ff")
+    (record,) = _lines(buffer)
+    assert record["service"] == "repro"
+    assert record["logger"] == "service.queue"
+    assert record["campaign_id"] == "c1"
+    # Per-call fields override bound context on collision.
+    child.info("x", campaign_id="c2")
+    assert _lines(buffer)[-1]["campaign_id"] == "c2"
+
+
+def test_disabled_logger_is_a_noop():
+    log = StructuredLogger(None)
+    assert not log.enabled
+    log.info("event", anything="goes")  # must not raise
+    child = log.bind(logger="x")
+    assert not child.enabled
+    child.error("still_nothing")
+    log.close()
+
+
+def test_path_sink_is_owned_and_appended(tmp_path):
+    path = tmp_path / "service.log.jsonl"
+    log = StructuredLogger(str(path), level="info")
+    assert log.enabled
+    log.info("first")
+    log.close()
+    again = StructuredLogger(str(path))
+    again.info("second")
+    again.close()
+    events = [json.loads(line)["event"]
+              for line in path.read_text().splitlines()]
+    assert events == ["first", "second"]
+
+
+def test_closed_sink_never_raises(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = StructuredLogger(str(path))
+    log.close()
+    log.info("after_close")  # swallowed, not raised
+
+
+def test_parse_level():
+    assert parse_level("DEBUG") == LEVELS["debug"]
+    assert parse_level(" info ") == LEVELS["info"]
+    with pytest.raises(ValueError):
+        parse_level("loud")
